@@ -1,0 +1,54 @@
+"""E2 — Web-based set expansion (tutorial section 2).
+
+Reproduces the SEAL/Paşca result shape: precision@k decays as k grows and
+improves with more seeds; a handful of seeds suffices to expand a class
+with high precision from raw text contexts.
+
+Rows: precision@k for k in {5, 10, 20} over seed-set sizes 2-5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import precision_at_k, print_table
+from repro.taxonomy import SetExpander
+
+
+@pytest.fixture(scope="module")
+def expander(bench_sentences):
+    expander = SetExpander()
+    expander.index_corpus(bench_sentences)
+    return expander
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_set_expansion(benchmark, bench_world, expander):
+    city_names = [bench_world.name[c] for c in bench_world.cities]
+    gold = set(city_names)
+    rows = []
+    for n_seeds in (2, 3, 5):
+        seeds = city_names[:n_seeds]
+        results = expander.expand(seeds, top_k=30)
+        ranked = [r.name for r in results]
+        rows.append(
+            [
+                f"{n_seeds} seeds",
+                precision_at_k(ranked, gold, 5),
+                precision_at_k(ranked, gold, 10),
+                precision_at_k(ranked, gold, 20),
+                len(ranked),
+            ]
+        )
+
+    benchmark(expander.expand, city_names[:3], 30)
+
+    print_table(
+        "E2: set expansion precision@k (city class)",
+        ["seeds", "P@5", "P@10", "P@20", "candidates"],
+        rows,
+    )
+    two, three, five = rows
+    assert five[1] >= 0.8            # strong precision at the top
+    assert five[1] >= five[3] - 1e-9  # precision decays (or holds) with k
+    assert five[2] >= two[2] - 0.2   # more seeds never hurt much

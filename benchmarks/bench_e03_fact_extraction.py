@@ -1,0 +1,99 @@
+"""E3 — the relational fact-harvesting spectrum (tutorial section 3).
+
+Reproduces the canonical precision/recall trade-off across the four
+extraction families the tutorial enumerates:
+
+* hand-written surface patterns: highest precision, lowest recall;
+* Snowball bootstrapping: grows recall within its relation at little
+  precision cost;
+* dependency paths: recover passives/inversions surface patterns miss;
+* distant supervision: best recall and F1 of the spectrum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import corpus_gold_facts
+from repro.eval import precision_recall, print_table
+from repro.extraction import (
+    DependencyPathExtractor,
+    DistantSupervisionExtractor,
+    PatternExtractor,
+    SnowballExtractor,
+    candidates_to_store,
+)
+from repro.kb import Entity
+from repro.world import schema as ws
+
+RELATIONS = [s.relation for s in ws.RELATION_SPECS]
+
+
+@pytest.fixture(scope="module")
+def gold(bench_documents):
+    return {
+        key for key in corpus_gold_facts(bench_documents)
+        if isinstance(key[2], Entity)
+    }
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_extraction_spectrum(
+    benchmark, bench_world, bench_occurrences, bench_seed_kb, gold
+):
+    rows = []
+
+    patterns = PatternExtractor()
+    pattern_pred = {
+        t.spo() for t in candidates_to_store(patterns.extract(bench_occurrences))
+    }
+    pattern_prf = precision_recall(pattern_pred, gold)
+    rows.append(["surface patterns", *_prf_row(pattern_prf), len(pattern_pred)])
+
+    snowball_pred = set()
+    for relation in (ws.FOUNDED, ws.BORN_IN, ws.HEADQUARTERED_IN):
+        seeds = [
+            (t.subject, t.object)
+            for t in list(bench_world.facts.match(predicate=relation))[:8]
+        ]
+        extractor = SnowballExtractor(relation, seeds)
+        snowball_pred |= {
+            (c.subject, c.relation, c.object)
+            for c in extractor.run(bench_occurrences)
+        }
+    snowball_gold = {k for k in gold if k[1] in (ws.FOUNDED, ws.BORN_IN, ws.HEADQUARTERED_IN)}
+    snowball_prf = precision_recall(snowball_pred, snowball_gold)
+    rows.append(["snowball (3 relations)", *_prf_row(snowball_prf), len(snowball_pred)])
+
+    paths = DependencyPathExtractor(bench_seed_kb, RELATIONS)
+    paths.learn(bench_occurrences)
+    path_pred = {c.key() for c in paths.extract(bench_occurrences)}
+    path_prf = precision_recall(path_pred, gold)
+    rows.append(["dependency paths", *_prf_row(path_prf), len(path_pred)])
+
+    distant = DistantSupervisionExtractor(bench_seed_kb, RELATIONS)
+    distant.train(bench_occurrences)
+    distant_pred = {c.key() for c in distant.extract(bench_occurrences)}
+    distant_prf = precision_recall(distant_pred, gold)
+    rows.append(["distant supervision", *_prf_row(distant_prf), len(distant_pred)])
+
+    benchmark(patterns.extract, bench_occurrences)
+
+    print_table(
+        "E3: extraction spectrum (gold = facts expressed in the corpus)",
+        ["method", "P", "R", "F1", "facts"],
+        rows,
+    )
+    # The canonical shape.
+    assert pattern_prf.precision >= max(path_prf.precision, distant_prf.precision) - 0.02
+    assert path_prf.recall > pattern_prf.recall
+    assert distant_prf.recall > pattern_prf.recall
+    assert distant_prf.f1 >= pattern_prf.f1
+    assert snowball_prf.recall > precision_recall(
+        {k for k in pattern_pred if k[1] in (ws.FOUNDED, ws.BORN_IN, ws.HEADQUARTERED_IN)},
+        snowball_gold,
+    ).recall - 0.02
+
+
+def _prf_row(prf):
+    return [prf.precision, prf.recall, prf.f1]

@@ -1,0 +1,136 @@
+"""E5 — DeepDive-style statistical inference (tutorial section 3).
+
+Reproduces the factor-graph result shape: (a) Gibbs marginals converge to
+the exact marginals as sweeps grow; (b) probabilistic inference over the
+candidate ensemble beats the raw candidate set on F1; (c) inference cost
+grows roughly linearly in the number of grounded factors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.corpus import CorpusConfig, synthesize
+from repro.corpus.document import corpus_gold_facts
+from repro.eval import brier_score, precision_recall, print_table
+from repro.extraction import (
+    DeepDivePipeline,
+    PatternExtractor,
+    corpus_occurrences,
+    resolver_from_aliases,
+)
+from repro.kb import Entity, Taxonomy
+from repro.reasoning import FactorGraph, implies, not_both
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_gibbs_convergence(benchmark):
+    graph = FactorGraph()
+    for i in range(8):
+        graph.prior(f"x{i}", 0.5 * (i % 3 - 1))
+    for i in range(7):
+        graph.add_factor((f"x{i}", f"x{i+1}"), implies, 0.8)
+    graph.add_factor(("x0", "x7"), not_both, 1.5)
+    exact = graph.exact_marginals()
+
+    rows = []
+    for sweeps in (50, 200, 800, 3200):
+        sampled = graph.gibbs_marginals(
+            iterations=sweeps + 50, burn_in=50, seed=3
+        )
+        error = max(abs(sampled[v] - exact[v]) for v in exact)
+        rows.append([sweeps, error])
+
+    benchmark(graph.gibbs_marginals, 250, 50, 3)
+
+    print_table(
+        "E5a: Gibbs convergence to exact marginals (8-variable chain)",
+        ["sweeps", "max |error|"],
+        rows,
+    )
+    assert rows[-1][1] < 0.05
+    assert rows[-1][1] <= rows[0][1] + 1e-9
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_inference_quality(benchmark, bench_world):
+    documents = synthesize(
+        bench_world,
+        CorpusConfig(seed=115, mentions_per_fact=1.6, p_false=0.25, p_short_alias=0.05),
+    )
+    resolver = resolver_from_aliases(bench_world.aliases)
+    sentences = [s.text for d in documents for s in d.sentences]
+    occurrences = corpus_occurrences(sentences, resolver)
+    candidates = PatternExtractor().extract(occurrences)
+    gold = {
+        key for key in corpus_gold_facts(documents)
+        if isinstance(key[2], Entity)
+    }
+    taxonomy = Taxonomy(bench_world.store)
+    pipeline = DeepDivePipeline(taxonomy)
+
+    accepted, marginals, stats = pipeline.infer(
+        candidates, iterations=400, burn_in=80, seed=4
+    )
+    raw_keys = {c.key() for c in candidates}
+    raw_prf = precision_recall(raw_keys, gold)
+    inferred_prf = precision_recall({t.spo() for t in accepted}, gold)
+
+    outcomes = [key in gold for key in marginals]
+    probabilities = [marginals[key] for key in marginals]
+    brier = brier_score(probabilities, outcomes)
+
+    benchmark(
+        pipeline.infer, candidates[:200], 100, 20, 4
+    )
+
+    print_table(
+        "E5b: factor-graph inference vs raw candidates",
+        ["method", "P", "R", "F1", "facts"],
+        [
+            ["raw candidates", raw_prf.precision, raw_prf.recall, raw_prf.f1, len(raw_keys)],
+            [
+                "deepdive marginals>=0.5",
+                inferred_prf.precision,
+                inferred_prf.recall,
+                inferred_prf.f1,
+                len(accepted),
+            ],
+            ["brier score", brier, "", "", stats.variables],
+        ],
+    )
+    assert inferred_prf.precision > raw_prf.precision
+    assert inferred_prf.f1 >= raw_prf.f1 - 0.02
+    assert brier < 0.25
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_scaling_linear_in_factors(benchmark):
+    rows = []
+    timings = []
+    for n in (100, 200, 400, 800):
+        graph = FactorGraph()
+        for i in range(n):
+            graph.prior(f"v{i}", 0.3)
+        for i in range(n - 1):
+            graph.add_factor((f"v{i}", f"v{i+1}"), implies, 0.5)
+        start = time.perf_counter()
+        graph.gibbs_marginals(iterations=60, burn_in=10, seed=0)
+        elapsed = time.perf_counter() - start
+        rows.append([n, 2 * n - 1, round(elapsed * 1000, 1)])
+        timings.append(elapsed)
+
+    small_graph = FactorGraph()
+    for i in range(100):
+        small_graph.prior(f"v{i}", 0.3)
+    benchmark(small_graph.gibbs_marginals, 60, 10, 0)
+
+    print_table(
+        "E5c: Gibbs cost vs graph size (60 sweeps)",
+        ["variables", "factors", "ms"],
+        rows,
+    )
+    # Roughly linear: 8x the variables should cost far less than 32x.
+    assert timings[-1] < timings[0] * 32

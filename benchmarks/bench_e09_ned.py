@@ -1,0 +1,118 @@
+"""E9 — named entity disambiguation (tutorial section 4).
+
+Reproduces the AIDA result shape: popularity prior < prior+context
+similarity <= joint graph coherence, with the gaps widening as surface
+ambiguity rises; the coherence ablation (lambda sweep) shows the joint
+term's contribution on ambiguous mentions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_wiki, synthesize
+from repro.eval import print_table
+from repro.ned import NEDConfig, NEDSystem, evaluate_document
+from repro.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def ned_world():
+    return generate_world(
+        WorldConfig(seed=131, ambiguity=0.8, n_people=220, n_cities=40)
+    )
+
+
+@pytest.fixture(scope="module")
+def ned_system(ned_world):
+    wiki = build_wiki(ned_world)
+    return NEDSystem(wiki, aliases=ned_world.aliases)
+
+
+def _documents(ned_world, p_short_alias, document_size):
+    documents = synthesize(
+        ned_world,
+        CorpusConfig(
+            seed=132,
+            p_short_alias=p_short_alias,
+            mentions_per_fact=1.2,
+            document_size=document_size,
+        ),
+    )
+    return [d for d in documents if d.topic is not None][:250]
+
+
+def _accuracy(system, documents, method):
+    correct = total = 0
+    for document in documents:
+        c, t = evaluate_document(system, document, method)
+        correct += c
+        total += t
+    return correct / total
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_ned_methods(benchmark, ned_world, ned_system):
+    rows = []
+    scores_by_setting = {}
+    for label, p_short, size in (
+        ("low ambiguity (docs)", 0.3, 6),
+        ("high ambiguity (docs)", 0.6, 3),
+        ("extreme (single sentences)", 0.85, 1),
+    ):
+        documents = _documents(ned_world, p_short, size)
+        scores = {
+            method: _accuracy(ned_system, documents, method)
+            for method in ("prior", "local", "graph")
+        }
+        scores_by_setting[label] = scores
+        rows.append([label, scores["prior"], scores["local"], scores["graph"]])
+
+    sample = _documents(ned_world, 0.6, 3)[:40]
+    benchmark(lambda: [ned_system.disambiguate_document(d, "graph") for d in sample])
+
+    print_table(
+        "E9: NED accuracy by method (AIDA-style comparison)",
+        ["setting", "prior", "local", "graph"],
+        rows,
+    )
+    for label, scores in scores_by_setting.items():
+        assert scores["local"] > scores["prior"]
+        assert scores["graph"] >= scores["local"] - 0.015
+        assert scores["graph"] > scores["prior"]
+    # The prior degrades fastest as ambiguity rises.
+    assert (
+        scores_by_setting["extreme (single sentences)"]["prior"]
+        < scores_by_setting["low ambiguity (docs)"]["prior"]
+    )
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_coherence_weight_ablation(benchmark, ned_world):
+    wiki = build_wiki(ned_world)
+    documents = _documents(ned_world, 0.85, 1)
+    rows = []
+    best_with_coherence = 0.0
+    zero_coherence = 0.0
+    for weight in (0.0, 0.6, 1.2, 2.4):
+        system = NEDSystem(
+            wiki,
+            aliases=ned_world.aliases,
+            config=NEDConfig(coherence_weight=weight),
+        )
+        accuracy = _accuracy(system, documents, "graph")
+        rows.append([weight, accuracy])
+        if weight == 0.0:
+            zero_coherence = accuracy
+        else:
+            best_with_coherence = max(best_with_coherence, accuracy)
+
+    system = NEDSystem(wiki, aliases=ned_world.aliases)
+    benchmark(lambda: _accuracy(system, documents[:30], "graph"))
+
+    print_table(
+        "E9b: coherence weight ablation (graph method, extreme ambiguity)",
+        ["lambda", "accuracy"],
+        rows,
+    )
+    assert best_with_coherence >= zero_coherence

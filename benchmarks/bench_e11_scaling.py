@@ -1,0 +1,127 @@
+"""E11 — big-data scaling of knowledge harvesting (tutorial section 3).
+
+Reproduces the map-reduce scaling shape on the in-process engine: shuffle
+volume grows linearly with corpus size, per-shard load stays balanced
+(small skew), a combiner cuts shuffled records, and end-to-end KB
+construction through map-reduce matches the serial build while reporting
+cluster-style counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bigdata import MapReduce
+from repro.corpus import CorpusConfig, build_wiki, synthesize
+from repro.eval import print_table
+from repro.pipeline import BuildConfig, KnowledgeBaseBuilder
+from repro.world import WorldConfig, generate_world
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_shuffle_scales_linearly(benchmark):
+    def tokenize_job(sentences, shards=4, combine=True):
+        engine: MapReduce = MapReduce(shards=shards)
+
+        def mapper(sentence):
+            for word in sentence.split():
+                yield word.lower(), 1
+
+        def combiner(word, counts):
+            yield sum(counts)
+
+        def reducer(word, counts):
+            yield word, sum(counts)
+
+        return engine.run(
+            sentences, mapper, reducer, combiner=combiner if combine else None
+        )
+
+    rows = []
+    sizes = (60, 120, 240)
+    shuffled = []
+    for n_people in sizes:
+        world = generate_world(WorldConfig(seed=151, n_people=n_people))
+        documents = synthesize(world, CorpusConfig(seed=152, mentions_per_fact=1.5))
+        sentences = [s.text for d in documents for s in d.sentences]
+        __, stats = tokenize_job(sentences)
+        __, stats_nc = tokenize_job(sentences, combine=False)
+        rows.append(
+            [
+                n_people,
+                len(sentences),
+                stats.shuffled_records,
+                stats_nc.shuffled_records,
+                round(stats.skew, 2),
+            ]
+        )
+        shuffled.append(stats_nc.shuffled_records)
+
+    world = generate_world(WorldConfig(seed=151, n_people=60))
+    documents = synthesize(world, CorpusConfig(seed=152))
+    sentences = [s.text for d in documents for s in d.sentences]
+    benchmark(tokenize_job, sentences)
+
+    print_table(
+        "E11a: shuffle volume vs corpus size (word-count job, 4 shards)",
+        ["people", "sentences", "shuffled (combiner)", "shuffled (raw)", "skew"],
+        rows,
+    )
+    # Linear-ish growth: 4x the corpus should shuffle ~4x the records.
+    ratio = shuffled[-1] / shuffled[0]
+    size_ratio = rows[-1][1] / rows[0][1]
+    assert 0.5 * size_ratio < ratio < 2.0 * size_ratio
+    # The combiner always reduces shuffle volume.
+    for row in rows:
+        assert row[2] < row[3]
+    # Hash partitioning keeps shards balanced.
+    assert all(row[4] < 1.5 for row in rows)
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_extraction_through_mapreduce(benchmark, bench_world, bench_wiki):
+    rows = []
+    serial_builder = KnowledgeBaseBuilder(bench_wiki, aliases=bench_world.aliases)
+    start = time.perf_counter()
+    serial_kb, serial_report = serial_builder.build()
+    serial_time = time.perf_counter() - start
+    rows.append(["serial", serial_report.accepted_facts, "-", "-", round(serial_time, 2)])
+
+    for shards in (2, 4, 8):
+        builder = KnowledgeBaseBuilder(
+            bench_wiki,
+            aliases=bench_world.aliases,
+            config=BuildConfig(mapreduce_shards=shards),
+        )
+        start = time.perf_counter()
+        kb, report = builder.build()
+        elapsed = time.perf_counter() - start
+        stats = report.mapreduce
+        rows.append(
+            [
+                f"map-reduce x{shards}",
+                report.accepted_facts,
+                stats.shuffled_records,
+                round(stats.skew, 2),
+                round(elapsed, 2),
+            ]
+        )
+
+    benchmark(
+        KnowledgeBaseBuilder(
+            bench_wiki,
+            aliases=bench_world.aliases,
+            config=BuildConfig(mapreduce_shards=4, use_consistency=False),
+        ).build
+    )
+
+    print_table(
+        "E11b: end-to-end KB build, serial vs map-reduce",
+        ["execution", "accepted facts", "shuffled", "skew", "seconds"],
+        rows,
+    )
+    serial_facts = rows[0][1]
+    for row in rows[1:]:
+        assert abs(row[1] - serial_facts) / serial_facts < 0.05

@@ -1,0 +1,114 @@
+"""E14 — Knowledge-Vault-style fusion (extension experiment).
+
+Reproduces the Knowledge Vault result shape (Dong et al., KDD 2014 —
+reference [9] of the tutorial): fusing multiple extractors with a
+graph-based prior yields *calibrated* fact probabilities that beat every
+single extractor on F1; the graph prior contributes (ablation); and the
+reliability diagram is close to the diagonal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, synthesize
+from repro.corpus.document import corpus_gold_facts
+from repro.eval import brier_score, calibration_bins, precision_recall, print_table
+from repro.extraction import (
+    DependencyPathExtractor,
+    DistantSupervisionExtractor,
+    KnowledgeFusion,
+    PatternExtractor,
+    corpus_occurrences,
+    resolver_from_aliases,
+)
+from repro.kb import Entity
+from repro.world import schema as ws
+
+RELATIONS = [s.relation for s in ws.RELATION_SPECS]
+EXTRACTORS = {"surface-patterns", "dependency-paths", "distant-supervision"}
+
+
+@pytest.fixture(scope="module")
+def fusion_workload(bench_world, bench_seed_kb):
+    """Two disjoint corpora: one to train the fusion layer, one to test."""
+
+    def corpus(seed):
+        documents = synthesize(
+            bench_world,
+            CorpusConfig(
+                seed=seed, mentions_per_fact=1.5, p_false=0.25, p_short_alias=0.1
+            ),
+        )
+        resolver = resolver_from_aliases(bench_world.aliases)
+        sentences = [s.text for d in documents for s in d.sentences]
+        occurrences = corpus_occurrences(sentences, resolver)
+        candidates = list(PatternExtractor().extract(occurrences))
+        paths = DependencyPathExtractor(bench_seed_kb, RELATIONS)
+        paths.learn(occurrences)
+        candidates += paths.extract(occurrences)
+        distant = DistantSupervisionExtractor(bench_seed_kb, RELATIONS)
+        distant.train(occurrences)
+        candidates += distant.extract(occurrences)
+        gold = {
+            key for key in corpus_gold_facts(documents)
+            if isinstance(key[2], Entity)
+        }
+        return candidates, gold
+
+    return corpus(181), corpus(182)
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_fusion_beats_single_extractors(
+    benchmark, bench_world, bench_seed_kb, fusion_workload
+):
+    (train_candidates, __), (test_candidates, test_gold) = fusion_workload
+
+    rows = []
+    best_single_f1 = 0.0
+    for extractor in sorted(EXTRACTORS):
+        keys = {c.key() for c in test_candidates if c.extractor == extractor}
+        prf = precision_recall(keys, test_gold)
+        best_single_f1 = max(best_single_f1, prf.f1)
+        rows.append([extractor, prf.precision, prf.recall, prf.f1])
+
+    fusion = KnowledgeFusion(EXTRACTORS, bench_seed_kb)
+    fusion.train(train_candidates, truth=bench_world.facts)
+    fused = fusion.fuse(test_candidates)
+    accepted = fusion.to_store(fused, threshold=0.5)
+    fused_prf = precision_recall({t.spo() for t in accepted}, test_gold)
+    rows.append(["fusion (graph prior)", fused_prf.precision, fused_prf.recall, fused_prf.f1])
+
+    no_prior = KnowledgeFusion(EXTRACTORS, bench_seed_kb, use_graph_prior=False)
+    no_prior.train(train_candidates, truth=bench_world.facts)
+    plain = no_prior.to_store(no_prior.fuse(test_candidates), threshold=0.5)
+    plain_prf = precision_recall({t.spo() for t in plain}, test_gold)
+    rows.append(["fusion (no prior)", plain_prf.precision, plain_prf.recall, plain_prf.f1])
+
+    benchmark(fusion.fuse, test_candidates[:500])
+
+    print_table(
+        "E14: extractor fusion on a held-out corpus",
+        ["signal", "P", "R", "F1"],
+        rows,
+    )
+
+    outcomes = [(f.subject, f.relation, f.object) in test_gold for f in fused]
+    probabilities = [f.probability for f in fused]
+    brier = brier_score(probabilities, outcomes)
+    bins = calibration_bins(probabilities, outcomes, bins=5)
+    print_table(
+        "E14b: calibration (reliability diagram)",
+        ["mean predicted", "observed rate", "n"],
+        [[p, o, n] for p, o, n in bins],
+    )
+    print_table("E14c: summary", ["metric", "value"], [["brier", brier]])
+
+    # Knowledge Vault shape.
+    assert fused_prf.f1 > best_single_f1
+    assert fused_prf.f1 >= plain_prf.f1 - 0.01   # the prior never hurts
+    assert brier < 0.2
+    # Calibration: higher predicted bins see higher observed rates.
+    observed = [o for __, o, __ in bins]
+    assert observed[-1] > observed[0]

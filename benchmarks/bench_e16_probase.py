@@ -1,0 +1,88 @@
+"""E16 — probabilistic taxonomy and conceptualization (extension experiment).
+
+Reproduces the Probase result shape (Wu et al., SIGMOD 2012 — reference
+[32] of the tutorial): harvesting isA evidence with frequencies yields a
+*probabilistic* taxonomy whose P(concept | instance) picks the right sense
+of ambiguous names, and whose set conceptualization names the class behind
+a group of instances — the "text understanding" capability Probase sells.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.corpus import CLASS_NOUNS, class_sentences
+from repro.eval import print_table
+from repro.taxonomy import ProbabilisticTaxonomy
+from repro.taxonomy.hearst import harvest
+
+
+@pytest.fixture(scope="module")
+def harvested(bench_world):
+    rng = random.Random(201)
+    sentences = [
+        s.text for s in class_sentences(bench_world, rng, per_class=10)
+    ]
+    taxonomy = ProbabilisticTaxonomy()
+    taxonomy.add_pairs(harvest(sentences))
+    return taxonomy
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_sense_ranking_and_conceptualization(
+    benchmark, bench_world, harvested
+):
+    lemma_of_class = {cls: noun for cls, (noun, __) in CLASS_NOUNS.items()}
+
+    # Per-instance sense ranking accuracy: does the top concept match the
+    # entity's gold class?
+    correct = total = 0
+    for entity, cls in bench_world.primary_class.items():
+        expected = lemma_of_class.get(cls)
+        if expected is None:
+            continue
+        ranked = harvested.concept_given_instance(bench_world.name[entity])
+        if not ranked:
+            continue
+        total += 1
+        if ranked[0].concept == expected:
+            correct += 1
+    sense_accuracy = correct / total if total else 0.0
+
+    # Set conceptualization: sample instance triples per class.
+    rng = random.Random(202)
+    hits = trials = 0
+    for cls, (noun, __) in CLASS_NOUNS.items():
+        members = [
+            bench_world.name[e] for e in bench_world.entities_of_class(cls)
+            if harvested.concept_given_instance(bench_world.name[e])
+        ]
+        if len(members) < 3:
+            continue
+        for __unused in range(5):
+            sample = rng.sample(members, 3)
+            concepts = harvested.conceptualize(sample)
+            trials += 1
+            if concepts and concepts[0].concept == noun:
+                hits += 1
+    conceptualization_accuracy = hits / trials if trials else 0.0
+
+    benchmark(
+        harvested.conceptualize,
+        [bench_world.name[c] for c in bench_world.cities[:3]],
+    )
+
+    print_table(
+        "E16: probabilistic taxonomy quality",
+        ["measure", "value", "n"],
+        [
+            ["isA pairs harvested", harvested.size(), ""],
+            ["P(concept|instance) top-1 accuracy", sense_accuracy, total],
+            ["set conceptualization top-1 accuracy", conceptualization_accuracy, trials],
+        ],
+    )
+    assert harvested.size() > 100
+    assert sense_accuracy > 0.85
+    assert conceptualization_accuracy > 0.85

@@ -1,0 +1,80 @@
+"""Substrate micro-benchmarks: the database-style numbers of the KB core.
+
+Not tied to a tutorial experiment — these measure the store and query
+engine the way a storage paper would: bulk-load throughput, indexed point
+lookups, pattern scans, and join evaluation, plus the serialization
+round-trip.  Useful as a regression guard for the data structures every
+experiment sits on.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.kb import Pattern, Query, TripleStore, Var
+from repro.kb.rdfio import read_ntriples, write_ntriples
+from repro.world import schema as ws
+
+
+@pytest.fixture(scope="module")
+def triples(bench_world):
+    return list(bench_world.store)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bulk_load(benchmark, triples):
+    store = benchmark(TripleStore, triples)
+    assert len(store) == len({t.spo() for t in triples})
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_point_lookups(benchmark, bench_world, triples):
+    store = bench_world.store
+    keys = [t.spo() for t in triples[:1000]]
+
+    def lookup_all():
+        hits = 0
+        for key in keys:
+            if store.contains_fact(*key):
+                hits += 1
+        return hits
+
+    hits = benchmark(lookup_all)
+    assert hits == len(keys)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_pattern_scan(benchmark, bench_world):
+    store = bench_world.store
+
+    def scan():
+        return sum(1 for __ in store.match(predicate=ws.BORN_IN))
+
+    count = benchmark(scan)
+    assert count == len(bench_world.people)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_two_hop_join(benchmark, bench_world):
+    query = Query(
+        [
+            Pattern(Var("p"), ws.BORN_IN, Var("c")),
+            Pattern(Var("c"), ws.LOCATED_IN, Var("k")),
+        ]
+    )
+    results = benchmark(query.run, bench_world.store)
+    assert len(results) == len(bench_world.people)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_serialization_roundtrip(benchmark, bench_world):
+    def roundtrip():
+        buffer = io.StringIO()
+        write_ntriples(bench_world.store, buffer)
+        buffer.seek(0)
+        return sum(1 for __ in read_ntriples(buffer))
+
+    count = benchmark(roundtrip)
+    assert count == len(bench_world.store)

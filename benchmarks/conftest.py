@@ -1,0 +1,67 @@
+"""Shared workloads for the E1-E12 benchmark harnesses.
+
+Benchmarks use a larger world than the unit tests; everything is seeded so
+the printed tables are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_wiki, synthesize
+from repro.extraction import corpus_occurrences, resolver_from_aliases
+from repro.kb import Entity, TripleStore
+from repro.world import WorldConfig, generate_world
+
+BENCH_WORLD_CONFIG = WorldConfig(
+    seed=101,
+    n_countries=10,
+    n_cities=40,
+    n_universities=14,
+    n_companies=28,
+    n_people=200,
+    ambiguity=0.5,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return generate_world(BENCH_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_wiki(bench_world):
+    return build_wiki(bench_world)
+
+
+@pytest.fixture(scope="session")
+def bench_documents(bench_world):
+    return synthesize(
+        bench_world,
+        CorpusConfig(seed=102, mentions_per_fact=1.5, p_short_alias=0.1),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_sentences(bench_documents):
+    return [s.text for d in bench_documents for s in d.sentences]
+
+
+@pytest.fixture(scope="session")
+def bench_resolver(bench_world):
+    return resolver_from_aliases(bench_world.aliases)
+
+
+@pytest.fixture(scope="session")
+def bench_occurrences(bench_sentences, bench_resolver):
+    return corpus_occurrences(bench_sentences, bench_resolver)
+
+
+@pytest.fixture(scope="session")
+def bench_seed_kb(bench_world):
+    import random
+
+    rng = random.Random(103)
+    facts = [t for t in bench_world.facts if isinstance(t.object, Entity)]
+    rng.shuffle(facts)
+    return TripleStore(facts[: len(facts) // 2])

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Entity linkage: align two knowledge resources and merge them.
+
+The Web of Linked Data (tutorial sections 1 and 4) rests on owl:sameAs
+links between independently built KBs.  This script simulates the problem:
+two snapshots of the same underlying world — one clean, one with noisy
+names, missing facts, and foreign identifiers — are aligned with blocking
++ the graph-propagation matcher, turned into owl:sameAs triples, and
+merged into one canonicalized KB.
+
+Run:  python examples/link_two_kbs.py
+"""
+
+from repro.eval import print_table
+from repro.kb import TripleStore, canonicalize
+from repro.linkage import (
+    GraphMatcher,
+    StringMatcher,
+    blocking_recall,
+    key_blocking,
+    make_linkage_task,
+    pair_prf,
+    pairs_to_sameas,
+)
+from repro.world import WorldConfig, generate_world
+
+
+def main() -> None:
+    world = generate_world(WorldConfig(seed=7))
+    task = make_linkage_task(world, seed=11, name_noise=0.4, fact_dropout=0.3)
+    print(
+        f"Side A: {len(task.side_a)} records   "
+        f"Side B: {len(task.side_b)} records (noisy names, 30% facts missing)"
+    )
+    print("Example noisy pairs:")
+    for a, b in sorted(task.gold, key=lambda p: p[0].id)[:5]:
+        print(f"  {task.side_a[a].name!r:30} <-> {task.side_b[b].name!r}")
+
+    blocked = key_blocking(task.side_a, task.side_b)
+    print(
+        f"\nBlocking: {len(blocked.pairs)} candidate pairs "
+        f"({blocked.reduction_ratio:.1%} of the pair space pruned, "
+        f"gold recall {blocking_recall(blocked, task.gold):.3f})"
+    )
+
+    rows = []
+    matchers = [
+        ("string threshold", StringMatcher(threshold=0.9)),
+        ("graph propagation", GraphMatcher()),
+    ]
+    best_matches = None
+    for label, matcher in matchers:
+        matches = matcher.match(blocked.pairs, task.side_a, task.side_b)
+        prf = pair_prf([m.pair for m in matches], task.gold)
+        rows.append([label, len(matches), prf.precision, prf.recall, prf.f1])
+        if label == "graph propagation":
+            best_matches = matches
+    print_table("Matcher comparison", ["method", "matches", "P", "R", "F1"], rows)
+
+    # Merge: sameAs triples + canonicalization onto one identifier space.
+    from repro.kb import Relation, Triple, ns, string_literal
+
+    sameas = pairs_to_sameas(best_matches)
+    merged = TripleStore()
+    for side in (task.side_a, task.side_b):
+        for record in side.values():
+            merged.add(
+                Triple(record.entity, ns.PREF_LABEL, string_literal(record.name))
+            )
+            for relation, neighbors in record.neighbors.items():
+                for neighbor in neighbors:
+                    merged.add(
+                        Triple(record.entity, Relation(f"rel:{relation}"), neighbor)
+                    )
+    before = len(merged.entities())
+    merged.merge(sameas)
+    unified = canonicalize(merged)
+    after = len(unified.entities())
+    print(
+        f"Merged KB: {before} entities before linking, "
+        f"{after} after canonicalizing {len(sameas)} owl:sameAs links."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small knowledge base, query it, save and reload it.
+
+Walks the SPO data model from the tutorial's section 2: create entities and
+relations, assert facts (with confidence and temporal scope), run
+conjunctive queries, apply taxonomy reasoning, and round-trip the store
+through the line serialization format.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kb import (
+    Entity,
+    Pattern,
+    Query,
+    Relation,
+    Taxonomy,
+    TimeSpan,
+    Triple,
+    TripleStore,
+    Var,
+    ns,
+    save,
+    load,
+    schema_triples,
+    string_literal,
+)
+
+
+def main() -> None:
+    # --- terms -----------------------------------------------------------
+    person = Entity("cls:person")
+    company = Entity("cls:company")
+    city = Entity("cls:city")
+    jobs = Entity("demo:Steve_Jobs")
+    apple = Entity("demo:Apple")
+    sf = Entity("demo:San_Francisco")
+    founded = Relation("demo:founded")
+    born_in = Relation("demo:bornIn")
+    ceo_of = Relation("demo:ceoOf")
+
+    # --- build the store ---------------------------------------------------
+    kb = TripleStore()
+    kb.add_all(schema_triples(born_in, domain=person, range_=city, functional=True))
+    kb.add_all(schema_triples(founded, domain=person, range_=company))
+    kb.add(Triple(jobs, ns.TYPE, person))
+    kb.add(Triple(apple, ns.TYPE, company))
+    kb.add(Triple(sf, ns.TYPE, city))
+    kb.add(Triple(jobs, ns.LABEL, string_literal("Steve Jobs", "en")))
+    kb.add(Triple(jobs, born_in, sf, confidence=0.98, source="wiki_Jobs"))
+    kb.add(Triple(jobs, founded, apple, confidence=0.95))
+    # A fact that only held during a timespan:
+    kb.add(Triple(jobs, ceo_of, apple, scope=TimeSpan(1997, 2011)))
+
+    print(f"Store: {kb}")
+    print(f"Labels of Jobs: {kb.labels_of(jobs)}")
+
+    # --- pattern matching ---------------------------------------------------
+    print("\nAll facts about Steve Jobs:")
+    for triple in kb.match(subject=jobs):
+        print("  ", triple, f"(conf={triple.confidence})")
+
+    # --- temporal reasoning --------------------------------------------------
+    ceo_fact = kb.get(jobs, ceo_of, apple)
+    print(f"\nWas Jobs CEO in 2005? {ceo_fact.holds_in(2005)}")
+    print(f"Was Jobs CEO in 1990? {ceo_fact.holds_in(1990)}")
+
+    # --- conjunctive queries -------------------------------------------------
+    query = Query(
+        [
+            Pattern(Var("p"), founded, Var("c")),
+            Pattern(Var("p"), born_in, Var("where")),
+        ]
+    )
+    print("\nWho founded what, and where were they born?")
+    for binding in query.run(kb):
+        print(f"  {binding['p']} founded {binding['c']}, born in {binding['where']}")
+
+    # --- taxonomy reasoning ---------------------------------------------------
+    taxonomy = Taxonomy(kb)
+    print(f"\nJobs is a person? {taxonomy.is_instance_of(jobs, person)}")
+    print(f"bornIn is functional? {taxonomy.is_functional(born_in)}")
+
+    # --- serialization ----------------------------------------------------------
+    path = "/tmp/quickstart_kb.nt"
+    count = save(kb, path)
+    reloaded = load(path)
+    print(f"\nSaved {count} triples to {path}; reloaded {len(reloaded)}.")
+    assert {t.spo() for t in reloaded} == {t.spo() for t in kb}
+    print("Round trip OK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a from-scratch reproduction of the knowledge-base construction
+and analytics landscape surveyed in Suchanek & Weikum, *Knowledge Bases in
+the Age of Big Data Analytics* (PVLDB 7(13), 2014).
+
+Subpackages
+-----------
+``repro.kb``
+    The SPO data model: terms, triples, indexed store, conjunctive queries,
+    taxonomy reasoning, sameAs closure, serialization.
+``repro.world`` / ``repro.corpus``
+    The synthetic ground truth and its rendering into annotated text,
+    a synthetic Wikipedia, and a social-media stream.
+``repro.nlp``
+    The from-scratch NLP stack (tokenizer ... dependency parser).
+``repro.taxonomy``
+    Harvesting entities and classes (category analysis, WordNet
+    integration, Hearst patterns, set expansion).
+``repro.extraction``
+    The fact-harvesting spectrum (patterns, Snowball, dependency paths,
+    distant supervision, DeepDive-style inference, MaxSat consistency,
+    open IE, temporal, multilingual, commonsense, infoboxes).
+``repro.reasoning``
+    Factor graphs + Gibbs, weighted MaxSat, rules, Markov-logic-lite.
+``repro.ned`` / ``repro.linkage``
+    Named entity disambiguation and entity linkage.
+``repro.analytics``
+    Entity tracking, semantic search, template QA.
+``repro.bigdata``
+    Map-reduce engine, frequent sequence mining, MinHash/LSH.
+``repro.pipeline``
+    The end-to-end KB builder.
+"""
+
+__version__ = "0.1.0"
+
+from . import (
+    analytics,
+    bigdata,
+    corpus,
+    eval,
+    extraction,
+    kb,
+    linkage,
+    ml,
+    ned,
+    nlp,
+    pipeline,
+    reasoning,
+    taxonomy,
+    world,
+)
+
+__all__ = [
+    "analytics",
+    "bigdata",
+    "corpus",
+    "eval",
+    "extraction",
+    "kb",
+    "linkage",
+    "ml",
+    "ned",
+    "nlp",
+    "pipeline",
+    "reasoning",
+    "taxonomy",
+    "world",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Knowledge for big data: tracking, search, question answering (section 4)."""
+
+from .sentiment import classify_sentiment, sentiment_value
+from .tracking import METHODS, ProductTracker, TrackingResult, volume_correlation
+from .search import EntitySearch, SearchHit
+from .qa import Answer, TemplateQA, supported_questions
+from .timeline import TimelineEvent, concurrent_events, events_in_year, timeline_of
+from .hybrid_qa import HybridAnswer, HybridQA
+from .summarize import EntitySummarizer, ScoredSentence
+
+__all__ = [
+    "classify_sentiment",
+    "sentiment_value",
+    "METHODS",
+    "ProductTracker",
+    "TrackingResult",
+    "volume_correlation",
+    "EntitySearch",
+    "SearchHit",
+    "Answer",
+    "TemplateQA",
+    "supported_questions",
+    "TimelineEvent",
+    "concurrent_events",
+    "events_in_year",
+    "timeline_of",
+    "HybridAnswer",
+    "HybridQA",
+    "EntitySummarizer",
+    "ScoredSentence",
+]

@@ -1,0 +1,116 @@
+"""Hybrid question answering: KB lookup with text-evidence fallback.
+
+IBM Watson (tutorial section 1) famously combined curated knowledge with
+evidence scored directly over text.  This module implements that
+two-tier recipe on our substrates: a question first goes to the KB
+(:class:`~repro.analytics.qa.TemplateQA`); if the KB has no answer, the
+corpus is consulted — candidate answers are extracted from the sentences
+mentioning the question entity and scored by how many independent
+sentences support them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kb import Entity, Relation, TripleStore
+from ..extraction.occurrences import corpus_occurrences
+from ..extraction.patterns import PatternExtractor
+from ..extraction.resolution import NameResolver
+from .qa import TemplateQA, _TEMPLATES
+
+
+@dataclass(frozen=True, slots=True)
+class HybridAnswer:
+    """An answer plus which tier produced it."""
+
+    text: str
+    confidence: float
+    source: str  # "kb" | "text"
+
+
+class HybridQA:
+    """Two-tier QA: structured lookup first, text evidence second."""
+
+    def __init__(
+        self,
+        kb: TripleStore,
+        resolver: NameResolver,
+        corpus_sentences: Iterable[str],
+    ) -> None:
+        self.kb = kb
+        self.resolver = resolver
+        self._template_qa = TemplateQA(kb, resolver)
+        self._evidence = self._index_corpus(list(corpus_sentences))
+
+    def _index_corpus(
+        self, sentences: list[str]
+    ) -> dict[tuple[Entity, Relation, str], Counter]:
+        """(subject, relation, direction) -> Counter of answer entities.
+
+        Candidates come from pattern extraction over the corpus; each
+        extracted witness is one vote of textual evidence.
+        """
+        occurrences = corpus_occurrences(sentences, self.resolver)
+        candidates = PatternExtractor().extract(occurrences)
+        index: dict[tuple[Entity, Relation, str], Counter] = defaultdict(Counter)
+        for candidate in candidates:
+            if not isinstance(candidate.object, Entity):
+                continue
+            index[(candidate.subject, candidate.relation, "forward")][
+                candidate.object
+            ] += 1
+            index[(candidate.object, candidate.relation, "inverse")][
+                candidate.subject
+            ] += 1
+        return index
+
+    # ---------------------------------------------------------------- answer
+
+    def answer(self, question: str) -> list[HybridAnswer]:
+        """KB answers when available, text-evidence answers otherwise."""
+        kb_answers = self._template_qa.answer(question)
+        if kb_answers:
+            return [
+                HybridAnswer(a.text, a.confidence, "kb") for a in kb_answers
+            ]
+        parsed = self._parse(question)
+        if parsed is None:
+            return []
+        entity, relation, direction = parsed
+        votes = self._evidence.get((entity, relation, direction))
+        if not votes:
+            return []
+        total = sum(votes.values())
+        answers = []
+        for candidate, count in votes.most_common():
+            name = self._name_of(candidate)
+            answers.append(
+                HybridAnswer(name, count / (total + 1), "text")
+            )
+        return answers
+
+    def _parse(self, question: str) -> Optional[tuple[Entity, Relation, str]]:
+        question = question.strip()
+        for pattern, relation, direction in _TEMPLATES:
+            match = pattern.match(question)
+            if match is None:
+                continue
+            entity = self.resolver.resolve(match.group("x").strip())
+            if entity is None:
+                return None
+            return entity, relation, direction
+        return None
+
+    def _name_of(self, entity: Entity) -> str:
+        from ..kb import Literal, ns
+
+        for literal in self.kb.objects(entity, ns.PREF_LABEL):
+            if isinstance(literal, Literal):
+                return literal.value
+        labels = self.kb.labels_of(entity)
+        if labels:
+            return labels[0]
+        return entity.local_name.replace("_", " ")

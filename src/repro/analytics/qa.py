@@ -1,0 +1,144 @@
+"""Template-based question answering over the knowledge base.
+
+Deep question answering over entities and relations is one of the
+knowledge-centric services the tutorial motivates (IBM Watson being the
+flagship example).  This module implements the classic template layer:
+question patterns compile to KB lookups, entity mentions in the question
+resolve through the name dictionary, and answers come back as entity
+labels or literal values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kb import Entity, Literal, Relation, TripleStore, ns
+from ..world import schema as ws
+from ..extraction.resolution import NameResolver
+
+
+@dataclass(frozen=True, slots=True)
+class Answer:
+    """One answer with its supporting fact."""
+
+    text: str
+    entity: Optional[Entity]
+    relation: Relation
+    confidence: float
+
+
+#: (question regex, relation, direction). Forward: answer = object of
+#: (question entity, relation, ?); inverse: answer = subject of (?, relation,
+#: question entity).
+_TEMPLATES: tuple[tuple[re.Pattern, Relation, str], ...] = (
+    (re.compile(r"^where was (?P<x>.+) born\?$", re.I), ws.BORN_IN, "forward"),
+    (re.compile(r"^when was (?P<x>.+) born\?$", re.I), ws.BIRTH_YEAR, "forward"),
+    (re.compile(r"^where did (?P<x>.+) die\?$", re.I), ws.DIED_IN, "forward"),
+    (re.compile(r"^who founded (?P<x>.+)\?$", re.I), ws.FOUNDED, "inverse"),
+    (re.compile(r"^what did (?P<x>.+) found\?$", re.I), ws.FOUNDED, "forward"),
+    (re.compile(r"^who is the ceo of (?P<x>.+)\?$", re.I), ws.CEO_OF, "inverse"),
+    (re.compile(r"^who is (?P<x>.+) married to\?$", re.I), ws.MARRIED_TO, "forward"),
+    (re.compile(r"^where did (?P<x>.+) study\?$", re.I), ws.STUDIED_AT, "forward"),
+    (re.compile(r"^where does (?P<x>.+) work\?$", re.I), ws.WORKS_AT, "forward"),
+    (re.compile(r"^what is the capital of (?P<x>.+)\?$", re.I), ws.CAPITAL_OF, "inverse"),
+    (re.compile(r"^(?:in )?which country is (?P<x>.+)\?$", re.I), ws.LOCATED_IN, "forward"),
+    (re.compile(r"^where is (?P<x>.+) headquartered\?$", re.I), ws.HEADQUARTERED_IN, "forward"),
+    (re.compile(r"^who wrote (?P<x>.+)\?$", re.I), ws.WROTE, "inverse"),
+    (re.compile(r"^which products did (?P<x>.+) release\?$", re.I), ws.CREATED_PRODUCT, "forward"),
+    (re.compile(r"^which prizes did (?P<x>.+) win\?$", re.I), ws.WON_PRIZE, "forward"),
+)
+
+
+#: Temporal templates: (regex with <x> and <y>, relation, direction).
+#: Answers are filtered to facts whose timespan covers the asked year —
+#: the "temporal scope of facts" payoff of section 3's temporal harvesting.
+_TEMPORAL_TEMPLATES: tuple[tuple[re.Pattern, Relation, str], ...] = (
+    (
+        re.compile(r"^who was the ceo of (?P<x>.+) in (?P<y>\d{4})\?$", re.I),
+        ws.CEO_OF,
+        "inverse",
+    ),
+    (
+        re.compile(r"^where did (?P<x>.+) work in (?P<y>\d{4})\?$", re.I),
+        ws.WORKS_AT,
+        "forward",
+    ),
+    (
+        re.compile(r"^who was (?P<x>.+) married to in (?P<y>\d{4})\?$", re.I),
+        ws.MARRIED_TO,
+        "forward",
+    ),
+)
+
+
+class TemplateQA:
+    """Answer natural-language questions by template matching."""
+
+    def __init__(self, kb: TripleStore, resolver: NameResolver) -> None:
+        self.kb = kb
+        self.resolver = resolver
+
+    def answer(self, question: str) -> list[Answer]:
+        """All answers the KB supports for a question (empty if none)."""
+        question = question.strip()
+        for pattern, relation, direction in _TEMPORAL_TEMPLATES:
+            match = pattern.match(question)
+            if match is None:
+                continue
+            surface = match.group("x").strip()
+            entity = self.resolver.resolve(surface)
+            if entity is None:
+                return []
+            year = int(match.group("y"))
+            return self._lookup(entity, relation, direction, year=year)
+        for pattern, relation, direction in _TEMPLATES:
+            match = pattern.match(question)
+            if match is None:
+                continue
+            surface = match.group("x").strip()
+            entity = self.resolver.resolve(surface)
+            if entity is None:
+                return []
+            return self._lookup(entity, relation, direction)
+        return []
+
+    def _lookup(
+        self,
+        entity: Entity,
+        relation: Relation,
+        direction: str,
+        year: Optional[int] = None,
+    ) -> list[Answer]:
+        answers = []
+        if direction == "forward":
+            matched = self.kb.match(subject=entity, predicate=relation)
+            pick = lambda t: t.object
+        else:
+            matched = self.kb.match(predicate=relation, obj=entity)
+            pick = lambda t: t.subject
+        for triple in matched:
+            if year is not None and not triple.holds_in(year):
+                continue
+            answers.append(self._to_answer(pick(triple), relation, triple.confidence))
+        answers.sort(key=lambda a: (-a.confidence, a.text))
+        return answers
+
+    def _to_answer(self, term, relation: Relation, confidence: float) -> Answer:
+        if isinstance(term, Entity):
+            labels = self.kb.labels_of(term) or [term.local_name.replace("_", " ")]
+            preferred = None
+            for literal in self.kb.objects(term, ns.PREF_LABEL):
+                if isinstance(literal, Literal):
+                    preferred = literal.value
+                    break
+            return Answer(preferred or labels[0], term, relation, confidence)
+        if isinstance(term, Literal):
+            return Answer(term.value, None, relation, confidence)
+        return Answer(str(term), None, relation, confidence)
+
+
+def supported_questions() -> list[str]:
+    """Human-readable descriptions of the supported question templates."""
+    return [pattern.pattern for pattern, __, __ in _TEMPLATES]

@@ -1,0 +1,35 @@
+"""A lexicon-based sentiment classifier for short social posts."""
+
+from __future__ import annotations
+
+from ..nlp.tokenizer import iter_token_texts
+
+POSITIVE_WORDS = frozenset(
+    {"love", "amazing", "best", "worth", "great", "awesome", "forever",
+     "works", "upgraded", "finally"}
+)
+NEGATIVE_WORDS = frozenset(
+    {"overheating", "cracked", "regretting", "slow", "dies", "broke",
+     "worst", "hate", "terrible", "problem"}
+)
+
+
+def classify_sentiment(text: str) -> str:
+    """"pos" | "neg" | "neu" by lexicon vote."""
+    positive = negative = 0
+    for token in iter_token_texts(text):
+        lower = token.lower()
+        if lower in POSITIVE_WORDS:
+            positive += 1
+        elif lower in NEGATIVE_WORDS:
+            negative += 1
+    if positive > negative:
+        return "pos"
+    if negative > positive:
+        return "neg"
+    return "neu"
+
+
+def sentiment_value(label: str) -> float:
+    """pos -> +1, neg -> -1, neu -> 0."""
+    return {"pos": 1.0, "neg": -1.0}.get(label, 0.0)

@@ -1,0 +1,107 @@
+"""Entity timelines from temporally scoped facts (the YAGO2 payoff).
+
+YAGO2 (reference [15] of the tutorial) anchors facts in time so that an
+entity's life can be laid out as a timeline: born, studied, positions
+held, marriages, prizes, death.  This module assembles that view from any
+store whose facts carry year literals and :class:`TimeSpan` scopes, and
+answers the classic temporal-join question "what else was true while X
+held position P?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kb import Entity, Literal, Relation, TimeSpan, TripleStore, ns
+from ..world import schema as ws
+
+#: Relations rendered as point events from year literals.
+_POINT_ATTRIBUTES: tuple[tuple[Relation, str], ...] = (
+    (ws.BIRTH_YEAR, "born"),
+    (ws.DEATH_YEAR, "died"),
+)
+
+#: Scoped relations rendered as interval events.
+_INTERVAL_LABELS: dict[Relation, str] = {
+    ws.WORKS_AT: "worked at",
+    ws.CEO_OF: "led",
+    ws.MARRIED_TO: "married to",
+    ws.WON_PRIZE: "won",
+    ws.LIVES_IN: "lived in",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """One dated event in an entity's life."""
+
+    span: TimeSpan
+    label: str
+    target: Optional[Entity]
+    target_name: str
+
+    def render(self) -> str:
+        begin = "?" if self.span.begin is None else str(self.span.begin)
+        if self.span.is_point:
+            when = begin
+        else:
+            end = "" if self.span.end is None else str(self.span.end)
+            when = f"{begin}-{end}"
+        suffix = f" {self.target_name}" if self.target_name else ""
+        return f"{when}: {self.label}{suffix}"
+
+
+def _name_of(store: TripleStore, entity: Entity) -> str:
+    for literal in store.objects(entity, ns.PREF_LABEL):
+        if isinstance(literal, Literal):
+            return literal.value
+    labels = store.labels_of(entity, lang="en") or store.labels_of(entity)
+    return labels[0] if labels else entity.local_name.replace("_", " ")
+
+
+def timeline_of(store: TripleStore, entity: Entity) -> list[TimelineEvent]:
+    """The dated events of an entity, chronologically ordered."""
+    events: list[TimelineEvent] = []
+    for relation, label in _POINT_ATTRIBUTES:
+        for triple in store.match(subject=entity, predicate=relation):
+            if isinstance(triple.object, Literal):
+                year = int(triple.object.value)
+                events.append(
+                    TimelineEvent(TimeSpan(year, year), label, None, "")
+                )
+    for relation, label in _INTERVAL_LABELS.items():
+        for triple in store.match(subject=entity, predicate=relation):
+            if triple.scope is None or not isinstance(triple.object, Entity):
+                continue
+            events.append(
+                TimelineEvent(
+                    triple.scope,
+                    label,
+                    triple.object,
+                    _name_of(store, triple.object),
+                )
+            )
+    events.sort(
+        key=lambda e: (
+            e.span.begin if e.span.begin is not None else -10_000,
+            e.label,
+            e.target_name,
+        )
+    )
+    return events
+
+
+def concurrent_events(
+    store: TripleStore, entity: Entity, span: TimeSpan
+) -> list[TimelineEvent]:
+    """The entity's events whose spans overlap a given interval."""
+    return [
+        event for event in timeline_of(store, entity)
+        if event.span.overlaps(span)
+    ]
+
+
+def events_in_year(store: TripleStore, entity: Entity, year: int) -> list[TimelineEvent]:
+    """The entity's events that held in a specific year."""
+    return concurrent_events(store, entity, TimeSpan(year, year))

@@ -1,0 +1,104 @@
+"""MinHash signatures and LSH banding for near-duplicate detection.
+
+Entity linkage at web scale cannot compare all pairs; MinHash/LSH turns the
+quadratic candidate-generation problem into hash-bucket lookups while
+approximately preserving Jaccard similarity.  Used as the scalable blocking
+option in the linkage package (E10) and for corpus near-dup detection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from functools import lru_cache
+
+from ..ml.features import stable_hash
+
+_MERSENNE = (1 << 61) - 1
+
+
+@lru_cache(maxsize=32)
+def _hash_coefficients(num_hashes: int, seed: int) -> tuple[tuple[int, int], ...]:
+    import random
+
+    rng = random.Random(seed)
+    return tuple(
+        (rng.randrange(1, _MERSENNE), rng.randrange(0, _MERSENNE))
+        for __ in range(num_hashes)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MinHasher:
+    """A family of ``num_hashes`` universal hash functions over item hashes."""
+
+    num_hashes: int = 64
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.num_hashes < 1:
+            raise ValueError("num_hashes must be at least 1")
+
+    def _coefficients(self) -> tuple[tuple[int, int], ...]:
+        return _hash_coefficients(self.num_hashes, self.seed)
+
+    def signature(self, items: Iterable[Hashable]) -> tuple[int, ...]:
+        """The MinHash signature of a set of items."""
+        hashes = [stable_hash(repr(item)) for item in set(items)]
+        if not hashes:
+            return tuple([_MERSENNE] * self.num_hashes)
+        signature = []
+        for a, b in self._coefficients():
+            signature.append(min((a * h + b) % _MERSENNE for h in hashes))
+        return tuple(signature)
+
+    @staticmethod
+    def estimate_jaccard(sig_a: Sequence[int], sig_b: Sequence[int]) -> float:
+        """Estimated Jaccard similarity from two signatures."""
+        if len(sig_a) != len(sig_b) or not sig_a:
+            raise ValueError("signatures must be equal-length and non-empty")
+        agree = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+        return agree / len(sig_a)
+
+
+def jaccard(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Exact Jaccard similarity of two item collections."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def lsh_candidate_pairs(
+    signatures: dict[Hashable, Sequence[int]],
+    bands: int = 16,
+) -> set[tuple[Hashable, Hashable]]:
+    """Candidate pairs whose signatures collide in at least one LSH band."""
+    if not signatures:
+        return set()
+    length = len(next(iter(signatures.values())))
+    if bands < 1 or length % bands != 0:
+        raise ValueError(f"bands must divide the signature length {length}")
+    rows = length // bands
+    pairs: set[tuple[Hashable, Hashable]] = set()
+    for band in range(bands):
+        buckets: dict[tuple, list[Hashable]] = defaultdict(list)
+        for key, signature in signatures.items():
+            chunk = tuple(signature[band * rows:(band + 1) * rows])
+            buckets[chunk].append(key)
+        for members in buckets.values():
+            members = sorted(members, key=repr)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    pairs.add((members[i], members[j]))
+    return pairs
+
+
+def shingles(text: str, size: int = 3) -> set[str]:
+    """Character shingles of a string (lowercased)."""
+    lowered = text.lower()
+    if len(lowered) <= size:
+        return {lowered}
+    return {lowered[i:i + size] for i in range(len(lowered) - size + 1)}

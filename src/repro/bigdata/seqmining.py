@@ -1,0 +1,104 @@
+"""Frequent sequence mining with PrefixSpan.
+
+Open information extraction "makes clever use of big-data techniques like
+frequent sequence mining" (tutorial section 3): the frequent token
+subsequences of relation phrases reveal the canonical patterns ("was born
+in", "is the capital of") around which synonymous phrasings cluster.  This
+is a standard PrefixSpan implementation over projected databases,
+restricted to *contiguous* or *gappy* subsequences as configured.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable, Iterable, Sequence
+
+Item = Hashable
+Sequence_ = Sequence[Item]
+
+
+def frequent_sequences(
+    sequences: Iterable[Sequence_],
+    min_support: int = 2,
+    max_length: int = 5,
+    contiguous: bool = False,
+) -> dict[tuple, int]:
+    """All subsequences with support >= ``min_support``, up to ``max_length``.
+
+    ``contiguous`` restricts mining to n-grams (no gaps), which is what the
+    relation-phrase normalizer wants; the default allows gaps as in classic
+    PrefixSpan.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    database = [tuple(s) for s in sequences]
+    if contiguous:
+        return _frequent_ngrams(database, min_support, max_length)
+    result: dict[tuple, int] = {}
+    # Projected database: list of (sequence_index, start_position).
+    initial = [(i, 0) for i in range(len(database))]
+    _prefixspan(database, (), initial, min_support, max_length, result)
+    return result
+
+
+def _prefixspan(database, prefix, projections, min_support, max_length, result):
+    if len(prefix) >= max_length:
+        return
+    # Count items occurring after each projection point, once per sequence.
+    support: Counter = Counter()
+    for seq_index, start in projections:
+        seen = set()
+        for item in database[seq_index][start:]:
+            if item not in seen:
+                support[item] += 1
+                seen.add(item)
+    for item, count in sorted(support.items(), key=lambda kv: repr(kv[0])):
+        if count < min_support:
+            continue
+        new_prefix = prefix + (item,)
+        result[new_prefix] = count
+        new_projections = []
+        for seq_index, start in projections:
+            sequence = database[seq_index]
+            for position in range(start, len(sequence)):
+                if sequence[position] == item:
+                    new_projections.append((seq_index, position + 1))
+                    break
+        _prefixspan(database, new_prefix, new_projections, min_support, max_length, result)
+
+
+def _frequent_ngrams(database, min_support, max_length) -> dict[tuple, int]:
+    counts: Counter = Counter()
+    for sequence in database:
+        seen_in_sequence = set()
+        for length in range(1, max_length + 1):
+            for start in range(0, len(sequence) - length + 1):
+                gram = sequence[start:start + length]
+                if gram not in seen_in_sequence:
+                    counts[gram] += 1
+                    seen_in_sequence.add(gram)
+    return {gram: count for gram, count in counts.items() if count >= min_support}
+
+
+def closed_sequences(frequent: dict[tuple, int]) -> dict[tuple, int]:
+    """The closed subset: sequences with no super-sequence of equal support."""
+    by_length = defaultdict(list)
+    for sequence, support in frequent.items():
+        by_length[len(sequence)].append((sequence, support))
+    closed = {}
+    for sequence, support in frequent.items():
+        dominated = False
+        for longer, longer_support in by_length.get(len(sequence) + 1, ()):
+            if longer_support == support and _is_subsequence(sequence, longer):
+                dominated = True
+                break
+        if not dominated:
+            closed[sequence] = support
+    return closed
+
+
+def _is_subsequence(short: tuple, long: tuple) -> bool:
+    it = iter(long)
+    return all(item in it for item in short)

@@ -1,0 +1,139 @@
+"""The command-line interface: build, inspect, query, and ask.
+
+Four subcommands expose the end-to-end system without writing Python::
+
+    python -m repro build --seed 7 --people 120 --out kb.nt
+    python -m repro stats --kb kb.nt
+    python -m repro query --kb kb.nt --subject world:Viktor_Adler
+    python -m repro ask --kb kb.nt "Where was Viktor Adler born?"
+
+``build`` generates a synthetic world + encyclopedia and runs the full
+harvesting pipeline; the other commands operate on any saved KB file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import Optional, Sequence
+
+from .analytics.qa import TemplateQA
+from .corpus import build_wiki
+from .extraction.resolution import NameResolver
+from .kb import Entity, Literal, Relation, load, ns, save
+from .pipeline import KnowledgeBaseBuilder
+from .world import WorldConfig, generate_world
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Knowledge-base construction and analytics toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build", help="generate a world and harvest a knowledge base from it"
+    )
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--people", type=int, default=120)
+    build.add_argument("--out", required=True, help="output .nt file")
+
+    stats = commands.add_parser("stats", help="summarize a saved knowledge base")
+    stats.add_argument("--kb", required=True)
+
+    query = commands.add_parser("query", help="match triples in a saved KB")
+    query.add_argument("--kb", required=True)
+    query.add_argument("--subject", help="subject id, e.g. world:Viktor_Adler")
+    query.add_argument("--predicate", help="relation id, e.g. rel:bornIn")
+    query.add_argument("--object", dest="object_", help="object entity id")
+    query.add_argument("--limit", type=int, default=20)
+
+    ask = commands.add_parser("ask", help="answer a natural-language question")
+    ask.add_argument("--kb", required=True)
+    ask.add_argument("question", help='e.g. "Where was Viktor Adler born?"')
+
+    return parser
+
+
+def _command_build(args, out) -> int:
+    print(f"Generating world (seed={args.seed}, people={args.people}) ...", file=out)
+    world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
+    wiki = build_wiki(world)
+    print(f"Harvesting from {len(wiki.pages)} pages ...", file=out)
+    kb, report = KnowledgeBaseBuilder(wiki, aliases=world.aliases).build()
+    count = save(kb, args.out)
+    print(
+        f"Accepted {report.accepted_facts} facts "
+        f"({report.consistency.rejected} rejected by consistency reasoning); "
+        f"wrote {count} triples to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _command_stats(args, out) -> int:
+    kb = load(args.kb)
+    predicates: Counter = Counter()
+    scoped = 0
+    for triple in kb:
+        predicates[triple.predicate.id] += 1
+        if triple.scope is not None:
+            scoped += 1
+    print(f"{len(kb)} triples, {len(kb.entities())} entities, "
+          f"{scoped} temporally scoped", file=out)
+    for predicate, count in predicates.most_common(15):
+        print(f"  {count:>6}  {predicate}", file=out)
+    return 0
+
+
+def _command_query(args, out) -> int:
+    kb = load(args.kb)
+    subject = Entity(args.subject) if args.subject else None
+    predicate = Relation(args.predicate) if args.predicate else None
+    object_ = Entity(args.object_) if args.object_ else None
+    shown = 0
+    for triple in kb.match(subject=subject, predicate=predicate, obj=object_):
+        print(f"  {triple}  (conf={triple.confidence:.2f})", file=out)
+        shown += 1
+        if shown >= args.limit:
+            print(f"  ... (limited to {args.limit})", file=out)
+            break
+    if shown == 0:
+        print("  no matching triples", file=out)
+    return 0
+
+
+def _command_ask(args, out) -> int:
+    kb = load(args.kb)
+    resolver = NameResolver()
+    for triple in kb.match(predicate=ns.PREF_LABEL):
+        if isinstance(triple.object, Literal):
+            resolver.add(triple.object.value, triple.subject, count=5)
+    qa = TemplateQA(kb, resolver)
+    answers = qa.answer(args.question)
+    if not answers:
+        print("no answer", file=out)
+        return 1
+    for answer in answers[:5]:
+        print(f"  {answer.text}  (conf={answer.confidence:.2f})", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "build": _command_build,
+        "stats": _command_stats,
+        "query": _command_query,
+        "ask": _command_ask,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

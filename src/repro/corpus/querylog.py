@@ -1,0 +1,142 @@
+"""A synthetic search-query log (the Biperpedia substrate).
+
+Biperpedia (Gupta et al., PVLDB 2014 — reference [13] of the tutorial)
+discovers class attributes from the patterns users type into a search
+engine: "population of aldrenburg", "nimbus systems ceo", "viktor adler
+birthplace".  Real query streams are proprietary, so this generator
+renders one from the world: entity-attribute queries drawn from a per-
+class gold attribute vocabulary (with frequency skew and misspellings),
+mixed with navigational and noise queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..kb import Entity
+from ..world import World
+from ..world import schema as ws
+
+#: Gold attribute vocabulary per class: the attributes users actually ask
+#: about, with a relative popularity weight.
+GOLD_ATTRIBUTES: dict[Entity, tuple[tuple[str, int], ...]] = {
+    ws.PERSON: (
+        ("age", 10), ("birthplace", 8), ("spouse", 6), ("net worth", 4),
+        ("education", 3), ("height", 2),
+    ),
+    ws.COMPANY: (
+        ("ceo", 10), ("headquarters", 8), ("revenue", 6), ("stock price", 5),
+        ("founder", 4), ("employees", 3),
+    ),
+    ws.CITY: (
+        ("population", 10), ("weather", 8), ("mayor", 4), ("elevation", 2),
+    ),
+    ws.COUNTRY: (
+        ("capital", 10), ("population", 8), ("currency", 5), ("president", 4),
+    ),
+    ws.SMARTPHONE: (
+        ("price", 10), ("release date", 7), ("battery life", 5), ("specs", 4),
+    ),
+}
+
+#: Query templates: attribute-of-entity phrasings.
+_ATTRIBUTE_TEMPLATES = ("{a} of {e}", "{e} {a}", "what is the {a} of {e}")
+
+_NOISE_QUERIES = (
+    "cheap flights", "weather tomorrow", "pasta recipe", "news today",
+    "how to tie a tie", "movie times", "translate hello",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """One logged query with its gold interpretation (None for noise)."""
+
+    text: str
+    entity: Entity | None
+    attribute: str | None
+    frequency: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLogConfig:
+    """Knobs of the log generator."""
+
+    seed: int = 47
+    queries_per_entity: int = 6
+    noise_fraction: float = 0.2
+    misspelling_rate: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise_fraction <= 1.0:
+            raise ValueError("noise_fraction must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class QueryLog:
+    """The generated log."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def texts(self) -> list[str]:
+        """Every query text, expanded by frequency."""
+        expanded = []
+        for record in self.records:
+            expanded.extend([record.text] * record.frequency)
+        return expanded
+
+
+def _misspell(text: str, rng: random.Random) -> str:
+    if len(text) < 5:
+        return text
+    index = rng.randrange(1, len(text) - 2)
+    if text[index] == " " or text[index + 1] == " ":
+        return text
+    return text[:index] + text[index + 1] + text[index] + text[index + 2:]
+
+
+def generate_query_log(world: World, config: QueryLogConfig = QueryLogConfig()) -> QueryLog:
+    """Render an attribute-query log from the world (deterministic)."""
+    rng = random.Random(config.seed)
+    log = QueryLog()
+    class_members = {
+        cls: world.entities_of_class(cls) for cls in GOLD_ATTRIBUTES
+    }
+    class_members[ws.PERSON] = world.people
+    attribute_records = 0
+    for cls, attributes in GOLD_ATTRIBUTES.items():
+        members = class_members.get(cls) or []
+        weights = [w for __, w in attributes]
+        names = [a for a, __ in attributes]
+        for entity in members:
+            entity_name = world.name[entity].lower()
+            for __unused in range(config.queries_per_entity):
+                attribute = rng.choices(names, weights=weights, k=1)[0]
+                template = rng.choice(_ATTRIBUTE_TEMPLATES)
+                text = template.format(a=attribute, e=entity_name)
+                if rng.random() < config.misspelling_rate:
+                    text = _misspell(text, rng)
+                log.records.append(
+                    QueryRecord(
+                        text=text,
+                        entity=entity,
+                        attribute=attribute,
+                        frequency=rng.randint(1, 4),
+                    )
+                )
+                attribute_records += 1
+    noise_count = int(
+        attribute_records * config.noise_fraction / (1 - config.noise_fraction)
+    ) if config.noise_fraction < 1.0 else attribute_records
+    for __unused in range(noise_count):
+        log.records.append(
+            QueryRecord(
+                text=rng.choice(_NOISE_QUERIES),
+                entity=None,
+                attribute=None,
+                frequency=rng.randint(1, 6),
+            )
+        )
+    rng.shuffle(log.records)
+    return log

@@ -1,0 +1,183 @@
+"""A synthetic social-media stream about rival product families.
+
+The tutorial's motivating big-data application (section 4) is tracking and
+comparing two entities in social media over an extended timespan — "the
+Apple iPhone vs Samsung Galaxy families".  This generator produces a
+timestamped stream of short posts about the world's product families with:
+
+* controlled monthly volume trends per family (a rise around each release),
+* sentiment words with a per-family bias that drifts over time,
+* ambiguous mentions ("Nova" may be any generation of the Nova family),
+
+plus gold labels (which product, which family, which sentiment) so the
+tracking application (E12) can be scored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kb import Entity
+from ..world import World
+from ..world import schema as ws
+
+POSITIVE_PHRASES = (
+    "love my new {p}",
+    "the {p} camera is amazing",
+    "finally upgraded to the {p}, totally worth it",
+    "best phone I ever had, the {p} just works",
+    "the {p} battery lasts forever",
+)
+NEGATIVE_PHRASES = (
+    "my {p} keeps overheating",
+    "the {p} screen cracked after a week",
+    "regretting the {p}, so slow",
+    "the {p} battery dies by noon",
+    "{p} update broke everything",
+)
+NEUTRAL_PHRASES = (
+    "just saw an ad for the {p}",
+    "is the {p} worth it?",
+    "comparing the {p} with its rivals",
+    "store had the {p} on display",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Post:
+    """One social-media post with gold labels."""
+
+    post_id: str
+    text: str
+    month: int
+    product: Entity
+    family: str
+    surface: str
+    sentiment: str  # "pos" | "neg" | "neu"
+
+
+@dataclass(frozen=True, slots=True)
+class SocialConfig:
+    """Knobs of the stream generator."""
+
+    seed: int = 23
+    months: int = 24
+    base_posts_per_month: int = 30
+    release_boost: int = 40
+    p_family_alias: float = 0.45
+    start_year: Optional[int] = None  # None: align to the earliest release
+
+    def __post_init__(self) -> None:
+        if self.months < 1:
+            raise ValueError("months must be positive")
+
+
+@dataclass(slots=True)
+class SocialStream:
+    """The generated stream plus its gold per-family trend."""
+
+    posts: list[Post] = field(default_factory=list)
+    families: list[str] = field(default_factory=list)
+    gold_volume: dict[str, list[int]] = field(default_factory=dict)
+    gold_sentiment: dict[str, list[float]] = field(default_factory=dict)
+    start_year: int = 0
+
+
+def generate_stream(world: World, config: SocialConfig = SocialConfig()) -> SocialStream:
+    """Generate a timestamped post stream about the world's product families."""
+    rng = random.Random(config.seed)
+    families: dict[str, list[Entity]] = {}
+    for product in world.products:
+        families.setdefault(world.product_family[product], []).append(product)
+    if not families:
+        raise ValueError("the world has no products; enable product generation")
+
+    release_years = [
+        int(lit.value)
+        for product in world.products
+        for lit in [world.facts.one_object(product, ws.RELEASE_YEAR)]
+        if lit is not None
+    ]
+    start_year = (
+        config.start_year
+        if config.start_year is not None
+        else (min(release_years) if release_years else 2012)
+    )
+    stream = SocialStream(families=sorted(families), start_year=start_year)
+    for family in stream.families:
+        stream.gold_volume[family] = [0] * config.months
+        stream.gold_sentiment[family] = [0.0] * config.months
+
+    release_month: dict[Entity, int] = {}
+    for family, products in families.items():
+        for product in products:
+            year_literal = world.facts.one_object(product, ws.RELEASE_YEAR)
+            if year_literal is None:
+                continue
+            month = (int(year_literal.value) - start_year) * 12 + rng.randint(0, 11)
+            if 0 <= month < config.months:
+                release_month[product] = month
+
+    post_counter = 0
+    sentiment_sums: dict[str, list[float]] = {
+        family: [0.0] * config.months for family in stream.families
+    }
+    for month in range(config.months):
+        for family_index, family in enumerate(stream.families):
+            products = families[family]
+            volume = config.base_posts_per_month
+            for product in products:
+                released = release_month.get(product)
+                if released is not None and 0 <= month - released < 3:
+                    volume += config.release_boost // (1 + month - released)
+            # A slow sentiment drift that differs per family, so the tracked
+            # series have a shape worth comparing.
+            drift = 0.25 * (1 if family_index % 2 == 0 else -1) * (month / config.months)
+            base_positive = 0.45 + drift
+            for __ in range(volume):
+                available = [p for p in products
+                             if release_month.get(p, -1) <= month]
+                pool = available or products
+                # Chatter skews heavily toward the newest released
+                # generation — the regularity the KB-backed resolver exploits.
+                newest = max(pool, key=lambda p: release_month.get(p, -1))
+                weights = [4 if p == newest else 1 for p in pool]
+                product = rng.choices(pool, weights=weights, k=1)[0]
+                roll = rng.random()
+                if roll < base_positive:
+                    sentiment, phrases = "pos", POSITIVE_PHRASES
+                elif roll < base_positive + 0.3:
+                    sentiment, phrases = "neg", NEGATIVE_PHRASES
+                else:
+                    sentiment, phrases = "neu", NEUTRAL_PHRASES
+                if rng.random() < config.p_family_alias:
+                    surface = family
+                else:
+                    surface = world.name[product]
+                text = rng.choice(phrases).format(p=surface)
+                stream.posts.append(
+                    Post(
+                        post_id=f"post_{post_counter:06d}",
+                        text=text,
+                        month=month,
+                        product=product,
+                        family=family,
+                        surface=surface,
+                        sentiment=sentiment,
+                    )
+                )
+                post_counter += 1
+                stream.gold_volume[family][month] += 1
+                sentiment_sums[family][month] += (
+                    1.0 if sentiment == "pos" else -1.0 if sentiment == "neg" else 0.0
+                )
+    for family in stream.families:
+        for month in range(config.months):
+            count = stream.gold_volume[family][month]
+            stream.gold_sentiment[family][month] = (
+                sentiment_sums[family][month] / count if count else 0.0
+            )
+    rng.shuffle(stream.posts)
+    return stream

@@ -1,0 +1,299 @@
+"""Rendering world facts into an annotated text corpus.
+
+This module is the stand-in for the Web: it turns the ground-truth world
+into documents whose sentences express facts through the paraphrase
+templates, with three controlled noise sources:
+
+* *false statements* — with probability ``p_false`` a sentence asserts a
+  corrupted fact (object swapped within its class); these create exactly the
+  functional/type conflicts consistency reasoning (E4) must clean up;
+* *distractor sentences* — entity co-occurrences with no underlying relation,
+  which cap the precision of naive co-occurrence extraction;
+* *ambiguous surface forms* — with probability ``p_short_alias`` an entity is
+  mentioned by a short, ambiguous alias (surname, family name), which is what
+  makes NED (E9) non-trivial.
+
+Every sentence carries gold mention spans and gold expressed-fact labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kb import Entity, Literal, Relation, Triple
+from ..world import World
+from ..world import schema as ws
+from .document import Document, GoldFact, GoldMention, Sentence
+from .templates import (
+    CLASS_NOUNS,
+    DISTRACTOR_PATTERNS,
+    HEARST_PATTERNS,
+    TEMPLATES,
+    FactTemplate,
+    templates_for,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusConfig:
+    """Knobs of the corpus synthesizer."""
+
+    seed: int = 7
+    mentions_per_fact: float = 1.3
+    p_false: float = 0.0
+    p_cross_class: float = 0.4
+    p_short_alias: float = 0.2
+    distractor_fraction: float = 0.15
+    document_size: int = 8
+    max_difficulty: str = "hard"
+    include_class_sentences: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mentions_per_fact < 0:
+            raise ValueError("mentions_per_fact must be non-negative")
+        for name, value in (
+            ("p_false", self.p_false),
+            ("p_cross_class", self.p_cross_class),
+            ("p_short_alias", self.p_short_alias),
+            ("distractor_fraction", self.distractor_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.document_size < 1:
+            raise ValueError("document_size must be at least 1")
+
+
+def surface_form(world: World, entity: Entity, rng: random.Random, p_short: float) -> str:
+    """Pick a surface form: the full name, or (sometimes) a shorter alias."""
+    forms = world.aliases.get(entity) or [world.name[entity]]
+    if len(forms) > 1 and rng.random() < p_short:
+        return rng.choice(forms[1:])
+    return forms[0]
+
+
+def _render(
+    template_pattern: str,
+    slots: dict[str, tuple[Optional[Entity], str]],
+) -> Sentence:
+    """Fill a pattern whose ``{name}`` slots map to (entity-or-None, text)."""
+    text_parts: list[str] = []
+    mentions: list[GoldMention] = []
+    cursor = 0
+    remaining = template_pattern
+    while True:
+        brace = remaining.find("{")
+        if brace < 0:
+            text_parts.append(remaining)
+            break
+        close = remaining.find("}", brace)
+        if close < 0:
+            raise ValueError(f"unbalanced braces in template: {template_pattern!r}")
+        literal_part = remaining[:brace]
+        slot_name = remaining[brace + 1:close]
+        if slot_name not in slots:
+            raise KeyError(f"template slot {{{slot_name}}} has no value")
+        entity, slot_text = slots[slot_name]
+        text_parts.append(literal_part)
+        cursor += len(literal_part)
+        text_parts.append(slot_text)
+        if entity is not None:
+            mentions.append(
+                GoldMention(cursor, cursor + len(slot_text), entity, slot_text)
+            )
+        cursor += len(slot_text)
+        remaining = remaining[close + 1:]
+    return Sentence("".join(text_parts), mentions=mentions)
+
+
+def render_fact_sentence(
+    world: World,
+    fact: Triple,
+    template: FactTemplate,
+    rng: random.Random,
+    p_short_alias: float = 0.0,
+    truthful: bool = True,
+) -> Sentence:
+    """Render one fact through one template, with gold annotations."""
+    subject = fact.subject
+    obj = fact.object
+    slots: dict[str, tuple[Optional[Entity], str]] = {
+        "s": (subject, surface_form(world, subject, rng, p_short_alias)),
+    }
+    if isinstance(obj, Entity):
+        slots["o"] = (obj, surface_form(world, obj, rng, p_short_alias))
+    elif isinstance(obj, Literal):
+        slots["o"] = (None, obj.value)
+    else:
+        raise TypeError(f"cannot render object {obj!r}")
+    if template.needs_year:
+        year = fact.scope.begin if fact.scope and fact.scope.begin else rng.randint(1950, 2014)
+        slots["y"] = (None, str(year))
+    if template.needs_span:
+        if fact.scope and fact.scope.begin is not None and fact.scope.end is not None:
+            begin, end = fact.scope.begin, fact.scope.end
+        else:
+            begin = rng.randint(1950, 2000)
+            end = begin + rng.randint(2, 14)
+        slots["y"] = (None, str(begin))
+        slots["y2"] = (None, str(end))
+    sentence = _render(template.pattern, slots)
+    sentence.facts.append(GoldFact(subject, fact.predicate, obj, truthful=truthful))
+    return sentence
+
+
+def corrupt_fact(
+    world: World,
+    fact: Triple,
+    rng: random.Random,
+    p_cross_class: float = 0.4,
+) -> Optional[Triple]:
+    """Swap the object for a wrong one, producing a false fact.
+
+    With probability ``p_cross_class`` the replacement comes from a
+    *different* class (the signature of a mis-resolved mention — caught by
+    type constraints); otherwise it is a same-class sibling (caught only by
+    functionality constraints, and only when the true fact is also seen).
+    This mix is what gives consistency reasoning (E4) both constraint
+    families to exercise.
+    """
+    obj = fact.object
+    if not isinstance(obj, Entity):
+        return None
+    cls = world.primary_class.get(obj)
+    if cls is None:
+        return None
+    if rng.random() < p_cross_class:
+        pool = [
+            e for e in world.all_entities()
+            if e != obj and world.primary_class.get(e) != cls
+        ]
+    else:
+        pool = [e for e in world.entities_of_class(cls) if e != obj]
+    if not pool:
+        return None
+    replacement = rng.choice(pool)
+    if world.fact_exists(fact.subject, fact.predicate, replacement):
+        return None
+    return Triple(fact.subject, fact.predicate, replacement, scope=fact.scope)
+
+
+def distractor_sentence(world: World, rng: random.Random, p_short_alias: float) -> Sentence:
+    """A two-entity sentence that expresses no KB relation."""
+    entities = world.all_entities()
+    a = rng.choice(entities)
+    b = rng.choice(entities)
+    while b == a:
+        b = rng.choice(entities)
+    pattern = rng.choice(DISTRACTOR_PATTERNS)
+    slots = {
+        "s": (a, surface_form(world, a, rng, p_short_alias)),
+        "o": (b, surface_form(world, b, rng, p_short_alias)),
+    }
+    return _render(pattern, slots)
+
+
+def class_sentences(world: World, rng: random.Random, per_class: int = 3) -> list[Sentence]:
+    """Hearst-style sentences stating class memberships (for E1/taxonomy)."""
+    sentences = []
+    for cls, (singular, plural) in CLASS_NOUNS.items():
+        members = world.entities_of_class(cls)
+        if len(members) < 3:
+            continue
+        for __ in range(per_class):
+            sample = rng.sample(members, 3)
+            pattern = rng.choice(HEARST_PATTERNS)
+            slots = {
+                "c": (None, plural.capitalize() if pattern.startswith("{c}") else plural),
+                "c_sing": (None, singular),
+                "e1": (sample[0], world.name[sample[0]]),
+                "e2": (sample[1], world.name[sample[1]]),
+                "e3": (sample[2], world.name[sample[2]]),
+            }
+            needed = {
+                name for name in ("c", "c_sing", "e1", "e2", "e3")
+                if "{" + name + "}" in pattern
+            }
+            sentence = _render(pattern, {k: v for k, v in slots.items() if k in needed})
+            for slot_name in ("e1", "e2", "e3"):
+                if slot_name in needed:
+                    sentence.facts.append(
+                        GoldFact(slots[slot_name][0], Relation("rdf:type"), cls)
+                    )
+            sentences.append(sentence)
+    return sentences
+
+
+def synthesize(world: World, config: CorpusConfig = CorpusConfig()) -> list[Document]:
+    """Render the world into an annotated corpus of documents."""
+    rng = random.Random(config.seed)
+    sentences_by_subject: dict[Entity, list[Sentence]] = {}
+
+    def emit(subject: Entity, sentence: Sentence) -> None:
+        sentences_by_subject.setdefault(subject, []).append(sentence)
+
+    renderable = [f for f in world.facts if f.predicate in TEMPLATES]
+    for fact in renderable:
+        count = int(config.mentions_per_fact)
+        if rng.random() < config.mentions_per_fact - count:
+            count += 1
+        available = templates_for(fact.predicate, config.max_difficulty)
+        if not available:
+            continue
+        for __ in range(count):
+            template = rng.choice(available)
+            emit(
+                fact.subject,
+                render_fact_sentence(
+                    world, fact, template, rng, config.p_short_alias, truthful=True
+                ),
+            )
+        if config.p_false > 0 and rng.random() < config.p_false:
+            corrupted = corrupt_fact(world, fact, rng, config.p_cross_class)
+            if corrupted is not None:
+                template = rng.choice(available)
+                emit(
+                    corrupted.subject,
+                    render_fact_sentence(
+                        world, corrupted, template, rng,
+                        config.p_short_alias, truthful=False,
+                    ),
+                )
+
+    total_fact_sentences = sum(len(v) for v in sentences_by_subject.values())
+    n_distractors = int(total_fact_sentences * config.distractor_fraction)
+    loose_sentences = [
+        distractor_sentence(world, rng, config.p_short_alias)
+        for __ in range(n_distractors)
+    ]
+    if config.include_class_sentences:
+        loose_sentences.extend(class_sentences(world, rng))
+
+    return _assemble_documents(sentences_by_subject, loose_sentences, config, rng)
+
+
+def _assemble_documents(
+    sentences_by_subject: dict[Entity, list[Sentence]],
+    loose_sentences: list[Sentence],
+    config: CorpusConfig,
+    rng: random.Random,
+) -> list[Document]:
+    """Group sentences into entity-centric documents plus a mixed tail."""
+    documents: list[Document] = []
+    doc_counter = 0
+    for subject in sorted(sentences_by_subject, key=lambda e: e.id):
+        block = sentences_by_subject[subject]
+        rng.shuffle(block)
+        for start in range(0, len(block), config.document_size):
+            chunk = block[start:start + config.document_size]
+            documents.append(
+                Document(f"doc_{doc_counter:05d}", sentences=chunk, topic=subject)
+            )
+            doc_counter += 1
+    rng.shuffle(loose_sentences)
+    for start in range(0, len(loose_sentences), config.document_size):
+        chunk = loose_sentences[start:start + config.document_size]
+        documents.append(Document(f"doc_{doc_counter:05d}", sentences=chunk))
+        doc_counter += 1
+    return documents

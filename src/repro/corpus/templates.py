@@ -1,0 +1,170 @@
+"""Sentence templates that render world facts into text.
+
+Each relation has several paraphrase variants with a *difficulty* tag:
+
+* ``easy`` — canonical surface order; a hand-written seed pattern matches it.
+* ``medium`` — inverted or passive phrasing; surface patterns miss it, a
+  dependency-path extractor catches it.
+* ``hard`` — the relation is only implied by a nominal ("the founder of"),
+  which statistical methods with wider context windows pick up.
+
+This split is what gives experiment E3 its expected precision/recall shape
+across the extraction-method spectrum the tutorial surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kb import Relation
+from ..world import schema as ws
+
+
+@dataclass(frozen=True, slots=True)
+class FactTemplate:
+    """A sentence pattern with ``{s}``, ``{o}`` and optional ``{y}``/``{y2}`` slots."""
+
+    pattern: str
+    difficulty: str = "easy"
+    needs_year: bool = False
+    needs_span: bool = False
+
+    def __post_init__(self) -> None:
+        if self.difficulty not in ("easy", "medium", "hard"):
+            raise ValueError(f"unknown difficulty: {self.difficulty!r}")
+        if "{s}" not in self.pattern or "{o}" not in self.pattern:
+            raise ValueError(f"template must contain {{s}} and {{o}}: {self.pattern!r}")
+
+
+TEMPLATES: dict[Relation, tuple[FactTemplate, ...]] = {
+    ws.BORN_IN: (
+        FactTemplate("{s} was born in {o}."),
+        FactTemplate("{s} was born in {o} in {y}.", needs_year=True),
+        FactTemplate("{s} was born in the city of {o}.", difficulty="medium"),
+        FactTemplate("{o} is the birthplace of {s}.", difficulty="medium"),
+        FactTemplate("The birthplace of {s} is {o}.", difficulty="hard"),
+    ),
+    ws.DIED_IN: (
+        FactTemplate("{s} died in {o}."),
+        FactTemplate("{s} passed away in {o} in {y}.", difficulty="medium", needs_year=True),
+    ),
+    ws.FOUNDED: (
+        FactTemplate("{s} founded {o}."),
+        FactTemplate("{s} founded {o} in {y}.", needs_year=True),
+        FactTemplate("{o} was founded by {s}.", difficulty="medium"),
+        FactTemplate("{s} established {o} in {y}.", difficulty="medium", needs_year=True),
+        FactTemplate("{s} is the founder of {o}.", difficulty="hard"),
+    ),
+    ws.CEO_OF: (
+        FactTemplate("{s} is the CEO of {o}."),
+        FactTemplate("{s} serves as chief executive of {o}.", difficulty="medium"),
+        FactTemplate("{s} led {o} from {y} to {y2}.", difficulty="hard", needs_span=True),
+    ),
+    ws.WORKS_AT: (
+        FactTemplate("{s} works at {o}."),
+        FactTemplate("{s} joined {o} in {y}.", difficulty="medium", needs_year=True),
+        FactTemplate("{s} has worked at {o} since {y}.", difficulty="medium", needs_year=True),
+    ),
+    ws.STUDIED_AT: (
+        FactTemplate("{s} studied at {o}."),
+        FactTemplate("{s} graduated from {o}."),
+        FactTemplate("{s} earned a degree from {o} in {y}.", difficulty="medium", needs_year=True),
+    ),
+    ws.MARRIED_TO: (
+        FactTemplate("{s} married {o}."),
+        FactTemplate("{s} married {o} in {y}.", needs_year=True),
+        FactTemplate("{s} is married to {o}.", difficulty="medium"),
+        FactTemplate("{s} and {o} married in {y}.", difficulty="hard", needs_year=True),
+    ),
+    ws.WON_PRIZE: (
+        FactTemplate("{s} won the {o}."),
+        FactTemplate("{s} won the {o} in {y}.", needs_year=True),
+        FactTemplate("{s} received the {o} in {y}.", difficulty="medium", needs_year=True),
+        FactTemplate("The {o} was awarded to {s} in {y}.", difficulty="medium", needs_year=True),
+    ),
+    ws.WROTE: (
+        FactTemplate("{s} wrote {o}."),
+        FactTemplate("{o} was written by {s}.", difficulty="medium"),
+        FactTemplate("{s} is the author of {o}.", difficulty="hard"),
+    ),
+    ws.RELEASED: (
+        FactTemplate("{s} released the album {o}."),
+        FactTemplate("{s} recorded {o}.", difficulty="medium"),
+    ),
+    ws.LOCATED_IN: (
+        FactTemplate("{s} is a city in {o}."),
+        FactTemplate("{s} is located in {o}."),
+        FactTemplate("{s} lies in {o}.", difficulty="medium"),
+    ),
+    ws.CAPITAL_OF: (
+        FactTemplate("{s} is the capital of {o}."),
+        FactTemplate("The capital of {o} is {s}.", difficulty="medium"),
+    ),
+    ws.HEADQUARTERED_IN: (
+        FactTemplate("{s} is headquartered in {o}."),
+        FactTemplate("{s} is based in {o}."),
+        FactTemplate("{s} has its headquarters in {o}.", difficulty="medium"),
+    ),
+    ws.CREATED_PRODUCT: (
+        FactTemplate("{s} released the {o}."),
+        FactTemplate("{s} launched the {o} in {y}.", needs_year=True),
+        FactTemplate("{s} unveiled the {o}.", difficulty="medium"),
+        FactTemplate("The {o} is made by {s}.", difficulty="medium"),
+    ),
+    ws.CITIZEN_OF: (
+        FactTemplate("{s} is a citizen of {o}."),
+        FactTemplate("{s} holds citizenship of {o}.", difficulty="medium"),
+    ),
+}
+
+#: Sentences that mention two entities but express no KB relation.  They are
+#: the negatives that keep extraction precision below 1 and give distant
+#: supervision something to reject.
+DISTRACTOR_PATTERNS: tuple[str, ...] = (
+    "{s} met {o} at a conference.",
+    "{s} gave a speech about {o}.",
+    "{s} praised {o} in an interview.",
+    "{s} visited {o} last summer.",
+    "{s} wrote an essay mentioning {o}.",
+    "{s} criticized {o} repeatedly.",
+    "{s} was photographed near {o}.",
+)
+
+#: Class nouns used by Hearst-pattern and "is a" sentences (singular, plural).
+CLASS_NOUNS: dict = {
+    ws.SCIENTIST: ("scientist", "scientists"),
+    ws.MUSICIAN: ("musician", "musicians"),
+    ws.POLITICIAN: ("politician", "politicians"),
+    ws.ENTREPRENEUR: ("entrepreneur", "entrepreneurs"),
+    ws.ATHLETE: ("athlete", "athletes"),
+    ws.WRITER: ("writer", "writers"),
+    ws.COMPANY: ("company", "companies"),
+    ws.UNIVERSITY: ("university", "universities"),
+    ws.CITY: ("city", "cities"),
+    ws.COUNTRY: ("country", "countries"),
+    ws.SMARTPHONE: ("smartphone", "smartphones"),
+    ws.BOOK: ("book", "books"),
+    ws.ALBUM: ("album", "albums"),
+    ws.PRIZE: ("prize", "prizes"),
+}
+
+#: Hearst-style patterns for class sentences ({c} = plural class noun,
+#: {e...} = entity names).
+HEARST_PATTERNS: tuple[str, ...] = (
+    "{c} such as {e1}, {e2}, and {e3} shaped the era.",
+    "Many {c}, including {e1} and {e2}, were active then.",
+    "{e1}, {e2}, and other {c} attended the meeting.",
+    "{e1} is a {c_sing}.",
+    "{e1} was one of the best-known {c}.",
+)
+
+
+def templates_for(relation: Relation, max_difficulty: str = "hard"):
+    """The templates of a relation up to a difficulty level."""
+    order = {"easy": 0, "medium": 1, "hard": 2}
+    if max_difficulty not in order:
+        raise ValueError(f"unknown difficulty: {max_difficulty!r}")
+    limit = order[max_difficulty]
+    return tuple(
+        t for t in TEMPLATES.get(relation, ()) if order[t.difficulty] <= limit
+    )

@@ -1,0 +1,323 @@
+"""A synthetic Wikipedia: pages with infoboxes, categories, and links.
+
+Wikipedia-based knowledge harvesting (tutorial section 2) consumes page
+*structure*, not just text: infobox attributes (DBpedia), the category
+system (WikiTaxonomy, YAGO), page links (used for NED coherence), and
+interlanguage links (multilingual knowledge).  This module generates all of
+those from the ground-truth world, together with gold labels:
+
+* each category carries a gold flag — *conceptual* (defines an isA class)
+  vs *administrative/topical* — which is what E1 evaluates against;
+* each infobox row carries the gold fact it encodes;
+* interlanguage links are pseudo-translations with configurable dropout,
+  which E8 evaluates against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kb import Entity, Literal, Relation, Term
+from ..world import World, nationality_adjective
+from ..world import schema as ws
+from .document import Document
+from .synthesis import render_fact_sentence
+from .templates import CLASS_NOUNS, TEMPLATES, templates_for
+
+
+@dataclass(frozen=True, slots=True)
+class Category:
+    """A category label plus the gold answer category classification."""
+
+    name: str
+    conceptual: bool
+    target_class: Optional[Entity] = None
+
+
+@dataclass(slots=True)
+class WikiPage:
+    """One encyclopedia page about an entity."""
+
+    title: str
+    entity: Entity
+    document: Document
+    infobox: dict[str, str] = field(default_factory=dict)
+    infobox_gold: dict[str, tuple[Relation, Term]] = field(default_factory=dict)
+    categories: list[Category] = field(default_factory=list)
+    links: list[str] = field(default_factory=list)
+    interlanguage: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Wiki:
+    """The whole synthetic encyclopedia."""
+
+    pages: dict[str, WikiPage] = field(default_factory=dict)
+    by_entity: dict[Entity, str] = field(default_factory=dict)
+
+    def page_of(self, entity: Entity) -> Optional[WikiPage]:
+        """The page describing an entity, if one exists."""
+        title = self.by_entity.get(entity)
+        return self.pages.get(title) if title else None
+
+    def link_graph(self) -> dict[str, set[str]]:
+        """Title -> set of linked titles (only links to existing pages)."""
+        return {
+            title: {t for t in page.links if t in self.pages}
+            for title, page in self.pages.items()
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class WikiConfig:
+    """Knobs of the encyclopedia generator."""
+
+    seed: int = 11
+    interlanguage_dropout: float = 0.2
+    sentences_per_page: int = 6
+    p_short_alias: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.interlanguage_dropout <= 1.0:
+            raise ValueError("interlanguage_dropout must be in [0, 1]")
+
+
+#: Infobox attribute name per relation, by subject class.
+_PERSON_INFOBOX = {
+    "born": ws.BORN_IN,
+    "birth_date": ws.BIRTH_YEAR,
+    "death_date": ws.DEATH_YEAR,
+    "spouse": ws.MARRIED_TO,
+    "alma_mater": ws.STUDIED_AT,
+    "employer": ws.WORKS_AT,
+    "awards": ws.WON_PRIZE,
+}
+_COMPANY_INFOBOX = {
+    "headquarters": ws.HEADQUARTERED_IN,
+    "founded": ws.FOUNDING_YEAR,
+    "products": ws.CREATED_PRODUCT,
+}
+_CITY_INFOBOX = {
+    "country": ws.LOCATED_IN,
+    "population": ws.POPULATION,
+}
+_PRODUCT_INFOBOX = {
+    "release_year": ws.RELEASE_YEAR,
+    "predecessor": ws.SUCCESSOR_OF,
+}
+
+
+def build_wiki(world: World, config: WikiConfig = WikiConfig()) -> Wiki:
+    """Generate the synthetic encyclopedia for a world."""
+    rng = random.Random(config.seed)
+    wiki = Wiki()
+    for entity in world.all_entities():
+        page = _build_page(world, entity, config, rng)
+        if page.title in wiki.pages:
+            continue
+        wiki.pages[page.title] = page
+        wiki.by_entity[entity] = page.title
+    # Links can only be resolved once all titles exist.
+    for page in wiki.pages.values():
+        _add_links(world, wiki, page)
+    return wiki
+
+
+def _build_page(world, entity, config, rng) -> WikiPage:
+    title = world.name[entity]
+    sentences = []
+    facts = [t for t in world.facts.match(subject=entity) if t.predicate in TEMPLATES]
+    rng.shuffle(facts)
+    for fact in facts[: config.sentences_per_page]:
+        available = templates_for(fact.predicate, "hard")
+        if not available:
+            continue
+        template = rng.choice(available)
+        sentences.append(
+            render_fact_sentence(world, fact, template, rng, config.p_short_alias)
+        )
+    document = Document(f"wiki_{entity.local_name}", sentences=sentences, topic=entity)
+    page = WikiPage(title=title, entity=entity, document=document)
+    _add_infobox(world, page)
+    _add_categories(world, page, rng)
+    _add_interlanguage(world, page, config, rng)
+    return page
+
+
+def _add_infobox(world: World, page: WikiPage) -> None:
+    entity = page.entity
+    cls = world.primary_class.get(entity)
+    if entity in world.people:
+        mapping = _PERSON_INFOBOX
+    elif cls == ws.COMPANY:
+        mapping = _COMPANY_INFOBOX
+    elif cls == ws.CITY:
+        mapping = _CITY_INFOBOX
+    elif entity in world.products:
+        mapping = _PRODUCT_INFOBOX
+    else:
+        return
+    for attribute, relation in mapping.items():
+        triple = None
+        for candidate in world.facts.match(subject=entity, predicate=relation):
+            triple = candidate
+            break
+        if triple is None:
+            continue
+        obj = triple.object
+        if isinstance(obj, Entity):
+            value = world.name[obj]
+        elif isinstance(obj, Literal):
+            value = obj.value
+        else:
+            continue
+        page.infobox[attribute] = value
+        page.infobox_gold[attribute] = (relation, obj)
+
+
+def _add_categories(world: World, page: WikiPage, rng: random.Random) -> None:
+    entity = page.entity
+    categories: list[Category] = []
+    if entity in world.people:
+        occupation = world.primary_class.get(entity, ws.PERSON)
+        __, plural = CLASS_NOUNS.get(occupation, ("person", "people"))
+        country = world.facts.one_object(entity, ws.CITIZEN_OF)
+        if country is not None:
+            demonym = nationality_adjective(world.name[country])
+            categories.append(
+                Category(f"{demonym} {plural}", conceptual=True, target_class=occupation)
+            )
+        birth_year = world.facts.one_object(entity, ws.BIRTH_YEAR)
+        if birth_year is not None:
+            categories.append(Category(f"{birth_year.value} births", conceptual=False))
+        death_year = world.facts.one_object(entity, ws.DEATH_YEAR)
+        if death_year is not None:
+            categories.append(Category(f"{death_year.value} deaths", conceptual=False))
+        city = world.facts.one_object(entity, ws.BORN_IN)
+        if city is not None:
+            categories.append(
+                Category(
+                    f"People from {world.name[city]}",
+                    conceptual=True,
+                    target_class=ws.PERSON,
+                )
+            )
+    elif world.primary_class.get(entity) == ws.COMPANY:
+        founding = world.facts.one_object(entity, ws.FOUNDING_YEAR)
+        if founding is not None:
+            categories.append(
+                Category(
+                    f"Companies established in {founding.value}",
+                    conceptual=True,
+                    target_class=ws.COMPANY,
+                )
+            )
+        city = world.facts.one_object(entity, ws.HEADQUARTERED_IN)
+        if city is not None:
+            country = world.facts.one_object(city, ws.LOCATED_IN)
+            if country is not None:
+                categories.append(
+                    Category(
+                        f"Companies of {world.name[country]}",
+                        conceptual=True,
+                        target_class=ws.COMPANY,
+                    )
+                )
+    elif world.primary_class.get(entity) == ws.CITY:
+        country = world.facts.one_object(entity, ws.LOCATED_IN)
+        if country is not None:
+            categories.append(
+                Category(
+                    f"Cities in {world.name[country]}",
+                    conceptual=True,
+                    target_class=ws.CITY,
+                )
+            )
+    elif world.primary_class.get(entity) == ws.COUNTRY:
+        categories.append(Category(f"History of {world.name[entity]}", conceptual=False))
+        categories.append(Category(f"Economy of {world.name[entity]}", conceptual=False))
+    elif world.primary_class.get(entity) == ws.UNIVERSITY:
+        city = world.facts.one_object(entity, ws.HEADQUARTERED_IN)
+        country = (
+            world.facts.one_object(city, ws.LOCATED_IN) if city is not None else None
+        )
+        if country is not None:
+            categories.append(
+                Category(
+                    f"Universities in {world.name[country]}",
+                    conceptual=True,
+                    target_class=ws.UNIVERSITY,
+                )
+            )
+    elif world.primary_class.get(entity) == ws.BOOK:
+        author = None
+        for triple in world.facts.match(predicate=ws.WROTE, obj=entity):
+            author = triple.subject
+            break
+        if author is not None:
+            categories.append(
+                Category(
+                    f"Books by {world.name[author]}",
+                    conceptual=True,
+                    target_class=ws.BOOK,
+                )
+            )
+    elif world.primary_class.get(entity) == ws.ALBUM:
+        artist = None
+        for triple in world.facts.match(predicate=ws.RELEASED, obj=entity):
+            artist = triple.subject
+            break
+        if artist is not None:
+            categories.append(
+                Category(
+                    f"Albums by {world.name[artist]}",
+                    conceptual=True,
+                    target_class=ws.ALBUM,
+                )
+            )
+    elif world.primary_class.get(entity) == ws.PRIZE:
+        categories.append(
+            Category("Science awards", conceptual=True, target_class=ws.PRIZE)
+        )
+    elif entity in world.products:
+        maker = None
+        for triple in world.facts.match(predicate=ws.CREATED_PRODUCT, obj=entity):
+            maker = triple.subject
+            break
+        if maker is not None:
+            categories.append(
+                Category(
+                    f"{world.name[maker]} products",
+                    conceptual=True,
+                    target_class=ws.PRODUCT,
+                )
+            )
+    if rng.random() < 0.15:
+        categories.append(Category("Articles needing cleanup", conceptual=False))
+    page.categories = categories
+
+
+def _add_interlanguage(world, page, config, rng) -> None:
+    for lang in ("de", "fr", "es"):
+        if rng.random() < config.interlanguage_dropout:
+            continue
+        label = world.label_in(page.entity, lang)
+        if label is not None:
+            page.interlanguage[lang] = label
+
+
+def _add_links(world: World, wiki: Wiki, page: WikiPage) -> None:
+    neighbors: set[str] = set()
+    for triple in world.facts.match(subject=page.entity):
+        if isinstance(triple.object, Entity):
+            title = wiki.by_entity.get(triple.object)
+            if title:
+                neighbors.add(title)
+    for triple in world.facts.match(obj=page.entity):
+        title = wiki.by_entity.get(triple.subject)
+        if title:
+            neighbors.add(title)
+    neighbors.discard(page.title)
+    page.links = sorted(neighbors)

@@ -1,0 +1,33 @@
+"""Evaluation metrics and table rendering for experiments E1-E12."""
+
+from .metrics import (
+    PRF,
+    accuracy,
+    average_precision,
+    brier_score,
+    calibration_bins,
+    f1_score,
+    macro_prf,
+    mean_average_precision,
+    micro_prf,
+    precision_at_k,
+    precision_recall,
+)
+from .tables import format_cell, print_table, render_table
+
+__all__ = [
+    "PRF",
+    "accuracy",
+    "average_precision",
+    "brier_score",
+    "calibration_bins",
+    "f1_score",
+    "macro_prf",
+    "mean_average_precision",
+    "micro_prf",
+    "precision_at_k",
+    "precision_recall",
+    "format_cell",
+    "print_table",
+    "render_table",
+]

@@ -1,0 +1,143 @@
+"""Evaluation metrics shared by every experiment: P/R/F1, accuracy, MAP.
+
+All metrics are computed from explicit predicted/gold collections so callers
+never have to thread counts around, and each returns a plain float (or a
+:class:`PRF` triple) suitable for table rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class PRF:
+    """A precision/recall/F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def __str__(self) -> str:
+        return f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def precision_recall(
+    predicted: Iterable[Hashable], gold: Iterable[Hashable]
+) -> PRF:
+    """Set-based precision/recall/F1 of predictions against a gold set.
+
+    Empty prediction sets have precision 1 by convention (nothing wrong was
+    said); empty gold sets have recall 1 (nothing was missed).
+    """
+    predicted_set, gold_set = set(predicted), set(gold)
+    correct = len(predicted_set & gold_set)
+    precision = correct / len(predicted_set) if predicted_set else 1.0
+    recall = correct / len(gold_set) if gold_set else 1.0
+    return PRF(precision, recall, f1_score(precision, recall))
+
+
+def accuracy(predictions: Sequence[Hashable], gold: Sequence[Hashable]) -> float:
+    """Fraction of positions where prediction equals gold."""
+    if len(predictions) != len(gold):
+        raise ValueError(
+            f"length mismatch: {len(predictions)} predictions vs {len(gold)} gold"
+        )
+    if not gold:
+        return 1.0
+    correct = sum(1 for p, g in zip(predictions, gold) if p == g)
+    return correct / len(gold)
+
+
+def precision_at_k(ranked: Sequence[Hashable], gold: Iterable[Hashable], k: int) -> float:
+    """Precision of the top-k of a ranked list against a gold set."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    gold_set = set(gold)
+    top = ranked[:k]
+    if not top:
+        return 0.0
+    return sum(1 for item in top if item in gold_set) / len(top)
+
+
+def average_precision(ranked: Sequence[Hashable], gold: Iterable[Hashable]) -> float:
+    """Average precision of a ranked list against a gold set."""
+    gold_set = set(gold)
+    if not gold_set:
+        return 1.0
+    hits, total = 0, 0.0
+    for rank, item in enumerate(ranked, start=1):
+        if item in gold_set:
+            hits += 1
+            total += hits / rank
+    return total / len(gold_set)
+
+
+def mean_average_precision(
+    runs: Sequence[tuple[Sequence[Hashable], Iterable[Hashable]]]
+) -> float:
+    """Mean of :func:`average_precision` over (ranked, gold) runs."""
+    if not runs:
+        return 0.0
+    return sum(average_precision(ranked, gold) for ranked, gold in runs) / len(runs)
+
+
+def micro_prf(
+    per_item: Iterable[tuple[int, int, int]]
+) -> PRF:
+    """Micro-averaged PRF from (correct, predicted, gold) count triples."""
+    correct = predicted = gold = 0
+    for c, p, g in per_item:
+        correct += c
+        predicted += p
+        gold += g
+    precision = correct / predicted if predicted else 1.0
+    recall = correct / gold if gold else 1.0
+    return PRF(precision, recall, f1_score(precision, recall))
+
+
+def macro_prf(scores: Sequence[PRF]) -> PRF:
+    """Macro average of per-class PRF triples."""
+    if not scores:
+        return PRF(0.0, 0.0, 0.0)
+    precision = sum(s.precision for s in scores) / len(scores)
+    recall = sum(s.recall for s in scores) / len(scores)
+    return PRF(precision, recall, f1_score(precision, recall))
+
+
+def brier_score(probabilities: Sequence[float], outcomes: Sequence[bool]) -> float:
+    """Mean squared error of probabilistic predictions (lower is better)."""
+    if len(probabilities) != len(outcomes):
+        raise ValueError("length mismatch between probabilities and outcomes")
+    if not outcomes:
+        return 0.0
+    total = sum((p - (1.0 if o else 0.0)) ** 2 for p, o in zip(probabilities, outcomes))
+    return total / len(outcomes)
+
+
+def calibration_bins(
+    probabilities: Sequence[float], outcomes: Sequence[bool], bins: int = 10
+) -> list[tuple[float, float, int]]:
+    """Reliability diagram data: (mean predicted, observed rate, count) per bin."""
+    if len(probabilities) != len(outcomes):
+        raise ValueError("length mismatch between probabilities and outcomes")
+    buckets: list[list[tuple[float, bool]]] = [[] for __ in range(bins)]
+    for p, o in zip(probabilities, outcomes):
+        index = min(int(p * bins), bins - 1)
+        buckets[index].append((p, o))
+    result = []
+    for bucket in buckets:
+        if not bucket:
+            continue
+        mean_p = sum(p for p, __ in bucket) / len(bucket)
+        rate = sum(1 for __, o in bucket if o) / len(bucket)
+        result.append((mean_p, rate, len(bucket)))
+    return result

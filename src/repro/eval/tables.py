@@ -1,0 +1,42 @@
+"""ASCII table rendering used by every benchmark harness.
+
+Benches print the same rows a paper table would contain; this module keeps
+the formatting in one place so the output of ``pytest benchmarks/`` reads as
+a set of small, aligned result tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one table cell: floats get 3 decimals, the rest str()."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render a titled, column-aligned ASCII table."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print a rendered table surrounded by blank lines."""
+    print()
+    print(render_table(title, headers, rows))
+    print()

@@ -1,0 +1,88 @@
+"""The shared data model of all fact extractors.
+
+Every extractor — surface patterns, Snowball, dependency paths, distant
+supervision, infobox harvesting — emits :class:`Candidate` facts: entity-
+resolved (s, p, o) triples with a confidence, the extractor's name, and the
+evidence sentence.  Candidates from different extractors about the same
+fact are merged by noisy-or, which is how ensemble confidence is usually
+combined before reasoning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kb import Entity, Relation, Term, TimeSpan, Triple, TripleStore
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One extracted fact candidate with provenance."""
+
+    subject: Entity
+    relation: Relation
+    object: Term
+    confidence: float
+    extractor: str
+    evidence: str = ""
+    scope: Optional[TimeSpan] = None
+
+    def key(self) -> tuple[Entity, Relation, Term]:
+        """The (s, p, o) identity of the underlying fact."""
+        return (self.subject, self.relation, self.object)
+
+    def to_triple(self) -> Triple:
+        """A KB triple carrying the confidence and extractor provenance."""
+        return Triple(
+            self.subject,
+            self.relation,
+            self.object,
+            confidence=min(max(self.confidence, 0.0), 1.0),
+            source=self.extractor,
+            scope=self.scope,
+        )
+
+
+def merge_candidates(candidates: Iterable[Candidate]) -> dict[tuple, float]:
+    """Noisy-or combination of candidate confidences per fact key."""
+    combined: dict[tuple, float] = {}
+    for candidate in candidates:
+        key = candidate.key()
+        previous = combined.get(key, 0.0)
+        combined[key] = 1.0 - (1.0 - previous) * (1.0 - candidate.confidence)
+    return combined
+
+
+def candidates_to_store(
+    candidates: Iterable[Candidate], min_confidence: float = 0.0
+) -> TripleStore:
+    """A store of noisy-or-merged candidates above a confidence threshold.
+
+    Multiple witnesses of the same fact (several sentences, several
+    extractors) raise the merged confidence; the first witness supplies the
+    provenance string.
+    """
+    store = TripleStore()
+    first_witness: dict[tuple, Candidate] = {}
+    scope_of: dict[tuple, TimeSpan] = {}
+    all_candidates = list(candidates)
+    for candidate in all_candidates:
+        first_witness.setdefault(candidate.key(), candidate)
+        if candidate.scope is not None and candidate.key() not in scope_of:
+            scope_of[candidate.key()] = candidate.scope
+    for key, confidence in merge_candidates(all_candidates).items():
+        if confidence < min_confidence:
+            continue
+        subject, relation, obj = key
+        store.add(
+            Triple(
+                subject,
+                relation,
+                obj,
+                confidence=min(confidence, 1.0),
+                source=first_witness[key].extractor,
+                scope=scope_of.get(key),
+            )
+        )
+    return store

@@ -1,0 +1,208 @@
+"""Commonsense knowledge acquisition (properties, parts, shapes).
+
+Beyond facts about named entities, the tutorial calls out the orthogonal
+dimension of commonsense: relations between concepts (mouthpiece partOf
+clarinet), properties every child knows (apples can be red, green, juicy —
+but not fast or funny), and plausibility filtering.  This module is
+self-contained: a gold concept model, a seeded sentence generator that
+renders it into text with occasional implausible noise, and the
+acquisition method — pattern harvesting with support counting and a
+property-plausibility filter — that E-commonsense-style evaluations score.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..kb import Entity, Relation, Triple, TripleStore
+
+HAS_PROPERTY = Relation("cs:hasProperty")
+PART_OF = Relation("cs:partOf")
+HAS_SHAPE = Relation("cs:hasShape")
+
+
+def concept(name: str) -> Entity:
+    """A concept entity in the ``concept:`` namespace."""
+    return Entity(f"concept:{name}")
+
+
+#: The gold commonsense model: concept -> plausible property adjectives.
+GOLD_PROPERTIES: dict[str, tuple[str, ...]] = {
+    "apple": ("red", "green", "juicy", "sweet", "sour"),
+    "lemon": ("yellow", "sour", "juicy"),
+    "snow": ("white", "cold", "soft"),
+    "fire": ("hot", "bright", "dangerous"),
+    "car": ("fast", "loud", "expensive"),
+    "clarinet": ("loud", "wooden"),
+}
+
+#: Properties that are *implausible* for each concept (the noise pool).
+IMPLAUSIBLE_PROPERTIES: dict[str, tuple[str, ...]] = {
+    "apple": ("fast", "funny", "loud"),
+    "lemon": ("funny", "wooden"),
+    "snow": ("juicy", "funny"),
+    "fire": ("sweet", "sour"),
+    "car": ("juicy", "sweet"),
+    "clarinet": ("juicy", "funny"),
+}
+
+#: The gold part-whole model: part -> whole.
+GOLD_PARTS: dict[str, str] = {
+    "mouthpiece": "clarinet",
+    "wheel": "car",
+    "engine": "car",
+    "wing": "bird",
+    "screen": "smartphone",
+    "battery": "smartphone",
+}
+
+#: The gold shape model.
+GOLD_SHAPES: dict[str, str] = {
+    "clarinet": "cylindrical",
+    "wheel": "round",
+    "apple": "round",
+}
+
+_PROPERTY_TEMPLATES = (
+    "{c}s are often {p}.",
+    "{c}s can be {p}.",
+    "Most {c}s are {p}.",
+    "A {c} is usually {p}.",
+)
+_PART_TEMPLATES = (
+    "The {part} is part of a {whole}.",
+    "Every {whole} has a {part}.",
+    "A {whole} contains a {part}.",
+)
+_SHAPE_TEMPLATES = (
+    "A {c} is {s} in shape.",
+    "The {c} has a {s} shape.",
+)
+
+
+def gold_store() -> TripleStore:
+    """The gold commonsense triples (plausible statements only)."""
+    store = TripleStore()
+    for name, properties in GOLD_PROPERTIES.items():
+        for prop in properties:
+            store.add(Triple(concept(name), HAS_PROPERTY, concept(prop)))
+    for part, whole in GOLD_PARTS.items():
+        store.add(Triple(concept(part), PART_OF, concept(whole)))
+    for name, shape in GOLD_SHAPES.items():
+        store.add(Triple(concept(name), HAS_SHAPE, concept(shape)))
+    return store
+
+
+def generate_sentences(
+    seed: int = 5,
+    repetitions: int = 4,
+    noise_rate: float = 0.15,
+) -> list[str]:
+    """Render the gold model into sentences, with implausible noise mixed in.
+
+    Each gold statement appears ``repetitions`` times (spread over template
+    variants); implausible statements appear once each with probability
+    proportional to ``noise_rate`` — low support, which is exactly what the
+    acquisition filter exploits.
+    """
+    rng = random.Random(seed)
+    sentences: list[str] = []
+    for name, properties in GOLD_PROPERTIES.items():
+        for prop in properties:
+            for __ in range(repetitions):
+                template = rng.choice(_PROPERTY_TEMPLATES)
+                sentences.append(template.format(c=name, p=prop))
+    for part, whole in GOLD_PARTS.items():
+        for __ in range(repetitions):
+            template = rng.choice(_PART_TEMPLATES)
+            sentences.append(template.format(part=part, whole=whole))
+    for name, shape in GOLD_SHAPES.items():
+        for __ in range(repetitions):
+            template = rng.choice(_SHAPE_TEMPLATES)
+            sentences.append(template.format(c=name, s=shape))
+    for name, properties in IMPLAUSIBLE_PROPERTIES.items():
+        for prop in properties:
+            if rng.random() < noise_rate * 4:
+                template = rng.choice(_PROPERTY_TEMPLATES)
+                sentences.append(template.format(c=name, p=prop))
+    rng.shuffle(sentences)
+    return sentences
+
+
+# --------------------------------------------------------------- acquisition
+
+import re
+
+_PROPERTY_RE = re.compile(
+    r"^(?:Most )?(?:A )?([a-z]+?)s? (?:is usually|are often|can be|are) ([a-z]+)\.$",
+    re.IGNORECASE,
+)
+_PART_RE = re.compile(
+    r"^(?:The ([a-z]+) is part of a ([a-z]+)|Every ([a-z]+) has a ([a-z]+)|A ([a-z]+) contains a ([a-z]+))\.$",
+    re.IGNORECASE,
+)
+_SHAPE_RE = re.compile(
+    r"^(?:A ([a-z]+) is ([a-z]+) in shape|The ([a-z]+) has a ([a-z]+) shape)\.$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(slots=True)
+class AcquisitionReport:
+    """Support statistics of one harvesting run."""
+
+    statements: int = 0
+    kept: int = 0
+    filtered_low_support: int = 0
+
+
+def acquire(
+    sentences: Iterable[str],
+    min_support: int = 2,
+) -> tuple[TripleStore, AcquisitionReport]:
+    """Harvest commonsense triples by pattern matching + support filtering.
+
+    Statements seen fewer than ``min_support`` times are rejected — the
+    plausibility filter that drops the rare implausible noise while keeping
+    oft-repeated truths.
+    """
+    counts: Counter = Counter()
+    report = AcquisitionReport()
+    for sentence in sentences:
+        triple_key = _parse_statement(sentence)
+        if triple_key is not None:
+            counts[triple_key] += 1
+            report.statements += 1
+    store = TripleStore()
+    for (subject, relation, obj), support in counts.items():
+        if support < min_support:
+            report.filtered_low_support += 1
+            continue
+        confidence = min(0.5 + 0.1 * support, 0.99)
+        store.add(Triple(subject, relation, obj, confidence=confidence))
+        report.kept += 1
+    return store, report
+
+
+def _parse_statement(sentence: str):
+    match = _SHAPE_RE.match(sentence)
+    if match:
+        groups = [g for g in match.groups() if g]
+        name, shape = groups[0].lower(), groups[1].lower()
+        return (concept(name), HAS_SHAPE, concept(shape))
+    match = _PART_RE.match(sentence)
+    if match:
+        groups = [g for g in match.groups() if g]
+        first, second = groups[0].lower(), groups[1].lower()
+        if sentence.lower().startswith(("every", "a ")):
+            # "Every whole has a part" / "A whole contains a part".
+            return (concept(second), PART_OF, concept(first))
+        return (concept(first), PART_OF, concept(second))
+    match = _PROPERTY_RE.match(sentence)
+    if match:
+        name, prop = match.group(1).lower(), match.group(2).lower()
+        return (concept(name), HAS_PROPERTY, concept(prop))
+    return None

@@ -1,0 +1,171 @@
+"""Consistency reasoning over noisy extractions (SOFIE-style MaxSat).
+
+The logical end of the tutorial's extraction spectrum: take the candidate
+facts (soft, weighted by extraction confidence) and the schema's integrity
+constraints (hard), and find the most plausible consistent subset via
+weighted MaxSat.  Constraint families, individually toggleable for the E4
+ablation:
+
+* **functionality** — a functional relation admits one object per subject;
+* **type signatures** — subject/object must be instances of the declared
+  domain/range (checked against a type oracle, typically the harvested
+  taxonomy);
+* **relation disjointness** — declared mutually-exclusive relation pairs
+  cannot share an (s, o) pair.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..kb import Entity, Relation, Taxonomy, Triple, TripleStore
+from ..reasoning.maxsat import WeightedMaxSat
+
+#: A fact variable: the (s, p, o) key.
+FactKey = tuple
+
+
+@dataclass(slots=True)
+class ConsistencyReport:
+    """What the reasoner did."""
+
+    candidates: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    functional_clauses: int = 0
+    type_clauses: int = 0
+    disjoint_clauses: int = 0
+    soft_cost: float = 0.0
+    hard_violations: int = 0
+
+
+class ConsistencyReasoner:
+    """Clean a candidate store against a schema with weighted MaxSat."""
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        use_functionality: bool = True,
+        use_types: bool = True,
+        use_disjointness: bool = True,
+        min_confidence_weight: float = 0.05,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.use_functionality = use_functionality
+        self.use_types = use_types
+        self.use_disjointness = use_disjointness
+        self.min_confidence_weight = min_confidence_weight
+
+    def clean(
+        self, candidates: TripleStore, seed: int = 0
+    ) -> tuple[TripleStore, ConsistencyReport]:
+        """Return the accepted subset of ``candidates`` plus a report."""
+        report = ConsistencyReport(candidates=len(candidates))
+        problem = WeightedMaxSat()
+        triples: dict[FactKey, Triple] = {}
+        for triple in candidates:
+            key = triple.spo()
+            triples[key] = triple
+            weight = max(triple.confidence, self.min_confidence_weight)
+            problem.add_soft_unit(key, True, weight)
+
+        if self.use_functionality:
+            report.functional_clauses = self._add_functionality(problem, triples)
+        if self.use_types:
+            report.type_clauses = self._add_types(problem, triples)
+        if self.use_disjointness:
+            report.disjoint_clauses = self._add_disjointness(problem, triples)
+
+        result = problem.solve(seed=seed)
+        report.soft_cost = result.soft_cost
+        report.hard_violations = result.hard_violations
+        accepted = TripleStore()
+        for key, triple in triples.items():
+            if result.assignment.get(key, False):
+                accepted.add(triple)
+                report.accepted += 1
+            else:
+                report.rejected += 1
+        return accepted, report
+
+    # --------------------------------------------------------- constraints
+
+    def _add_functionality(self, problem: WeightedMaxSat, triples) -> int:
+        """!(x & y) for same-subject facts of a functional relation."""
+        clauses = 0
+        by_subject_relation: dict[tuple, list[FactKey]] = defaultdict(list)
+        for key in triples:
+            subject, relation, __ = key
+            if isinstance(relation, Relation) and self.taxonomy.is_functional(relation):
+                by_subject_relation[(subject, relation)].append(key)
+        for group in by_subject_relation.values():
+            group.sort(key=repr)
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    problem.add_hard([(group[i], False), (group[j], False)])
+                    clauses += 1
+        return clauses
+
+    def _add_types(self, problem: WeightedMaxSat, triples) -> int:
+        """!x for facts whose arguments violate the relation signature."""
+        clauses = 0
+        for key in triples:
+            subject, relation, obj = key
+            if not isinstance(relation, Relation):
+                continue
+            if self._violates_signature(subject, relation, obj):
+                problem.add_hard([(key, False)])
+                clauses += 1
+        return clauses
+
+    def _violates_signature(self, subject, relation, obj) -> bool:
+        domain = self.taxonomy.domain_of(relation)
+        if (
+            domain is not None
+            and isinstance(subject, Entity)
+            and not self._compatible(subject, domain)
+        ):
+            return True
+        rng = self.taxonomy.range_of(relation)
+        if (
+            rng is not None
+            and isinstance(obj, Entity)
+            and not self._compatible(obj, rng)
+        ):
+            return True
+        return False
+
+    def _compatible(self, entity: Entity, cls: Entity) -> bool:
+        """Open-world check: only *known conflicting* types violate."""
+        types = self.taxonomy.types_of(entity)
+        if not types:
+            return True  # untyped entities are given the benefit of the doubt
+        if self.taxonomy.is_instance_of(entity, cls):
+            return True
+        # The entity has types, none of which is (a subclass of) the target:
+        # violation only when some known type is declared disjoint with it.
+        return not any(
+            self.taxonomy.are_disjoint_classes(t, cls) for t in types
+        )
+
+    def _add_disjointness(self, problem: WeightedMaxSat, triples) -> int:
+        """!(x & y) for declared-disjoint relations on the same (s, o)."""
+        clauses = 0
+        by_pair: dict[tuple, list[FactKey]] = defaultdict(list)
+        for key in triples:
+            subject, relation, obj = key
+            by_pair[(subject, obj)].append(key)
+        for group in by_pair.values():
+            group.sort(key=repr)
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    r1, r2 = group[i][1], group[j][1]
+                    if (
+                        isinstance(r1, Relation)
+                        and isinstance(r2, Relation)
+                        and self.taxonomy.are_disjoint_relations(r1, r2)
+                    ):
+                        problem.add_hard([(group[i], False), (group[j], False)])
+                        clauses += 1
+        return clauses

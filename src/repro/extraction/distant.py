@@ -1,0 +1,143 @@
+"""Distant supervision (the statistical-learning family).
+
+Align a seed knowledge base with text: every occurrence whose entity pair
+is a known fact becomes a positive training example for that relation;
+pairs of seed entities with no known relation become NONE examples.  A
+multinomial Naive Bayes classifier over context features (middle tokens,
+dependency path, flanking words) then labels *every* occurrence — including
+phrasings never seen with seeds, which is where the recall beyond
+Snowball-style bootstrapping comes from (E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..kb import Entity, Relation, TripleStore
+from ..ml.naive_bayes import MultinomialNaiveBayes
+from .base import Candidate
+from .occurrences import Occurrence
+
+#: The "no relation between this pair" label.
+NONE_LABEL = "NONE"
+
+
+def occurrence_features(occurrence: Occurrence, inverse: bool) -> list[str]:
+    """The feature bag of one (occurrence, direction) example."""
+    features = [f"dir={'inv' if inverse else 'fwd'}"]
+    middle = occurrence.middle
+    features.extend(f"mid={token}" for token in middle)
+    if middle:
+        features.append("midseq=" + "_".join(middle))
+    path = occurrence.path(inverse)
+    if path:
+        features.append(f"path={path}")
+    if occurrence.left:
+        features.append(f"left={occurrence.left}")
+    if occurrence.right:
+        features.append(f"right={occurrence.right}")
+    features.append(f"gap={min(len(middle), 6)}")
+    return features
+
+
+@dataclass(slots=True)
+class TrainingSummary:
+    """How the distant alignment labeled the training occurrences."""
+
+    positives: int = 0
+    negatives: int = 0
+    skipped: int = 0
+
+
+class DistantSupervisionExtractor:
+    """A seed-KB-supervised relation classifier over occurrences."""
+
+    name = "distant-supervision"
+
+    def __init__(
+        self,
+        seed_kb: TripleStore,
+        relations: Iterable[Relation],
+        min_posterior: float = 0.6,
+        negative_cap: int = 4000,
+    ) -> None:
+        self.seed_kb = seed_kb
+        self.relations = list(relations)
+        self.min_posterior = min_posterior
+        self.negative_cap = negative_cap
+        self._model = MultinomialNaiveBayes(alpha=0.2)
+        self.summary = TrainingSummary()
+        self._trained = False
+
+    def train(self, occurrences: list[Occurrence]) -> TrainingSummary:
+        """Label occurrences by seed-KB alignment and fit the classifier."""
+        seed_entities = {
+            e for r in self.relations for t in self.seed_kb.match(predicate=r)
+            for e in (t.subject, t.object) if isinstance(e, Entity)
+        }
+        examples: list[list[str]] = []
+        labels: list[str] = []
+        negatives = 0
+        for occurrence in occurrences:
+            labeled = False
+            for inverse in (False, True):
+                subject, obj = occurrence.pair(inverse)
+                for relation in self.relations:
+                    if self.seed_kb.contains_fact(subject, relation, obj):
+                        examples.append(occurrence_features(occurrence, inverse))
+                        labels.append(f"{relation.id}|{'inv' if inverse else 'fwd'}")
+                        self.summary.positives += 1
+                        labeled = True
+            if labeled:
+                continue
+            both_known = (
+                occurrence.first in seed_entities
+                and occurrence.second in seed_entities
+            )
+            if both_known and negatives < self.negative_cap:
+                examples.append(occurrence_features(occurrence, inverse=False))
+                labels.append(NONE_LABEL)
+                negatives += 1
+                self.summary.negatives += 1
+            else:
+                self.summary.skipped += 1
+        if not examples:
+            raise ValueError("distant alignment produced no training examples")
+        self._model.fit(examples, labels)
+        self._trained = True
+        return self.summary
+
+    def extract(self, occurrences: list[Occurrence]) -> list[Candidate]:
+        """Classify every occurrence; keep confident non-NONE predictions."""
+        if not self._trained:
+            raise RuntimeError("call train() before extract()")
+        candidates = []
+        for occurrence in occurrences:
+            posterior = self._model.predict_proba(
+                occurrence_features(occurrence, inverse=False)
+            )
+            label = max(posterior, key=lambda l: (posterior[l], str(l)))
+            probability = posterior[label]
+            if label == NONE_LABEL or probability < self.min_posterior:
+                # Try the inverse reading before giving up ("Y ... by X").
+                posterior = self._model.predict_proba(
+                    occurrence_features(occurrence, inverse=True)
+                )
+                label = max(posterior, key=lambda l: (posterior[l], str(l)))
+                probability = posterior[label]
+                if label == NONE_LABEL or probability < self.min_posterior:
+                    continue
+            relation_id, __, direction = label.partition("|")
+            subject, obj = occurrence.pair(inverse=direction == "inv")
+            candidates.append(
+                Candidate(
+                    subject=subject,
+                    relation=Relation(relation_id),
+                    object=obj,
+                    confidence=probability,
+                    extractor=self.name,
+                    evidence=occurrence.sentence,
+                )
+            )
+        return candidates

@@ -1,0 +1,164 @@
+"""Knowledge-Vault-style fusion of extractors with a graph prior.
+
+Knowledge Vault (Dong et al., KDD 2014 — reference [9] of the tutorial)
+produces calibrated fact probabilities by fusing, per candidate fact,
+(a) the confidence signals of multiple independent extractors and (b) a
+graph-based prior computed from the existing KB (here: PRA-lite path
+ranking).  The fusion layer is a logistic regression over those signals,
+trained on candidates whose truth is known (the seed KB), and its output
+probability is what downstream consumers threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..kb import Entity, Relation, TripleStore, Triple
+from ..ml.logreg import LogisticRegression
+from ..reasoning.pra import KnowledgeGraph, PathRankingModel
+from .base import Candidate
+
+FactKey = tuple
+
+
+@dataclass(slots=True)
+class FusedFact:
+    """One fused candidate with its calibrated probability."""
+
+    subject: Entity
+    relation: Relation
+    object: object
+    probability: float
+    extractor_count: int
+
+
+class KnowledgeFusion:
+    """Fuse per-extractor confidences with a PRA graph prior."""
+
+    def __init__(
+        self,
+        extractor_names: Iterable[str],
+        prior_kb: TripleStore,
+        use_graph_prior: bool = True,
+        max_path_length: int = 3,
+    ) -> None:
+        self.extractor_names = sorted(extractor_names)
+        self.prior_kb = prior_kb
+        self.use_graph_prior = use_graph_prior
+        self._graph = KnowledgeGraph(prior_kb) if use_graph_prior else None
+        self._pra_models: dict[Relation, PathRankingModel] = {}
+        self._max_path_length = max_path_length
+        self._model: Optional[LogisticRegression] = None
+
+    # -------------------------------------------------------------- features
+
+    def _group(self, candidates: Iterable[Candidate]) -> dict[FactKey, list[Candidate]]:
+        groups: dict[FactKey, list[Candidate]] = defaultdict(list)
+        for candidate in candidates:
+            groups[candidate.key()].append(candidate)
+        return groups
+
+    def _graph_prior(self, key: FactKey) -> float:
+        if self._graph is None:
+            return 0.5
+        subject, relation, obj = key
+        if not isinstance(obj, Entity):
+            return 0.5
+        model = self._pra_models.get(relation)
+        if model is None:
+            model = PathRankingModel(relation, max_path_length=self._max_path_length)
+            try:
+                model.train(self._graph, self.prior_kb)
+            except ValueError:
+                model = None
+            self._pra_models[relation] = model
+        if model is None:
+            return 0.5
+        return model.score(self._graph, subject, obj)
+
+    def _features(self, key: FactKey, witnesses: list[Candidate]) -> list[float]:
+        by_extractor = {
+            name: max(
+                (c.confidence for c in witnesses if c.extractor == name),
+                default=0.0,
+            )
+            for name in self.extractor_names
+        }
+        features = [by_extractor[name] for name in self.extractor_names]
+        features.append(float(len(witnesses)))                 # evidence count
+        features.append(max(c.confidence for c in witnesses))  # strongest signal
+        features.append(self._graph_prior(key))                # KB prior
+        return features
+
+    # -------------------------------------------------------------- training
+
+    def train(
+        self,
+        candidates: Iterable[Candidate],
+        truth: TripleStore,
+        seed: int = 0,
+    ) -> int:
+        """Fit the fusion layer on candidates with known truth labels."""
+        groups = self._group(candidates)
+        if not groups:
+            raise ValueError("no candidates to train on")
+        rng = random.Random(seed)
+        keys = sorted(groups, key=repr)
+        rng.shuffle(keys)
+        X = np.asarray([self._features(k, groups[k]) for k in keys])
+        y = np.asarray(
+            [1.0 if truth.contains_fact(*k) else 0.0 for k in keys]
+        )
+        if y.min() == y.max():
+            raise ValueError("training candidates must include both labels")
+        self._model = LogisticRegression(l2=1e-3).fit(X, y)
+        return len(keys)
+
+    # ------------------------------------------------------------- inference
+
+    def fuse(self, candidates: Iterable[Candidate]) -> list[FusedFact]:
+        """Calibrated probability per distinct candidate fact."""
+        if self._model is None:
+            raise RuntimeError("train() the fusion layer first")
+        groups = self._group(candidates)
+        keys = sorted(groups, key=repr)
+        if not keys:
+            return []
+        X = np.asarray([self._features(k, groups[k]) for k in keys])
+        probabilities = self._model.predict_proba(X)
+        fused = []
+        for key, probability in zip(keys, probabilities):
+            subject, relation, obj = key
+            fused.append(
+                FusedFact(
+                    subject=subject,
+                    relation=relation,
+                    object=obj,
+                    probability=float(probability),
+                    extractor_count=len({c.extractor for c in groups[key]}),
+                )
+            )
+        fused.sort(key=lambda f: (-f.probability, repr((f.subject, f.relation))))
+        return fused
+
+    def to_store(self, fused: list[FusedFact], threshold: float = 0.5) -> TripleStore:
+        """Accepted facts above a probability threshold."""
+        store = TripleStore()
+        for fact in fused:
+            if fact.probability < threshold:
+                continue
+            store.add(
+                Triple(
+                    fact.subject,
+                    fact.relation,
+                    fact.object,
+                    confidence=min(fact.probability, 1.0),
+                    source="fusion",
+                )
+            )
+        return store

@@ -1,0 +1,106 @@
+"""Infobox harvesting (the DBpedia recipe).
+
+DBpedia's core extractor maps infobox attribute names to ontology relations
+via community-maintained mappings, parses the attribute values (entity
+names, years, numbers), and emits high-confidence triples.  This module
+applies the same recipe to the synthetic encyclopedia; the attribute
+mapping below plays the role of DBpedia's mapping wiki.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kb import Literal, Relation
+from ..corpus.wiki import Wiki, WikiPage
+from ..world import schema as ws
+from .base import Candidate
+from .resolution import NameResolver
+
+#: attribute name -> (relation, value kind). "entity" values are resolved
+#: through the name dictionary; "year"/"integer" are parsed as literals.
+ATTRIBUTE_MAPPING: dict[str, tuple[Relation, str]] = {
+    "born": (ws.BORN_IN, "entity"),
+    "birth_date": (ws.BIRTH_YEAR, "year"),
+    "death_date": (ws.DEATH_YEAR, "year"),
+    "spouse": (ws.MARRIED_TO, "entity"),
+    "alma_mater": (ws.STUDIED_AT, "entity"),
+    "employer": (ws.WORKS_AT, "entity"),
+    "awards": (ws.WON_PRIZE, "entity"),
+    "headquarters": (ws.HEADQUARTERED_IN, "entity"),
+    "founded": (ws.FOUNDING_YEAR, "year"),
+    "products": (ws.CREATED_PRODUCT, "entity"),
+    "country": (ws.LOCATED_IN, "entity"),
+    "population": (ws.POPULATION, "integer"),
+    "release_year": (ws.RELEASE_YEAR, "year"),
+    "predecessor": (ws.SUCCESSOR_OF, "entity"),
+}
+
+
+@dataclass(slots=True)
+class InfoboxReport:
+    """Coverage statistics of one harvesting run."""
+
+    pages: int = 0
+    attributes_seen: int = 0
+    attributes_mapped: int = 0
+    values_resolved: int = 0
+    values_unresolved: int = 0
+
+
+class InfoboxExtractor:
+    """Harvest candidates from every page's infobox."""
+
+    name = "infobox"
+
+    def __init__(self, resolver: NameResolver, confidence: float = 0.95) -> None:
+        self.resolver = resolver
+        self.confidence = confidence
+
+    def extract_page(self, page: WikiPage, report: Optional[InfoboxReport] = None) -> list[Candidate]:
+        """Candidates from one page's infobox."""
+        candidates = []
+        for attribute, value in page.infobox.items():
+            if report is not None:
+                report.attributes_seen += 1
+            mapping = ATTRIBUTE_MAPPING.get(attribute)
+            if mapping is None:
+                continue
+            if report is not None:
+                report.attributes_mapped += 1
+            relation, kind = mapping
+            obj = self._parse_value(value, kind)
+            if obj is None:
+                if report is not None:
+                    report.values_unresolved += 1
+                continue
+            if report is not None:
+                report.values_resolved += 1
+            candidates.append(
+                Candidate(
+                    subject=page.entity,
+                    relation=relation,
+                    object=obj,
+                    confidence=self.confidence,
+                    extractor=self.name,
+                    evidence=f"{page.title}|{attribute}={value}",
+                )
+            )
+        return candidates
+
+    def extract_wiki(self, wiki: Wiki) -> tuple[list[Candidate], InfoboxReport]:
+        """Candidates from every page, plus the coverage report."""
+        report = InfoboxReport()
+        candidates = []
+        for title in sorted(wiki.pages):
+            report.pages += 1
+            candidates.extend(self.extract_page(wiki.pages[title], report))
+        return candidates, report
+
+    def _parse_value(self, value: str, kind: str):
+        if kind == "year":
+            return Literal(value, "year") if value.lstrip("-").isdigit() else None
+        if kind == "integer":
+            return Literal(value, "integer") if value.lstrip("-").isdigit() else None
+        return self.resolver.resolve(value)

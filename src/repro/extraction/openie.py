@@ -1,0 +1,223 @@
+"""ReVerb-style open information extraction.
+
+Open IE harvests arbitrary SPO triples with no pre-specified relation
+inventory: noun phrases are argument candidates, verbal phrases are
+prototypic relation patterns (tutorial section 3).  Following ReVerb
+(Fader et al., EMNLP 2011) the relation phrase must match
+
+    V | V P | V W* P
+
+(a verb group, optionally followed by non-verb words ending in a
+preposition), must sit *between* its two arguments (syntactic constraint),
+and must occur with at least ``min_distinct_pairs`` distinct argument pairs
+corpus-wide (lexical constraint), which removes overly specific,
+incoherent phrases.  A deterministic confidence function scores each
+extraction from the classic indicator features.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..nlp import lexicon as lx
+from ..nlp.chunk import Chunk
+from ..nlp.lemmatize import lemma
+from ..nlp.pipeline import Analysis, analyze
+
+
+@dataclass(frozen=True, slots=True)
+class OpenTriple:
+    """One open-IE extraction: surface arguments and relation phrase."""
+
+    arg1: str
+    relation: str             # the surface relation phrase
+    arg2: str
+    normalized: str           # lemmatized, aux/adverb-stripped phrase
+    confidence: float
+    sentence: str
+
+
+@dataclass(frozen=True, slots=True)
+class _RelationSpan:
+    start: int
+    end: int
+
+
+class ReVerbExtractor:
+    """The V | V P | V W* P open extractor with ReVerb's constraints."""
+
+    name = "reverb"
+
+    def __init__(
+        self,
+        min_distinct_pairs: int = 2,
+        max_intervening: int = 4,
+        apply_lexical_constraint: bool = True,
+    ) -> None:
+        self.min_distinct_pairs = min_distinct_pairs
+        self.max_intervening = max_intervening
+        self.apply_lexical_constraint = apply_lexical_constraint
+
+    # -------------------------------------------------------- per sentence
+
+    def extract_sentence(self, analysis: Analysis) -> list[OpenTriple]:
+        """All extractions from one analyzed sentence (no lexical filter)."""
+        triples = []
+        for span in self._relation_spans(analysis):
+            arg1 = self._argument_left(analysis, span)
+            arg2 = self._argument_right(analysis, span)
+            if arg1 is None or arg2 is None:
+                continue
+            phrase = _span_text(analysis, span.start, span.end)
+            normalized = self._normalize(analysis, span)
+            if not normalized:
+                continue
+            confidence = self._confidence(analysis, span, arg1, arg2)
+            triples.append(
+                OpenTriple(
+                    arg1=arg1.text(analysis.tokens),
+                    relation=phrase,
+                    arg2=arg2.text(analysis.tokens),
+                    normalized=normalized,
+                    confidence=confidence,
+                    sentence=analysis.text,
+                )
+            )
+        return triples
+
+    def extract_corpus(self, sentences: Iterable[str]) -> list[OpenTriple]:
+        """Extract from raw sentences, then apply the lexical constraint."""
+        raw: list[OpenTriple] = []
+        for sentence in sentences:
+            raw.extend(self.extract_sentence(analyze(sentence)))
+        if not self.apply_lexical_constraint:
+            return raw
+        pairs_of: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        for triple in raw:
+            pairs_of[triple.normalized].add((triple.arg1, triple.arg2))
+        return [
+            t for t in raw
+            if len(pairs_of[t.normalized]) >= self.min_distinct_pairs
+        ]
+
+    # ----------------------------------------------------------- internals
+
+    def _relation_spans(self, analysis: Analysis) -> list[_RelationSpan]:
+        """Maximal V | V P | V W* P spans starting at each verb group."""
+        spans = []
+        n = len(analysis.tokens)
+        for group in analysis.verb_groups:
+            end = group.end
+            # Greedy extension: W* (no verbs, no punctuation) then a final P.
+            probe = end
+            intervening = 0
+            best_end = end
+            while probe < n and intervening <= self.max_intervening:
+                tag = analysis.tags[probe]
+                if tag == lx.ADP:
+                    best_end = probe + 1
+                    break
+                if tag in (lx.NOUN, lx.ADJ, lx.ADV, lx.DET, lx.PART):
+                    probe += 1
+                    intervening += 1
+                    continue
+                break
+            spans.append(_RelationSpan(group.start, best_end))
+        return spans
+
+    def _argument_left(self, analysis: Analysis, span: _RelationSpan) -> Optional[Chunk]:
+        best = None
+        for np in analysis.nps:
+            if np.end <= span.start:
+                best = np
+        return best
+
+    def _argument_right(self, analysis: Analysis, span: _RelationSpan) -> Optional[Chunk]:
+        for np in analysis.nps:
+            if np.start >= span.end:
+                return np
+        return None
+
+    def _normalize(self, analysis: Analysis, span: _RelationSpan) -> str:
+        """Lemmatize and drop auxiliaries/adverbs/determiners."""
+        kept = []
+        has_content = False
+        for i in range(span.start, span.end):
+            tag = analysis.tags[i]
+            if tag in (lx.ADV, lx.DET, lx.PART):
+                continue
+            if tag == lx.AUX:
+                # Keep a bare copula ("is the capital of"), drop aspect aux.
+                if any(
+                    analysis.tags[j] == lx.VERB for j in range(span.start, span.end)
+                ):
+                    continue
+                kept.append("be")
+                has_content = True
+                continue
+            if tag in (lx.VERB, lx.NOUN, lx.ADJ):
+                kept.append(lemma(analysis.tokens[i].text))
+                has_content = True
+                continue
+            if tag == lx.ADP:
+                kept.append(analysis.tokens[i].text.lower())
+        return " ".join(kept) if has_content else ""
+
+    def _confidence(self, analysis, span, arg1: Chunk, arg2: Chunk) -> float:
+        """ReVerb's feature-based confidence, as a deterministic score."""
+        score = 0.4
+        if analysis.tags[arg1.head_index] == lx.PROPN:
+            score += 0.15
+        if analysis.tags[arg2.head_index] in (lx.PROPN, lx.NUM):
+            score += 0.15
+        if analysis.tags[span.end - 1] == lx.ADP:
+            score += 0.1
+        if span.start - arg1.end == 0:
+            score += 0.1  # relation phrase adjacent to arg1
+        if arg2.start - span.end == 0:
+            score += 0.1  # and to arg2
+        length = span.end - span.start
+        if length > 4:
+            score -= 0.1 * (length - 4)
+        return max(0.05, min(score, 0.99))
+
+
+def cluster_relation_phrases(
+    triples: Iterable[OpenTriple], min_shared_pairs: int = 2
+) -> list[set[str]]:
+    """Group synonymous relation phrases by shared argument pairs.
+
+    Phrases that connect at least ``min_shared_pairs`` identical (arg1,
+    arg2) pairs are clustered together (union-find over the co-occurrence
+    graph) — the classic path to relation synonym discovery in open IE.
+    """
+    from ..kb.sameas import UnionFind
+
+    pairs_of: dict[str, set[tuple[str, str]]] = defaultdict(set)
+    for triple in triples:
+        pairs_of[triple.normalized].add((triple.arg1, triple.arg2))
+    phrases = sorted(pairs_of)
+    uf = UnionFind()
+    for phrase in phrases:
+        uf.union(phrase, phrase)
+    for i, a in enumerate(phrases):
+        for b in phrases[i + 1:]:
+            if len(pairs_of[a] & pairs_of[b]) >= min_shared_pairs:
+                uf.union(a, b)
+    clusters: dict[str, set[str]] = defaultdict(set)
+    for phrase in phrases:
+        clusters[uf.find(phrase)].add(phrase)
+    return sorted(clusters.values(), key=lambda c: (-len(c), sorted(c)[0]))
+
+
+def _span_text(analysis: Analysis, start: int, end: int) -> str:
+    tokens = analysis.tokens[start:end]
+    if not tokens:
+        return ""
+    pieces = [tokens[0].text]
+    for prev, cur in zip(tokens, tokens[1:]):
+        pieces.append(" " if cur.start > prev.end else "")
+        pieces.append(cur.text)
+    return "".join(pieces)

@@ -1,0 +1,93 @@
+"""Surface-pattern fact extraction (the pattern-matching family).
+
+The simplest point on the tutorial's extraction spectrum: hand-written
+token patterns between two entity mentions ("X *was born in* Y").  High
+precision on canonical phrasings, blind to paraphrase — which is exactly
+the profile E3 measures against the learned extractors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..kb import Relation
+from ..world import schema as ws
+from .base import Candidate
+from .occurrences import Occurrence
+
+
+@dataclass(frozen=True, slots=True)
+class SurfacePattern:
+    """A token-sequence pattern between two mentions.
+
+    ``inverse`` marks patterns whose textual-second mention is the subject
+    ("{o} was founded by {s}").
+    """
+
+    relation: Relation
+    middle: tuple[str, ...]
+    inverse: bool = False
+    confidence: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.middle:
+            raise ValueError("a surface pattern needs at least one middle token")
+
+
+#: Hand-written seed patterns: one or two canonical phrasings per relation.
+SEED_PATTERNS: tuple[SurfacePattern, ...] = (
+    SurfacePattern(ws.BORN_IN, ("was", "born", "in")),
+    SurfacePattern(ws.DIED_IN, ("died", "in")),
+    SurfacePattern(ws.FOUNDED, ("founded",)),
+    SurfacePattern(ws.CEO_OF, ("is", "the", "ceo", "of")),
+    SurfacePattern(ws.WORKS_AT, ("works", "at")),
+    SurfacePattern(ws.STUDIED_AT, ("studied", "at")),
+    SurfacePattern(ws.STUDIED_AT, ("graduated", "from")),
+    SurfacePattern(ws.MARRIED_TO, ("married",)),
+    SurfacePattern(ws.WON_PRIZE, ("won", "the")),
+    SurfacePattern(ws.WROTE, ("wrote",)),
+    SurfacePattern(ws.RELEASED, ("released", "the", "album")),
+    SurfacePattern(ws.LOCATED_IN, ("is", "a", "city", "in")),
+    SurfacePattern(ws.LOCATED_IN, ("is", "located", "in")),
+    SurfacePattern(ws.CAPITAL_OF, ("is", "the", "capital", "of")),
+    SurfacePattern(ws.HEADQUARTERED_IN, ("is", "headquartered", "in")),
+    SurfacePattern(ws.HEADQUARTERED_IN, ("is", "based", "in")),
+    SurfacePattern(ws.CREATED_PRODUCT, ("released", "the")),
+    SurfacePattern(ws.CREATED_PRODUCT, ("launched", "the")),
+    SurfacePattern(ws.CITIZEN_OF, ("is", "a", "citizen", "of")),
+)
+
+
+class PatternExtractor:
+    """Match a pattern inventory against entity-pair occurrences."""
+
+    name = "surface-patterns"
+
+    def __init__(self, patterns: Iterable[SurfacePattern] = SEED_PATTERNS) -> None:
+        self._by_middle: dict[tuple[str, ...], list[SurfacePattern]] = {}
+        for pattern in patterns:
+            self._by_middle.setdefault(pattern.middle, []).append(pattern)
+
+    @property
+    def patterns(self) -> list[SurfacePattern]:
+        """The pattern inventory."""
+        return [p for group in self._by_middle.values() for p in group]
+
+    def extract(self, occurrences: Iterable[Occurrence]) -> list[Candidate]:
+        """All candidates produced by exact middle-sequence matches."""
+        candidates = []
+        for occurrence in occurrences:
+            for pattern in self._by_middle.get(occurrence.middle, ()):
+                subject, obj = occurrence.pair(inverse=pattern.inverse)
+                candidates.append(
+                    Candidate(
+                        subject=subject,
+                        relation=pattern.relation,
+                        object=obj,
+                        confidence=pattern.confidence,
+                        extractor=self.name,
+                        evidence=occurrence.sentence,
+                    )
+                )
+        return candidates

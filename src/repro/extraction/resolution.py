@@ -1,0 +1,104 @@
+"""Mapping surface forms to KB entities during extraction.
+
+Fact extractors see names, not entities.  The resolver is the name
+dictionary a real system would derive from its KB (page titles, redirects,
+aliases) with per-name popularity priors.  Resolution here is deliberately
+*local*: an unambiguous name resolves to its entity; an ambiguous one
+resolves to the most popular candidate only if its prior clears a margin,
+else it is dropped.  (Context-sensitive disambiguation is NED's job —
+package :mod:`repro.ned`.)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kb import Entity
+from ..nlp.gazetteer import Gazetteer
+
+
+@dataclass(frozen=True, slots=True)
+class NameEntry:
+    """The candidates a name may denote, with popularity counts."""
+
+    candidates: tuple[tuple[Entity, int], ...]  # (entity, count), sorted desc
+
+    def best(self) -> Entity:
+        return self.candidates[0][0]
+
+    @property
+    def ambiguous(self) -> bool:
+        return len(self.candidates) > 1
+
+
+class NameResolver:
+    """A name -> entity dictionary with popularity-based tie breaking."""
+
+    def __init__(self, dominance: float = 0.8) -> None:
+        """``dominance``: minimum share of the top candidate's popularity
+        among all candidates for an ambiguous name to resolve at all."""
+        if not 0.0 < dominance <= 1.0:
+            raise ValueError("dominance must be in (0, 1]")
+        self.dominance = dominance
+        self._names: dict[str, Counter] = {}
+
+    def add(self, name: str, entity: Entity, count: int = 1) -> None:
+        """Register that ``name`` refers to ``entity`` (count = popularity)."""
+        self._names.setdefault(name, Counter())[entity] += count
+
+    def add_aliases(self, entity: Entity, names: Iterable[str], primary_boost: int = 5) -> None:
+        """Register an entity's names; the first gets a popularity boost."""
+        for index, name in enumerate(names):
+            self.add(name, entity, primary_boost if index == 0 else 1)
+
+    def entry(self, name: str) -> Optional[NameEntry]:
+        """All candidates of a name, most popular first."""
+        counter = self._names.get(name)
+        if not counter:
+            return None
+        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0].id))
+        return NameEntry(tuple(ranked))
+
+    def resolve(self, name: str) -> Optional[Entity]:
+        """The entity a name denotes, or None when too ambiguous."""
+        entry = self.entry(name)
+        if entry is None:
+            return None
+        if not entry.ambiguous:
+            return entry.best()
+        total = sum(count for __, count in entry.candidates)
+        top = entry.candidates[0][1]
+        if total and top / total >= self.dominance:
+            return entry.best()
+        return None
+
+    def candidates(self, name: str) -> list[tuple[Entity, float]]:
+        """(entity, prior) pairs for a name — the NED candidate interface."""
+        entry = self.entry(name)
+        if entry is None:
+            return []
+        total = sum(count for __, count in entry.candidates)
+        return [(entity, count / total) for entity, count in entry.candidates]
+
+    def names(self) -> list[str]:
+        """Every registered name."""
+        return list(self._names)
+
+    def to_gazetteer(self) -> Gazetteer:
+        """A token-trie over all registered names (payload: the name)."""
+        gazetteer: Gazetteer = Gazetteer()
+        for name in self._names:
+            gazetteer.add(name, name)
+        return gazetteer
+
+
+def resolver_from_aliases(
+    aliases: dict[Entity, list[str]], dominance: float = 0.8
+) -> NameResolver:
+    """Build a resolver from an entity -> surface forms mapping."""
+    resolver = NameResolver(dominance=dominance)
+    for entity, names in aliases.items():
+        resolver.add_aliases(entity, names)
+    return resolver

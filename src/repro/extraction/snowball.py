@@ -1,0 +1,155 @@
+"""Snowball/DIPRE-style bootstrapped pattern induction.
+
+Start from a few seed *facts*, find their co-occurrences in text, promote
+the recurring middle contexts to patterns, score each pattern by how often
+it confirms vs contradicts the seed knowledge, extract new facts with the
+confident patterns, promote the best new facts into the seed set, repeat.
+The pattern confidence is the classic Snowball ratio
+
+    positive / (positive + negative)
+
+where a match is *negative* when the pattern pairs a known subject with a
+conflicting object of a functional relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..kb import Entity, Relation
+from .base import Candidate
+from .occurrences import Occurrence
+
+
+@dataclass(frozen=True, slots=True)
+class LearnedPattern:
+    """A bootstrapped pattern with its confidence and direction."""
+
+    middle: tuple[str, ...]
+    inverse: bool
+    confidence: float
+    support: int
+
+
+@dataclass(slots=True)
+class SnowballReport:
+    """What each bootstrapping iteration did."""
+
+    iterations: int = 0
+    patterns_per_iteration: list[int] = field(default_factory=list)
+    facts_per_iteration: list[int] = field(default_factory=list)
+
+
+class SnowballExtractor:
+    """Bootstrapped extraction for a single relation."""
+
+    name = "snowball"
+
+    def __init__(
+        self,
+        relation: Relation,
+        seeds: Iterable[tuple[Entity, Entity]],
+        functional: bool = True,
+        min_support: int = 2,
+        min_confidence: float = 0.7,
+        promote_threshold: float = 0.85,
+        max_iterations: int = 3,
+        max_middle_length: int = 6,
+    ) -> None:
+        self.relation = relation
+        self.seeds: set[tuple[Entity, Entity]] = set(seeds)
+        if not self.seeds:
+            raise ValueError("Snowball needs at least one seed pair")
+        self.functional = functional
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.promote_threshold = promote_threshold
+        self.max_iterations = max_iterations
+        self.max_middle_length = max_middle_length
+        self.patterns: list[LearnedPattern] = []
+        self.report = SnowballReport()
+
+    def run(self, occurrences: list[Occurrence]) -> list[Candidate]:
+        """Bootstrap over a fixed occurrence list; return final candidates."""
+        known: set[tuple[Entity, Entity]] = set(self.seeds)
+        candidates: dict[tuple[Entity, Entity], Candidate] = {}
+        for iteration in range(self.max_iterations):
+            self.report.iterations = iteration + 1
+            self.patterns = self._induce_patterns(occurrences, known)
+            self.report.patterns_per_iteration.append(len(self.patterns))
+            new_candidates = self._apply_patterns(occurrences)
+            fresh = 0
+            for candidate in new_candidates:
+                pair = (candidate.subject, candidate.object)
+                previous = candidates.get(pair)
+                if previous is None or candidate.confidence > previous.confidence:
+                    candidates[pair] = candidate
+                if (
+                    candidate.confidence >= self.promote_threshold
+                    and pair not in known
+                ):
+                    known.add(pair)
+                    fresh += 1
+            self.report.facts_per_iteration.append(fresh)
+            if fresh == 0:
+                break
+        return list(candidates.values())
+
+    # ----------------------------------------------------------- internals
+
+    def _induce_patterns(
+        self, occurrences: list[Occurrence], known: set[tuple[Entity, Entity]]
+    ) -> list[LearnedPattern]:
+        """Score every (middle, direction) context against the known pairs."""
+        known_objects: dict[Entity, set[Entity]] = defaultdict(set)
+        for subject, obj in known:
+            known_objects[subject].add(obj)
+        stats: dict[tuple[tuple[str, ...], bool], list[int]] = defaultdict(lambda: [0, 0])
+        for occurrence in occurrences:
+            if len(occurrence.middle) > self.max_middle_length:
+                continue
+            for inverse in (False, True):
+                subject, obj = occurrence.pair(inverse)
+                if subject not in known_objects:
+                    continue
+                key = (occurrence.middle, inverse)
+                if obj in known_objects[subject]:
+                    stats[key][0] += 1
+                elif self.functional:
+                    # The subject is known with a *different* object: under
+                    # functionality this match contradicts the seeds.
+                    stats[key][1] += 1
+        patterns = []
+        for (middle, inverse), (positive, negative) in stats.items():
+            if not middle or positive < self.min_support:
+                continue
+            confidence = positive / (positive + negative)
+            if confidence >= self.min_confidence:
+                patterns.append(
+                    LearnedPattern(middle, inverse, confidence, positive)
+                )
+        patterns.sort(key=lambda p: (-p.confidence, -p.support, p.middle))
+        return patterns
+
+    def _apply_patterns(self, occurrences: list[Occurrence]) -> list[Candidate]:
+        by_key = {(p.middle, p.inverse): p for p in self.patterns}
+        results = []
+        for occurrence in occurrences:
+            for inverse in (False, True):
+                pattern = by_key.get((occurrence.middle, inverse))
+                if pattern is None:
+                    continue
+                subject, obj = occurrence.pair(inverse)
+                results.append(
+                    Candidate(
+                        subject=subject,
+                        relation=self.relation,
+                        object=obj,
+                        confidence=pattern.confidence,
+                        extractor=self.name,
+                        evidence=occurrence.sentence,
+                    )
+                )
+        return results

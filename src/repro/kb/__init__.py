@@ -1,0 +1,60 @@
+"""The knowledge-base substrate: RDF-style terms, triples, store, queries.
+
+This subpackage is the SPO data model the tutorial's section 2 opens with:
+everything the harvesting, reasoning, and analytics layers produce or consume
+is a :class:`~repro.kb.triple.Triple` living in a
+:class:`~repro.kb.store.TripleStore`.
+"""
+
+from . import ns
+from .terms import (
+    Entity,
+    Literal,
+    Relation,
+    Term,
+    Resource,
+    string_literal,
+    integer_literal,
+    year_literal,
+    decimal_literal,
+)
+from .triple import ALWAYS, TimeSpan, Triple
+from .store import TripleStore
+from .query import Pattern, Query, Var, ask
+from .schema import Taxonomy, schema_triples
+from .sameas import UnionFind, canonicalize, sameas_closure
+from .rdfio import load, save, triple_from_line, triple_to_line
+from .graphutil import degree_statistics, relation_path, to_networkx
+
+__all__ = [
+    "ns",
+    "Entity",
+    "Literal",
+    "Relation",
+    "Term",
+    "Resource",
+    "string_literal",
+    "integer_literal",
+    "year_literal",
+    "decimal_literal",
+    "ALWAYS",
+    "TimeSpan",
+    "Triple",
+    "TripleStore",
+    "Pattern",
+    "Query",
+    "Var",
+    "ask",
+    "Taxonomy",
+    "schema_triples",
+    "UnionFind",
+    "canonicalize",
+    "sameas_closure",
+    "load",
+    "save",
+    "triple_from_line",
+    "triple_to_line",
+    "degree_statistics",
+    "relation_path",
+    "to_networkx",
+]

@@ -1,0 +1,89 @@
+"""Graph views of a triple store (networkx interoperability).
+
+Knowledge bases are graphs; exporting the entity-to-entity facts as a
+``networkx`` graph opens the whole graph-analysis toolbox (centrality,
+components, shortest paths) to downstream users without any custom code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from .terms import Entity, Relation
+from .store import TripleStore
+
+
+def to_networkx(
+    store: TripleStore,
+    relations: Optional[set[Relation]] = None,
+) -> "nx.MultiDiGraph":
+    """The entity-to-entity facts as a labelled multi-digraph.
+
+    Nodes are :class:`Entity` objects; each qualifying triple becomes one
+    edge with ``relation`` (the id string), ``confidence``, and ``scope``
+    attributes.  Literal-valued triples are skipped; ``relations`` limits
+    the export to a subset of predicates.
+    """
+    graph: nx.MultiDiGraph = nx.MultiDiGraph()
+    for triple in store:
+        predicate = triple.predicate
+        if not isinstance(predicate, Relation):
+            continue
+        if relations is not None and predicate not in relations:
+            continue
+        if not isinstance(triple.subject, Entity) or not isinstance(
+            triple.object, Entity
+        ):
+            continue
+        graph.add_edge(
+            triple.subject,
+            triple.object,
+            relation=predicate.id,
+            confidence=triple.confidence,
+            scope=triple.scope,
+        )
+    return graph
+
+
+def relation_path(
+    store: TripleStore, start: Entity, end: Entity
+) -> Optional[list[str]]:
+    """The relation labels along one shortest undirected path, or None.
+
+    Directions are annotated: a reversed edge's label carries a ``^``
+    prefix ("bornIn, ^capitalOf" reads: start --bornIn--> x <--capitalOf-- end).
+    """
+    graph = to_networkx(store)
+    undirected = graph.to_undirected(as_view=False)
+    if start not in undirected or end not in undirected:
+        return None
+    try:
+        nodes = nx.shortest_path(undirected, start, end)
+    except nx.NetworkXNoPath:
+        return None
+    labels: list[str] = []
+    for a, b in zip(nodes, nodes[1:]):
+        if graph.has_edge(a, b):
+            data = next(iter(graph.get_edge_data(a, b).values()))
+            labels.append(data["relation"])
+        else:
+            data = next(iter(graph.get_edge_data(b, a).values()))
+            labels.append("^" + data["relation"])
+    return labels
+
+
+def degree_statistics(store: TripleStore) -> dict[str, float]:
+    """Basic connectivity statistics of the entity graph."""
+    graph = to_networkx(store)
+    if graph.number_of_nodes() == 0:
+        return {"nodes": 0, "edges": 0, "mean_degree": 0.0, "components": 0}
+    degrees = [d for __, d in graph.degree()]
+    undirected = graph.to_undirected(as_view=False)
+    return {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "mean_degree": sum(degrees) / len(degrees),
+        "components": nx.number_connected_components(undirected),
+    }

@@ -1,0 +1,45 @@
+"""Well-known relations and classes used across the toolkit.
+
+These play the role of the RDF/RDFS/OWL vocabulary in a real knowledge base:
+``rdf:type``, ``rdfs:subClassOf``, ``rdfs:label``, ``owl:sameAs``, plus the
+schema-description relations the consistency reasoner consumes.
+"""
+
+from __future__ import annotations
+
+from .terms import Entity, Relation
+
+#: ``rdf:type`` — entity is an instance of a class.
+TYPE = Relation("rdf:type")
+#: ``rdfs:subClassOf`` — class subsumption.
+SUBCLASS_OF = Relation("rdfs:subClassOf")
+#: ``rdfs:label`` — human-readable (possibly language-tagged) name.
+LABEL = Relation("rdfs:label")
+#: ``owl:sameAs`` — identity link between entities in different sources.
+SAME_AS = Relation("owl:sameAs")
+#: ``skos:prefLabel`` equivalent — the single preferred name.
+PREF_LABEL = Relation("rdfs:prefLabel")
+
+#: Schema triples: ``<relation> rdfs:domain <class>``.
+DOMAIN = Relation("rdfs:domain")
+#: Schema triples: ``<relation> rdfs:range <class>``.
+RANGE = Relation("rdfs:range")
+#: Schema triples: ``<relation> kb:functional "true"`` marks functional relations.
+FUNCTIONAL = Relation("kb:functional")
+#: Schema triples: ``<r1> kb:disjointWith <r2>`` marks mutually exclusive relations.
+DISJOINT_WITH = Relation("kb:disjointWith")
+#: Schema triples: ``<c1> kb:disjointClassWith <c2>`` marks disjoint classes.
+DISJOINT_CLASS_WITH = Relation("kb:disjointClassWith")
+
+#: The universal top class; every class is a subclass of it.
+THING = Entity("kb:Thing")
+
+
+def entity(local: str, prefix: str = "world") -> Entity:
+    """Create an entity in the given namespace (``world`` by default)."""
+    return Entity(f"{prefix}:{local}")
+
+
+def relation(local: str, prefix: str = "world") -> Relation:
+    """Create a relation in the given namespace (``world`` by default)."""
+    return Relation(f"{prefix}:{local}")

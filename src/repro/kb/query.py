@@ -1,0 +1,192 @@
+"""A conjunctive query engine over the triple store.
+
+Queries are lists of triple *patterns* whose positions are either concrete
+terms or :class:`Var` variables, evaluated by backtracking joins.  Pattern
+order is chosen greedily by estimated selectivity (the pattern with the
+fewest matching triples under the current bindings runs first), which is the
+classic query-optimization heuristic and keeps joins fast on the star-shaped
+queries entity-centric analytics asks (tutorial section 4, "semantic search
+and analytics over entities and relations").
+
+Example::
+
+    q = Query([
+        Pattern(Var("x"), ns.TYPE, entity("scientist", "cls")),
+        Pattern(Var("x"), relation("bornIn"), Var("c")),
+        Pattern(Var("c"), relation("locatedIn"), entity("Germany")),
+    ])
+    for binding in q.run(store):
+        print(binding["x"], binding["c"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Union
+
+from .terms import Term
+from .store import TripleStore
+from .triple import Triple
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A pattern position: either a concrete term or a variable.
+Slot = Union[Term, Var]
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """One triple pattern (subject, predicate, object) with optional Vars."""
+
+    subject: Slot
+    predicate: Slot
+    object: Slot
+
+    def variables(self) -> set[str]:
+        """Names of the variables used in this pattern."""
+        return {
+            slot.name
+            for slot in (self.subject, self.predicate, self.object)
+            if isinstance(slot, Var)
+        }
+
+    def bind(self, binding: dict[str, Term]) -> "Pattern":
+        """Substitute bound variables with their values."""
+
+        def resolve(slot: Slot) -> Slot:
+            if isinstance(slot, Var) and slot.name in binding:
+                return binding[slot.name]
+            return slot
+
+        return Pattern(resolve(self.subject), resolve(self.predicate), resolve(self.object))
+
+
+Binding = dict[str, Term]
+Filter = Callable[[Binding], bool]
+
+
+class Query:
+    """A conjunctive query: a list of patterns plus optional filters."""
+
+    def __init__(
+        self,
+        patterns: list[Pattern],
+        filters: Optional[list[Filter]] = None,
+        select: Optional[list[str]] = None,
+        distinct: bool = False,
+        order_by: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if not patterns:
+            raise ValueError("a query needs at least one pattern")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        self.patterns = list(patterns)
+        self.filters = list(filters or [])
+        self.select = list(select) if select is not None else None
+        self.distinct = distinct
+        self.order_by = order_by
+        self.limit = limit
+
+    def run(self, store: TripleStore) -> list[Binding]:
+        """Evaluate against a store; return the list of variable bindings.
+
+        Solution modifiers apply in the SPARQL order: projection, DISTINCT,
+        ORDER BY (lexicographic on the variable's string form), LIMIT.
+        """
+        results = []
+        for binding in self._solve(store, self.patterns, {}):
+            if all(f(binding) for f in self.filters):
+                if self.select is not None:
+                    binding = {name: binding[name] for name in self.select}
+                results.append(binding)
+        if self.distinct:
+            seen = set()
+            unique = []
+            for binding in results:
+                key = tuple(sorted((k, str(v)) for k, v in binding.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(binding)
+            results = unique
+        if self.order_by is not None:
+            results.sort(key=lambda b: str(b.get(self.order_by)))
+        if self.limit is not None:
+            results = results[: self.limit]
+        return results
+
+    def count(self, store: TripleStore) -> int:
+        """Number of solutions (after filters)."""
+        return len(self.run(store))
+
+    def _solve(
+        self, store: TripleStore, remaining: list[Pattern], binding: Binding
+    ) -> Iterator[Binding]:
+        if not remaining:
+            yield dict(binding)
+            return
+        index = self._most_selective(store, remaining, binding)
+        pattern = remaining[index].bind(binding)
+        rest = remaining[:index] + remaining[index + 1:]
+        for triple in self._matches(store, pattern):
+            extended = self._unify(pattern, triple, binding)
+            if extended is not None:
+                yield from self._solve(store, rest, extended)
+
+    @staticmethod
+    def _most_selective(store: TripleStore, patterns: list[Pattern], binding: Binding) -> int:
+        """Index of the pattern with the fewest candidate triples right now."""
+        best_index, best_cost = 0, None
+        for i, pattern in enumerate(patterns):
+            bound = pattern.bind(binding)
+            cost = store.count(
+                None if isinstance(bound.subject, Var) else bound.subject,
+                None if isinstance(bound.predicate, Var) else bound.predicate,
+                None if isinstance(bound.object, Var) else bound.object,
+            )
+            if best_cost is None or cost < best_cost:
+                best_index, best_cost = i, cost
+        return best_index
+
+    @staticmethod
+    def _matches(store: TripleStore, pattern: Pattern) -> Iterator[Triple]:
+        return store.match(
+            None if isinstance(pattern.subject, Var) else pattern.subject,
+            None if isinstance(pattern.predicate, Var) else pattern.predicate,
+            None if isinstance(pattern.object, Var) else pattern.object,
+        )
+
+    @staticmethod
+    def _unify(pattern: Pattern, triple: Triple, binding: Binding) -> Optional[Binding]:
+        """Extend ``binding`` so the pattern matches the triple, or None."""
+        extended = dict(binding)
+        for slot, value in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        ):
+            if isinstance(slot, Var):
+                bound = extended.get(slot.name)
+                if bound is None:
+                    extended[slot.name] = value
+                elif bound != value:
+                    return None
+            elif slot != value:
+                return None
+        return extended
+
+
+def ask(store: TripleStore, patterns: list[Pattern]) -> bool:
+    """True if the conjunctive pattern has at least one solution."""
+    for binding in Query(patterns)._solve(store, patterns, {}):
+        return True
+    return False

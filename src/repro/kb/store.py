@@ -1,0 +1,221 @@
+"""A hash-indexed in-memory triple store.
+
+The store keeps three single-position indexes (S, P, O) and two composite
+indexes (SP, PO) so every triple-pattern shape resolves to a dictionary
+lookup rather than a scan.  Triples are deduplicated on their (s, p, o) key;
+when the same fact is added twice, the higher-confidence witness wins.
+
+This is the substrate everything else in the toolkit writes into: the
+synthetic-world generator, every extractor, the consistency reasoner, and the
+NED and linkage components all read and write :class:`TripleStore` instances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Optional
+
+from .terms import Entity, Literal, Resource, Term
+from .triple import Triple
+from . import ns
+
+
+class TripleStore:
+    """An in-memory collection of :class:`~repro.kb.triple.Triple` objects."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._by_spo: dict[tuple[Resource, Resource, Term], Triple] = {}
+        self._by_s: dict[Resource, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self._by_p: dict[Resource, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self._by_o: dict[Term, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self._by_sp: dict[tuple[Resource, Resource], set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self._by_po: dict[tuple[Resource, Term], set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self.add_all(triples)
+
+    # ------------------------------------------------------------------ write
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; return True if it was new.
+
+        A duplicate (same s, p, o) replaces the stored witness only when the
+        new confidence is strictly higher.
+        """
+        key = triple.spo()
+        existing = self._by_spo.get(key)
+        if existing is not None:
+            if triple.confidence > existing.confidence:
+                self._by_spo[key] = triple
+            return False
+        self._by_spo[key] = triple
+        s, p, o = key
+        self._by_s[s].add(key)
+        self._by_p[p].add(key)
+        self._by_o[o].add(key)
+        self._by_sp[(s, p)].add(key)
+        self._by_po[(p, o)].add(key)
+        return True
+
+    def add_fact(
+        self,
+        subject: Resource,
+        predicate: Resource,
+        obj: Term,
+        confidence: float = 1.0,
+        source: Optional[str] = None,
+        scope=None,
+    ) -> bool:
+        """Convenience wrapper: build and add a triple in one call."""
+        return self.add(Triple(subject, predicate, obj, confidence, source, scope))
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove the fact with this triple's (s, p, o) key, if present."""
+        key = triple.spo()
+        if key not in self._by_spo:
+            return False
+        del self._by_spo[key]
+        s, p, o = key
+        for index, index_key in (
+            (self._by_s, s),
+            (self._by_p, p),
+            (self._by_o, o),
+            (self._by_sp, (s, p)),
+            (self._by_po, (p, o)),
+        ):
+            index[index_key].discard(key)
+            if not index[index_key]:
+                del index[index_key]
+        return True
+
+    def merge(self, other: "TripleStore") -> int:
+        """Add all of ``other``'s triples into this store; return new count."""
+        return self.add_all(other)
+
+    # ------------------------------------------------------------------- read
+
+    def __len__(self) -> int:
+        return len(self._by_spo)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._by_spo.values())
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.spo() in self._by_spo
+
+    def contains_fact(self, subject: Resource, predicate: Resource, obj: Term) -> bool:
+        """True if a triple with this exact (s, p, o) exists."""
+        return (subject, predicate, obj) in self._by_spo
+
+    def get(self, subject: Resource, predicate: Resource, obj: Term) -> Optional[Triple]:
+        """The stored witness for this (s, p, o), or None."""
+        return self._by_spo.get((subject, predicate, obj))
+
+    def match(
+        self,
+        subject: Optional[Resource] = None,
+        predicate: Optional[Resource] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over triples matching a pattern; None is a wildcard."""
+        keys = self._candidate_keys(subject, predicate, obj)
+        if keys is None:
+            yield from self._by_spo.values()
+            return
+        for key in keys:
+            triple = self._by_spo.get(key)
+            if triple is not None:
+                yield triple
+
+    def count(
+        self,
+        subject: Optional[Resource] = None,
+        predicate: Optional[Resource] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the pattern (cheap for indexed shapes)."""
+        keys = self._candidate_keys(subject, predicate, obj)
+        if keys is None:
+            return len(self._by_spo)
+        return len(keys)
+
+    def _candidate_keys(self, s, p, o):
+        """The smallest index bucket covering the pattern, or None for a scan.
+
+        Patterns binding S and O but not P have no composite index; the
+        smaller of the S and O buckets is filtered by the other position.
+        """
+        if s is not None and p is not None and o is not None:
+            return [(s, p, o)] if (s, p, o) in self._by_spo else []
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None and o is not None:
+            s_keys = self._by_s.get(s, ())
+            o_keys = self._by_o.get(o, ())
+            small, position = (s_keys, 2) if len(s_keys) <= len(o_keys) else (o_keys, 0)
+            target = o if position == 2 else s
+            return [k for k in small if k[position] == target]
+        if s is not None:
+            return self._by_s.get(s, ())
+        if p is not None:
+            return self._by_p.get(p, ())
+        if o is not None:
+            return self._by_o.get(o, ())
+        return None
+
+    # ----------------------------------------------------------- conveniences
+
+    def objects(self, subject: Resource, predicate: Resource) -> list[Term]:
+        """All objects o with (subject, predicate, o) in the store."""
+        return [t.object for t in self.match(subject, predicate, None)]
+
+    def subjects(self, predicate: Resource, obj: Term) -> list[Resource]:
+        """All subjects s with (s, predicate, obj) in the store."""
+        return [t.subject for t in self.match(None, predicate, obj)]
+
+    def one_object(self, subject: Resource, predicate: Resource) -> Optional[Term]:
+        """An arbitrary object for (subject, predicate), or None."""
+        for t in self.match(subject, predicate, None):
+            return t.object
+        return None
+
+    def predicates(self) -> set[Resource]:
+        """The set of predicates that occur in the store."""
+        return set(self._by_p)
+
+    def entities(self) -> set[Entity]:
+        """Every Entity occurring in subject or object position."""
+        found: set[Entity] = set()
+        for s, __, o in self._by_spo:
+            if isinstance(s, Entity):
+                found.add(s)
+            if isinstance(o, Entity):
+                found.add(o)
+        return found
+
+    def labels_of(self, subject: Resource, lang: Optional[str] = None) -> list[str]:
+        """All rdfs:label strings for a subject, optionally for one language."""
+        labels = []
+        for term in self.objects(subject, ns.LABEL):
+            if isinstance(term, Literal) and (lang is None or term.lang == lang):
+                labels.append(term.value)
+        return labels
+
+    def filtered(self, keep: Callable[[Triple], bool]) -> "TripleStore":
+        """A new store containing only the triples that satisfy ``keep``."""
+        return TripleStore(t for t in self if keep(t))
+
+    def with_min_confidence(self, threshold: float) -> "TripleStore":
+        """A new store keeping triples with confidence >= threshold."""
+        return self.filtered(lambda t: t.confidence >= threshold)
+
+    def copy(self) -> "TripleStore":
+        """A shallow copy (triples are immutable, so this is safe)."""
+        return TripleStore(self)
+
+    def __repr__(self) -> str:
+        return f"TripleStore(len={len(self)}, predicates={len(self._by_p)})"

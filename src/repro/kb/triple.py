@@ -1,0 +1,112 @@
+"""SPO triples with confidence, provenance, and temporal scope.
+
+A fact in a modern knowledge base is more than a bare (subject, predicate,
+object) tuple: extraction systems attach a *confidence*, provenance ties the
+fact back to its *source* document, and temporal knowledge harvesting
+(tutorial section 3, "Temporal and Multilingual Knowledge") attaches the
+*timespan* during which the fact holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .terms import Resource, Term
+
+
+@dataclass(frozen=True, slots=True)
+class TimeSpan:
+    """A (possibly half-open) interval of calendar years.
+
+    ``begin`` and ``end`` are inclusive years; ``None`` means unbounded on
+    that side.  A point event (a birth, an election) is a span with
+    ``begin == end``.
+    """
+
+    begin: Optional[int] = None
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.begin is not None and self.end is not None and self.begin > self.end:
+            raise ValueError(f"TimeSpan begin {self.begin} after end {self.end}")
+
+    @property
+    def is_point(self) -> bool:
+        """True if the span covers exactly one year."""
+        return self.begin is not None and self.begin == self.end
+
+    def contains(self, year: int) -> bool:
+        """True if ``year`` falls inside this span."""
+        if self.begin is not None and year < self.begin:
+            return False
+        if self.end is not None and year > self.end:
+            return False
+        return True
+
+    def overlaps(self, other: "TimeSpan") -> bool:
+        """True if the two spans share at least one year."""
+        if self.end is not None and other.begin is not None and self.end < other.begin:
+            return False
+        if other.end is not None and self.begin is not None and other.end < self.begin:
+            return False
+        return True
+
+    def intersect(self, other: "TimeSpan") -> Optional["TimeSpan"]:
+        """The overlap of two spans, or ``None`` if they are disjoint."""
+        if not self.overlaps(other):
+            return None
+        begins = [b for b in (self.begin, other.begin) if b is not None]
+        ends = [e for e in (self.end, other.end) if e is not None]
+        return TimeSpan(max(begins) if begins else None, min(ends) if ends else None)
+
+    def __str__(self) -> str:
+        begin = "" if self.begin is None else str(self.begin)
+        end = "" if self.end is None else str(self.end)
+        return f"[{begin},{end}]"
+
+
+#: The unconstrained timespan (holds at all times).
+ALWAYS = TimeSpan(None, None)
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """One SPO fact.
+
+    Equality and hashing cover all attributes; the triple store deduplicates
+    on the :meth:`spo` key and keeps the highest-confidence witness.
+    """
+
+    subject: Resource
+    predicate: Resource
+    object: Term
+    confidence: float = 1.0
+    source: Optional[str] = None
+    scope: Optional[TimeSpan] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+
+    def spo(self) -> tuple[Resource, Resource, Term]:
+        """The (subject, predicate, object) deduplication key."""
+        return (self.subject, self.predicate, self.object)
+
+    def with_confidence(self, confidence: float) -> "Triple":
+        """A copy of this triple with a different confidence."""
+        return replace(self, confidence=confidence)
+
+    def with_scope(self, scope: TimeSpan) -> "Triple":
+        """A copy of this triple with a temporal scope attached."""
+        return replace(self, scope=scope)
+
+    def holds_in(self, year: int) -> bool:
+        """True if the fact holds in ``year`` (unscoped facts always hold)."""
+        return self.scope is None or self.scope.contains(year)
+
+    def __str__(self) -> str:
+        parts = [str(self.subject), str(self.predicate), str(self.object)]
+        if self.scope is not None:
+            parts.append(str(self.scope))
+        return " ".join(parts)

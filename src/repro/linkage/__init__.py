@@ -1,0 +1,63 @@
+"""Entity linkage / record linkage (tutorial section 4)."""
+
+from .strsim import (
+    TfIdfCosine,
+    edit_similarity,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    ngram_jaccard,
+    strip_language_suffix,
+)
+from .records import EntityRecord, records_from_store
+from .blocking import (
+    BlockingResult,
+    blocking_recall,
+    default_keys,
+    key_blocking,
+    minhash_blocking,
+    no_blocking,
+    sorted_neighborhood,
+)
+from .matchers import (
+    LogisticMatcher,
+    ScoredPair,
+    StringMatcher,
+    greedy_one_to_one,
+    pair_features,
+)
+from .graph_matcher import GraphMatcher, PropagationReport
+from .cluster import cluster_matches, pair_prf, pairs_to_sameas
+from .task import LinkageTask, make_linkage_task, perturb_name
+
+__all__ = [
+    "TfIdfCosine",
+    "edit_similarity",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "ngram_jaccard",
+    "strip_language_suffix",
+    "EntityRecord",
+    "records_from_store",
+    "BlockingResult",
+    "blocking_recall",
+    "default_keys",
+    "key_blocking",
+    "minhash_blocking",
+    "no_blocking",
+    "sorted_neighborhood",
+    "LogisticMatcher",
+    "ScoredPair",
+    "StringMatcher",
+    "greedy_one_to_one",
+    "pair_features",
+    "GraphMatcher",
+    "PropagationReport",
+    "cluster_matches",
+    "pair_prf",
+    "pairs_to_sameas",
+    "LinkageTask",
+    "make_linkage_task",
+    "perturb_name",
+]

@@ -1,0 +1,134 @@
+"""Blocking: pruning the quadratic pair space before matching.
+
+Web-scale record linkage cannot score all |A| x |B| pairs.  Three standard
+strategies, all measured by E10's ablation (pairs considered vs recall of
+the true matches):
+
+* **key blocking** — records sharing a blocking key (first name token,
+  character prefix) become candidates;
+* **sorted neighbourhood** — records within a sliding window of the
+  key-sorted order become candidates;
+* **MinHash LSH** — signature collisions over name shingles (delegated to
+  :mod:`repro.bigdata.minhash`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..kb import Entity
+from ..bigdata.minhash import MinHasher, lsh_candidate_pairs, shingles
+from .records import EntityRecord
+
+#: A pair of entities from (side A, side B).
+Pair = tuple[Entity, Entity]
+
+
+@dataclass(slots=True)
+class BlockingResult:
+    """Candidate pairs plus accounting."""
+
+    pairs: set[Pair]
+    total_possible: int
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the full pair space pruned away."""
+        if self.total_possible == 0:
+            return 0.0
+        return 1.0 - len(self.pairs) / self.total_possible
+
+
+def default_keys(record: EntityRecord) -> list[str]:
+    """The default blocking keys: lowercased name tokens and a 3-prefix."""
+    tokens = record.name.lower().split()
+    keys = [f"tok:{t}" for t in tokens]
+    if record.name:
+        keys.append(f"pre:{record.name.lower()[:3]}")
+    return keys
+
+
+def no_blocking(
+    side_a: dict[Entity, EntityRecord], side_b: dict[Entity, EntityRecord]
+) -> BlockingResult:
+    """The full cross product (the baseline blocking ablation)."""
+    pairs = {(a, b) for a in side_a for b in side_b}
+    return BlockingResult(pairs, len(side_a) * len(side_b))
+
+
+def key_blocking(
+    side_a: dict[Entity, EntityRecord],
+    side_b: dict[Entity, EntityRecord],
+    keys: Callable[[EntityRecord], list[str]] = default_keys,
+) -> BlockingResult:
+    """Pairs sharing at least one blocking key."""
+    buckets_b: dict[str, list[Entity]] = defaultdict(list)
+    for entity, record in side_b.items():
+        for key in keys(record):
+            buckets_b[key].append(entity)
+    pairs: set[Pair] = set()
+    for entity, record in side_a.items():
+        for key in keys(record):
+            for other in buckets_b.get(key, ()):
+                pairs.add((entity, other))
+    return BlockingResult(pairs, len(side_a) * len(side_b))
+
+
+def sorted_neighborhood(
+    side_a: dict[Entity, EntityRecord],
+    side_b: dict[Entity, EntityRecord],
+    window: int = 6,
+) -> BlockingResult:
+    """Sliding window over the merged name-sorted order."""
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    merged: list[tuple[str, Entity, bool]] = []
+    for entity, record in side_a.items():
+        merged.append((record.name.lower(), entity, True))
+    for entity, record in side_b.items():
+        merged.append((record.name.lower(), entity, False))
+    merged.sort(key=lambda item: (item[0], item[1].id))
+    pairs: set[Pair] = set()
+    for i, (__, entity, from_a) in enumerate(merged):
+        for j in range(i + 1, min(i + 1 + window, len(merged))):
+            __, other, other_from_a = merged[j]
+            if from_a == other_from_a:
+                continue
+            pair = (entity, other) if from_a else (other, entity)
+            pairs.add(pair)
+    return BlockingResult(pairs, len(side_a) * len(side_b))
+
+
+def minhash_blocking(
+    side_a: dict[Entity, EntityRecord],
+    side_b: dict[Entity, EntityRecord],
+    num_hashes: int = 64,
+    bands: int = 16,
+    shingle_size: int = 3,
+) -> BlockingResult:
+    """LSH collisions over name character shingles."""
+    hasher = MinHasher(num_hashes=num_hashes)
+    signatures = {}
+    side_of = {}
+    for side, records in (("a", side_a), ("b", side_b)):
+        for entity, record in records.items():
+            key = (side, entity)
+            signatures[key] = hasher.signature(shingles(record.name, shingle_size))
+            side_of[key] = side
+    pairs: set[Pair] = set()
+    for key1, key2 in lsh_candidate_pairs(signatures, bands=bands):
+        if side_of[key1] == side_of[key2]:
+            continue
+        (sa, ea), (sb, eb) = sorted((key1, key2), key=lambda k: k[0])
+        pairs.add((ea, eb))
+    return BlockingResult(pairs, len(side_a) * len(side_b))
+
+
+def blocking_recall(result: BlockingResult, gold_pairs: Iterable[Pair]) -> float:
+    """Fraction of true matches that survive blocking."""
+    gold = set(gold_pairs)
+    if not gold:
+        return 1.0
+    return len(gold & result.pairs) / len(gold)

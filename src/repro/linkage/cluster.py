@@ -1,0 +1,44 @@
+"""From matched pairs to owl:sameAs clusters and evaluation."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..kb import Triple, TripleStore, ns
+from ..kb.sameas import UnionFind
+from ..eval.metrics import PRF, f1_score
+from .blocking import Pair
+from .matchers import ScoredPair
+
+
+def pairs_to_sameas(matches: Iterable[ScoredPair]) -> TripleStore:
+    """owl:sameAs triples (one per matched pair, with the match score)."""
+    store = TripleStore()
+    for match in matches:
+        a, b = match.pair
+        store.add(
+            Triple(a, ns.SAME_AS, b, confidence=min(match.score, 1.0),
+                   source="linkage")
+        )
+    return store
+
+
+def cluster_matches(matches: Iterable[ScoredPair]) -> UnionFind:
+    """The transitive closure of the matched pairs."""
+    uf = UnionFind()
+    for match in matches:
+        uf.union(*match.pair)
+    return uf
+
+
+def pair_prf(predicted: Iterable[Pair], gold: Iterable[Pair]) -> PRF:
+    """Precision/recall/F1 over unordered match pairs."""
+    def normalize(pairs):
+        return {tuple(sorted(p, key=lambda e: e.id)) for p in pairs}
+
+    predicted_set = normalize(predicted)
+    gold_set = normalize(gold)
+    correct = len(predicted_set & gold_set)
+    precision = correct / len(predicted_set) if predicted_set else 1.0
+    recall = correct / len(gold_set) if gold_set else 1.0
+    return PRF(precision, recall, f1_score(precision, recall))

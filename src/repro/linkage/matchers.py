@@ -1,0 +1,187 @@
+"""Pairwise matchers: string threshold and learned logistic matcher.
+
+The string matcher is the classic baseline: link when a name-similarity
+score clears a threshold.  The learned matcher (statistical-learning family
+of tutorial section 4) combines several string measures with attribute and
+neighbourhood overlap features in a from-scratch logistic regression,
+trained on labelled pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..kb import Entity
+from ..ml.logreg import LogisticRegression
+from .blocking import Pair
+from .records import EntityRecord
+from .strsim import TfIdfCosine, edit_similarity, jaro_winkler, ngram_jaccard
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredPair:
+    """A candidate pair with a match score in [0, 1]."""
+
+    pair: Pair
+    score: float
+
+
+def pair_features(
+    record_a: EntityRecord,
+    record_b: EntityRecord,
+    tfidf: TfIdfCosine,
+) -> list[float]:
+    """The feature vector of one record pair."""
+    name_a, name_b = record_a.name, record_b.name
+    values_a = record_a.attribute_values()
+    values_b = record_b.attribute_values()
+    value_overlap = (
+        len(values_a & values_b) / len(values_a | values_b)
+        if values_a or values_b
+        else 0.0
+    )
+    neighbors_a = record_a.neighbor_name_set()
+    neighbors_b = record_b.neighbor_name_set()
+    neighbor_overlap = (
+        len(neighbors_a & neighbors_b) / len(neighbors_a | neighbors_b)
+        if neighbors_a or neighbors_b
+        else 0.0
+    )
+    shared_attribute_keys = len(set(record_a.attributes) & set(record_b.attributes))
+    return [
+        jaro_winkler(name_a.lower(), name_b.lower()),
+        edit_similarity(name_a.lower(), name_b.lower()),
+        ngram_jaccard(name_a, name_b),
+        tfidf.similarity(name_a, name_b),
+        value_overlap,
+        neighbor_overlap,
+        float(shared_attribute_keys),
+        abs(len(name_a) - len(name_b)) / max(len(name_a), len(name_b), 1),
+    ]
+
+
+class StringMatcher:
+    """Link when Jaro-Winkler name similarity clears a threshold."""
+
+    name = "string-threshold"
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        self.threshold = threshold
+
+    def score_pairs(
+        self,
+        pairs: Iterable[Pair],
+        side_a: dict[Entity, EntityRecord],
+        side_b: dict[Entity, EntityRecord],
+    ) -> list[ScoredPair]:
+        """Score every candidate pair by name similarity."""
+        scored = []
+        for a, b in pairs:
+            record_a, record_b = side_a.get(a), side_b.get(b)
+            if record_a is None or record_b is None:
+                continue
+            score = jaro_winkler(record_a.name.lower(), record_b.name.lower())
+            scored.append(ScoredPair((a, b), score))
+        return scored
+
+    def match(
+        self,
+        pairs: Iterable[Pair],
+        side_a: dict[Entity, EntityRecord],
+        side_b: dict[Entity, EntityRecord],
+    ) -> list[ScoredPair]:
+        """One-to-one greedy matching above the threshold."""
+        scored = self.score_pairs(pairs, side_a, side_b)
+        return greedy_one_to_one(scored, self.threshold)
+
+
+class LogisticMatcher:
+    """A trained pairwise classifier over string + structural features."""
+
+    name = "logistic-matcher"
+
+    def __init__(self, threshold: float = 0.5, l2: float = 1e-3) -> None:
+        self.threshold = threshold
+        self._model = LogisticRegression(l2=l2)
+        self._tfidf = TfIdfCosine()
+        self._trained = False
+
+    def train(
+        self,
+        labeled_pairs: Sequence[tuple[Pair, bool]],
+        side_a: dict[Entity, EntityRecord],
+        side_b: dict[Entity, EntityRecord],
+    ) -> None:
+        """Fit on labelled (pair, is-match) examples."""
+        self._tfidf.fit(
+            [r.name for r in side_a.values()] + [r.name for r in side_b.values()]
+        )
+        features = []
+        labels = []
+        for (a, b), is_match in labeled_pairs:
+            record_a, record_b = side_a.get(a), side_b.get(b)
+            if record_a is None or record_b is None:
+                continue
+            features.append(pair_features(record_a, record_b, self._tfidf))
+            labels.append(1.0 if is_match else 0.0)
+        if not features:
+            raise ValueError("no usable training pairs")
+        self._model.fit(np.asarray(features), np.asarray(labels))
+        self._trained = True
+
+    def score_pairs(
+        self,
+        pairs: Iterable[Pair],
+        side_a: dict[Entity, EntityRecord],
+        side_b: dict[Entity, EntityRecord],
+    ) -> list[ScoredPair]:
+        """Match probabilities for candidate pairs."""
+        if not self._trained:
+            raise RuntimeError("train() the matcher first")
+        pair_list = [
+            (a, b) for a, b in pairs if a in side_a and b in side_b
+        ]
+        if not pair_list:
+            return []
+        matrix = np.asarray(
+            [
+                pair_features(side_a[a], side_b[b], self._tfidf)
+                for a, b in pair_list
+            ]
+        )
+        probabilities = self._model.predict_proba(matrix)
+        return [
+            ScoredPair(pair, float(p)) for pair, p in zip(pair_list, probabilities)
+        ]
+
+    def match(
+        self,
+        pairs: Iterable[Pair],
+        side_a: dict[Entity, EntityRecord],
+        side_b: dict[Entity, EntityRecord],
+    ) -> list[ScoredPair]:
+        """One-to-one greedy matching above the probability threshold."""
+        scored = self.score_pairs(pairs, side_a, side_b)
+        return greedy_one_to_one(scored, self.threshold)
+
+
+def greedy_one_to_one(scored: list[ScoredPair], threshold: float) -> list[ScoredPair]:
+    """Highest-score-first one-to-one assignment above a threshold."""
+    chosen: list[ScoredPair] = []
+    used_a: set[Entity] = set()
+    used_b: set[Entity] = set()
+    for item in sorted(
+        scored, key=lambda s: (-s.score, s.pair[0].id, s.pair[1].id)
+    ):
+        if item.score < threshold:
+            break
+        a, b = item.pair
+        if a in used_a or b in used_b:
+            continue
+        used_a.add(a)
+        used_b.add(b)
+        chosen.append(item)
+    return chosen

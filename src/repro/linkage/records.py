@@ -1,0 +1,90 @@
+"""Entity records: the flattened view record linkage operates on.
+
+Entity linkage between two knowledge resources compares *records*: an
+entity's preferred name plus its attribute bag (relation -> surface values)
+and its relational neighbourhood (relation -> neighbour entity ids).  This
+module flattens a triple store into such records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kb import Entity, Literal, Relation, TripleStore, ns
+
+
+@dataclass(slots=True)
+class EntityRecord:
+    """One entity's linkage-relevant view."""
+
+    entity: Entity
+    name: str
+    attributes: dict[str, set[str]] = field(default_factory=dict)
+    neighbors: dict[str, set[Entity]] = field(default_factory=dict)
+    neighbor_names: dict[str, set[str]] = field(default_factory=dict)
+
+    def attribute_values(self) -> set[str]:
+        """All attribute value strings (for quick overlap features)."""
+        values: set[str] = set()
+        for bucket in self.attributes.values():
+            values |= bucket
+        return values
+
+    def neighbor_name_set(self) -> set[str]:
+        """All neighbour names, lowercased (cross-source comparable)."""
+        names: set[str] = set()
+        for bucket in self.neighbor_names.values():
+            names |= {n.lower() for n in bucket}
+        return names
+
+
+def records_from_store(
+    store: TripleStore, label_lang: Optional[str] = "en"
+) -> dict[Entity, EntityRecord]:
+    """Flatten a store into records, one per labelled entity."""
+    records: dict[Entity, EntityRecord] = {}
+
+    def record_of(entity: Entity) -> EntityRecord:
+        record = records.get(entity)
+        if record is None:
+            record = EntityRecord(entity, name="")
+            records[entity] = record
+        return record
+
+    for triple in store:
+        subject = triple.subject
+        if not isinstance(subject, Entity):
+            continue
+        predicate = triple.predicate
+        if predicate == ns.LABEL or predicate == ns.PREF_LABEL:
+            obj = triple.object
+            if isinstance(obj, Literal) and (
+                predicate == ns.PREF_LABEL or label_lang is None or obj.lang == label_lang
+            ):
+                record = record_of(subject)
+                if not record.name or predicate == ns.PREF_LABEL:
+                    record.name = obj.value
+            continue
+        if predicate in (ns.TYPE, ns.SUBCLASS_OF):
+            continue
+        if not isinstance(predicate, Relation):
+            continue
+        record = record_of(subject)
+        key = predicate.local_name
+        obj = triple.object
+        if isinstance(obj, Entity):
+            record.neighbors.setdefault(key, set()).add(obj)
+        elif isinstance(obj, Literal):
+            record.attributes.setdefault(key, set()).add(obj.value)
+    kept = {entity: record for entity, record in records.items() if record.name}
+    # Resolve neighbour entity ids to their names (ids are source-local and
+    # never comparable across KBs; names are).
+    for record in kept.values():
+        for relation, neighbors in record.neighbors.items():
+            names = {
+                kept[n].name for n in neighbors if n in kept and kept[n].name
+            }
+            if names:
+                record.neighbor_names[relation] = names
+    return kept

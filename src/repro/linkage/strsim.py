@@ -1,0 +1,158 @@
+"""String similarity measures for entity linkage, from scratch.
+
+Record linkage (tutorial section 4) begins with string similarity between
+names: edit distance for typos, Jaro-Winkler for name-shaped strings,
+n-gram Jaccard for robustness to word order, and token-level TF-IDF cosine
+for multi-word names.  All are implemented directly (no external library).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+
+def levenshtein(a: str, b: str) -> int:
+    """The classic edit distance (insert/delete/substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost, # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, ch in enumerate(a):
+        if not matched_a[i]:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if ch != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    m = matches
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the common prefix (up to 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def ngram_jaccard(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity of character n-gram sets (lowercased)."""
+    grams_a = _ngrams(a.lower(), n)
+    grams_b = _ngrams(b.lower(), n)
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    return len(grams_a & grams_b) / len(grams_a | grams_b)
+
+
+def _ngrams(text: str, n: int) -> set[str]:
+    padded = f"^{text}$"
+    if len(padded) < n:
+        return {padded}
+    return {padded[i:i + n] for i in range(len(padded) - n + 1)}
+
+
+class TfIdfCosine:
+    """Token-level TF-IDF cosine over a fitted name corpus."""
+
+    def __init__(self) -> None:
+        self._document_frequency: Counter = Counter()
+        self._documents = 0
+
+    def fit(self, names: Iterable[str]) -> "TfIdfCosine":
+        """Learn document frequencies from a corpus of names."""
+        for name in names:
+            self._documents += 1
+            for token in set(name.lower().split()):
+                self._document_frequency[token] += 1
+        return self
+
+    def _vector(self, name: str) -> dict[str, float]:
+        counts = Counter(name.lower().split())
+        vector = {}
+        for token, count in counts.items():
+            df = self._document_frequency.get(token, 0)
+            idf = math.log((self._documents + 1) / (df + 1)) + 1.0
+            vector[token] = count * idf
+        return vector
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine of the two names' TF-IDF vectors."""
+        if self._documents == 0:
+            raise RuntimeError("fit() the corpus before computing similarities")
+        va, vb = self._vector(a), self._vector(b)
+        dot = sum(weight * vb.get(token, 0.0) for token, weight in va.items())
+        norm_a = math.sqrt(sum(w * w for w in va.values()))
+        norm_b = math.sqrt(sum(w * w for w in vb.values()))
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
+        return dot / (norm_a * norm_b)
+
+
+def strip_language_suffix(name: str) -> str:
+    """Remove the pseudo-translation suffixes used by the synthetic wiki.
+
+    The transliteration matcher uses this as its (imperfect) normalizer;
+    it intentionally mirrors only part of the generator's transformation.
+    """
+    for suffix in ("en", "e", "o"):
+        if name.endswith(suffix) and len(name) > len(suffix) + 2:
+            return name[: -len(suffix)]
+    return name

@@ -1,0 +1,103 @@
+"""The linkage benchmark task: two perturbed snapshots of one world.
+
+E10's workload simulates linking two knowledge resources that describe the
+same underlying entities — a second KB whose names carry noise (typos,
+suffix variants, token reorderings), whose facts are partially missing, and
+whose identifiers share nothing with the first.  The gold matching is the
+identity correspondence the generator records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kb import Entity, Triple, TripleStore, ns, string_literal
+from ..world import World
+from .blocking import Pair
+from .records import EntityRecord, records_from_store
+
+
+@dataclass(slots=True)
+class LinkageTask:
+    """Two record collections plus the gold correspondence."""
+
+    side_a: dict[Entity, EntityRecord] = field(default_factory=dict)
+    side_b: dict[Entity, EntityRecord] = field(default_factory=dict)
+    gold: set[Pair] = field(default_factory=set)
+
+
+def perturb_name(name: str, rng: random.Random, noise: float) -> str:
+    """Apply name noise: typo, token swap, suffix change, or abbreviation."""
+    result = name
+    if rng.random() < noise:
+        # Character typo: swap two adjacent interior characters.
+        if len(result) > 4:
+            i = rng.randrange(1, len(result) - 2)
+            result = result[:i] + result[i + 1] + result[i] + result[i + 2:]
+    if rng.random() < noise:
+        tokens = result.split()
+        if len(tokens) >= 2 and rng.random() < 0.5:
+            tokens = [tokens[-1] + ","] + tokens[:-1]   # "Adler, Viktor"
+            result = " ".join(tokens)
+        elif tokens and len(tokens[0]) > 1 and rng.random() < 0.5:
+            tokens[0] = tokens[0][0] + "."              # "V. Adler"
+            result = " ".join(tokens)
+    if rng.random() < noise * 0.5:
+        result = result + " Jr" if not result.endswith("Jr") else result
+    return result
+
+
+def make_linkage_task(
+    world: World,
+    seed: int = 31,
+    name_noise: float = 0.3,
+    fact_dropout: float = 0.3,
+    entity_subset: Optional[float] = None,
+) -> LinkageTask:
+    """Build the two sides from one world.
+
+    Side A is the clean store; side B re-namespaces every entity id,
+    perturbs names with ``name_noise``, drops each fact with probability
+    ``fact_dropout``, and (optionally) keeps only a random
+    ``entity_subset`` fraction of entities.
+    """
+    rng = random.Random(seed)
+    kept = set(world.all_entities())
+    if entity_subset is not None:
+        kept = {e for e in kept if rng.random() < entity_subset}
+
+    remap: dict[Entity, Entity] = {
+        e: Entity("b:" + e.local_name) for e in kept
+    }
+
+    store_a = TripleStore()
+    store_b = TripleStore()
+    for entity in sorted(kept, key=lambda e: e.id):
+        name = world.name[entity]
+        store_a.add(Triple(entity, ns.PREF_LABEL, string_literal(name)))
+        noisy = perturb_name(name, rng, name_noise)
+        store_b.add(Triple(remap[entity], ns.PREF_LABEL, string_literal(noisy)))
+    for triple in world.facts:
+        if triple.subject not in kept:
+            continue
+        store_a.add(triple)
+        if rng.random() < fact_dropout:
+            continue
+        obj = triple.object
+        if isinstance(obj, Entity):
+            if obj not in kept:
+                continue
+            obj = remap[obj]
+        store_b.add(Triple(remap[triple.subject], triple.predicate, obj))
+
+    task = LinkageTask()
+    task.side_a = records_from_store(store_a, label_lang=None)
+    task.side_b = records_from_store(store_b, label_lang=None)
+    task.gold = {
+        (entity, remap[entity])
+        for entity in kept
+        if entity in task.side_a and remap[entity] in task.side_b
+    }
+    return task

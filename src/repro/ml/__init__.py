@@ -1,0 +1,13 @@
+"""From-scratch machine learning: hashing, logistic regression, Naive Bayes."""
+
+from .features import FeatureHasher, stable_hash
+from .logreg import LogisticRegression, sigmoid
+from .naive_bayes import MultinomialNaiveBayes
+
+__all__ = [
+    "FeatureHasher",
+    "stable_hash",
+    "LogisticRegression",
+    "sigmoid",
+    "MultinomialNaiveBayes",
+]

@@ -1,0 +1,61 @@
+"""Sparse feature vectors via feature hashing.
+
+Extraction classifiers (distant supervision, entity linkage) work with
+string-named features ("word_between=founded", "dep_path=nsubj-found-dobj").
+The hashing trick maps those names into a fixed-dimension sparse vector
+without keeping a vocabulary, which is the standard approach when the
+feature space is unbounded (web-scale text).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+def stable_hash(text: str) -> int:
+    """A deterministic 64-bit hash (Python's builtin hash is salted)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class FeatureHasher:
+    """Map string features to indices in a fixed-size vector space.
+
+    The sign trick (half the features contribute negatively) reduces the
+    bias introduced by collisions.
+    """
+
+    def __init__(self, dimensions: int = 2 ** 16, signed: bool = True) -> None:
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self.signed = signed
+
+    def index_of(self, feature: str) -> tuple[int, float]:
+        """The (index, sign) a feature name maps to."""
+        h = stable_hash(feature)
+        index = h % self.dimensions
+        sign = -1.0 if self.signed and (h >> 32) & 1 else 1.0
+        return index, sign
+
+    def transform_one(self, features: Iterable[str] | Mapping[str, float]) -> np.ndarray:
+        """A dense vector for one example (iterable of names or name->weight)."""
+        vector = np.zeros(self.dimensions, dtype=np.float64)
+        if isinstance(features, Mapping):
+            items = features.items()
+        else:
+            items = ((name, 1.0) for name in features)
+        for name, weight in items:
+            index, sign = self.index_of(name)
+            vector[index] += sign * weight
+        return vector
+
+    def transform(self, examples: Iterable[Iterable[str] | Mapping[str, float]]) -> np.ndarray:
+        """A (n_examples, dimensions) matrix."""
+        rows = [self.transform_one(example) for example in examples]
+        if not rows:
+            return np.zeros((0, self.dimensions), dtype=np.float64)
+        return np.vstack(rows)

@@ -1,0 +1,74 @@
+"""Multinomial Naive Bayes over string features.
+
+A light-weight text classifier used where logistic regression would be
+overkill (e.g. scoring candidate class memberships in set expansion).
+Features are plain strings; probabilities use Laplace smoothing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Hashable, Iterable, Sequence
+
+
+class MultinomialNaiveBayes:
+    """Multinomial NB with Laplace (add-alpha) smoothing."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._class_counts: Counter = Counter()
+        self._feature_counts: dict[Hashable, Counter] = defaultdict(Counter)
+        self._feature_totals: Counter = Counter()
+        self._vocabulary: set[str] = set()
+
+    def fit(
+        self, examples: Sequence[Iterable[str]], labels: Sequence[Hashable]
+    ) -> "MultinomialNaiveBayes":
+        """Train on (feature-bag, label) pairs; returns self."""
+        if len(examples) != len(labels):
+            raise ValueError("examples and labels must align")
+        for features, label in zip(examples, labels):
+            self._class_counts[label] += 1
+            for feature in features:
+                self._feature_counts[label][feature] += 1
+                self._feature_totals[label] += 1
+                self._vocabulary.add(feature)
+        return self
+
+    @property
+    def classes(self) -> list[Hashable]:
+        """The labels seen during training."""
+        return list(self._class_counts)
+
+    def log_scores(self, features: Iterable[str]) -> dict[Hashable, float]:
+        """Unnormalized log P(class) + sum log P(feature | class)."""
+        if not self._class_counts:
+            raise RuntimeError("model is not fitted; call fit() first")
+        feature_list = list(features)
+        total_examples = sum(self._class_counts.values())
+        vocabulary_size = max(len(self._vocabulary), 1)
+        scores = {}
+        for label, count in self._class_counts.items():
+            score = math.log(count / total_examples)
+            denominator = self._feature_totals[label] + self.alpha * vocabulary_size
+            for feature in feature_list:
+                numerator = self._feature_counts[label][feature] + self.alpha
+                score += math.log(numerator / denominator)
+            scores[label] = score
+        return scores
+
+    def predict_proba(self, features: Iterable[str]) -> dict[Hashable, float]:
+        """Normalized class posterior for one example."""
+        scores = self.log_scores(features)
+        peak = max(scores.values())
+        exponentials = {label: math.exp(s - peak) for label, s in scores.items()}
+        total = sum(exponentials.values())
+        return {label: value / total for label, value in exponentials.items()}
+
+    def predict(self, features: Iterable[str]) -> Hashable:
+        """The maximum a-posteriori class for one example."""
+        scores = self.log_scores(features)
+        return max(scores, key=lambda label: (scores[label], str(label)))

@@ -1,0 +1,28 @@
+"""Named entity disambiguation (tutorial section 4)."""
+
+from .candidates import CandidateDictionary, EntityCandidate, dictionary_from_wiki
+from .context import EntityContextIndex
+from .coherence import CoherenceIndex
+from .graph import DisambiguationGraph, MentionNode
+from .pipeline import (
+    METHODS,
+    MentionTask,
+    NEDConfig,
+    NEDSystem,
+    evaluate_document,
+)
+
+__all__ = [
+    "CandidateDictionary",
+    "EntityCandidate",
+    "dictionary_from_wiki",
+    "EntityContextIndex",
+    "CoherenceIndex",
+    "DisambiguationGraph",
+    "MentionNode",
+    "METHODS",
+    "MentionTask",
+    "NEDConfig",
+    "NEDSystem",
+    "evaluate_document",
+]

@@ -1,0 +1,99 @@
+"""The mention-entity candidate dictionary with popularity priors.
+
+NED systems derive their name dictionary from the KB: page titles,
+redirects, and anchor texts, with a popularity prior per (name, entity)
+pair.  Here the dictionary is built from the encyclopedia: every page
+title and registered alias becomes a name; the prior of an entity under a
+name is proportional to the page's in-link count (a link-based popularity
+estimate, as in AIDA/Wikipedia-anchor systems).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..kb import Entity
+from ..corpus.wiki import Wiki
+from ..nlp.gazetteer import Gazetteer
+
+
+@dataclass(frozen=True, slots=True)
+class EntityCandidate:
+    """One candidate reading of a mention surface."""
+
+    entity: Entity
+    prior: float
+
+
+class CandidateDictionary:
+    """name -> ranked entity candidates with priors."""
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        self.smoothing = smoothing
+        self._popularity: dict[Entity, float] = defaultdict(float)
+        self._names: dict[str, set[Entity]] = defaultdict(set)
+
+    def add_name(self, name: str, entity: Entity) -> None:
+        """Register a surface form for an entity."""
+        self._names[name].add(entity)
+
+    def set_popularity(self, entity: Entity, value: float) -> None:
+        """Set the global popularity mass of an entity."""
+        self._popularity[entity] = max(value, 0.0)
+
+    def candidates(self, name: str) -> list[EntityCandidate]:
+        """Candidates for a surface form, highest prior first."""
+        entities = self._names.get(name)
+        if not entities:
+            return []
+        masses = {
+            e: self._popularity.get(e, 0.0) + self.smoothing for e in entities
+        }
+        total = sum(masses.values())
+        ranked = sorted(entities, key=lambda e: (-masses[e], e.id))
+        return [EntityCandidate(e, masses[e] / total) for e in ranked]
+
+    def best(self, name: str) -> Optional[Entity]:
+        """The highest-prior candidate (the prior-only baseline)."""
+        ranked = self.candidates(name)
+        return ranked[0].entity if ranked else None
+
+    def ambiguity(self, name: str) -> int:
+        """Number of candidate entities a name has."""
+        return len(self._names.get(name, ()))
+
+    def names(self) -> list[str]:
+        """Every registered surface form."""
+        return list(self._names)
+
+    def to_gazetteer(self) -> Gazetteer:
+        """A token trie over all names (payload: the name string)."""
+        gazetteer: Gazetteer = Gazetteer()
+        for name in self._names:
+            gazetteer.add(name, name)
+        return gazetteer
+
+
+def dictionary_from_wiki(
+    wiki: Wiki,
+    aliases: Optional[dict[Entity, list[str]]] = None,
+    smoothing: float = 0.5,
+) -> CandidateDictionary:
+    """Build the dictionary from page titles, aliases, and in-link counts."""
+    dictionary = CandidateDictionary(smoothing=smoothing)
+    inlinks: dict[str, int] = defaultdict(int)
+    for page in wiki.pages.values():
+        for target in page.links:
+            inlinks[target] += 1
+    for title, page in wiki.pages.items():
+        dictionary.add_name(title, page.entity)
+        dictionary.set_popularity(page.entity, float(inlinks[title]))
+    if aliases:
+        for entity, forms in aliases.items():
+            if wiki.by_entity.get(entity) is None:
+                continue
+            for form in forms:
+                dictionary.add_name(form, entity)
+    return dictionary

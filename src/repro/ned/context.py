@@ -1,0 +1,83 @@
+"""Keyphrase-based context similarity between mentions and entities.
+
+AIDA's local signal: each entity carries a profile of salient phrases and
+words (harvested from its page text and the titles it links to); a mention
+is scored by the weighted overlap between its surrounding words and the
+candidate's profile.  Implemented as TF-IDF cosine over bags of lowercased
+word tokens.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+from ..kb import Entity
+from ..corpus.wiki import Wiki
+from ..nlp.tokenizer import iter_token_texts
+
+#: Words too common to carry signal (tiny stop list; profiles are tf-idf
+#: weighted anyway).
+_STOP = frozenset(
+    {"the", "a", "an", "of", "in", "is", "was", "and", "to", "by", "at",
+     "on", "for", "from", "with", "its", "his", "her"}
+)
+
+
+def _words(text: str) -> list[str]:
+    return [
+        t.lower() for t in iter_token_texts(text)
+        if t[0].isalnum() and t.lower() not in _STOP
+    ]
+
+
+class EntityContextIndex:
+    """TF-IDF profiles of every entity, built from the encyclopedia."""
+
+    def __init__(self, wiki: Wiki) -> None:
+        self._profiles: dict[Entity, Counter] = {}
+        self._document_frequency: Counter = Counter()
+        self._documents = 0
+        for page in wiki.pages.values():
+            bag: Counter = Counter()
+            bag.update(_words(page.document.text))
+            for linked_title in page.links:
+                bag.update(_words(linked_title))
+            for value in page.infobox.values():
+                bag.update(_words(value))
+            self._profiles[page.entity] = bag
+            self._documents += 1
+            for word in set(bag):
+                self._document_frequency[word] += 1
+
+    def _idf(self, word: str) -> float:
+        df = self._document_frequency.get(word, 0)
+        return math.log((self._documents + 1) / (df + 1)) + 1.0
+
+    def _vector(self, bag: Counter) -> dict[str, float]:
+        return {word: count * self._idf(word) for word, count in bag.items()}
+
+    def similarity(self, entity: Entity, context_words: Iterable[str]) -> float:
+        """Cosine between an entity profile and a mention context bag."""
+        profile = self._profiles.get(entity)
+        if not profile:
+            return 0.0
+        context_bag = Counter(w for w in context_words if w not in _STOP)
+        if not context_bag:
+            return 0.0
+        profile_vector = self._vector(profile)
+        context_vector = self._vector(context_bag)
+        dot = sum(
+            weight * profile_vector.get(word, 0.0)
+            for word, weight in context_vector.items()
+        )
+        norm_p = math.sqrt(sum(w * w for w in profile_vector.values()))
+        norm_c = math.sqrt(sum(w * w for w in context_vector.values()))
+        if norm_p == 0.0 or norm_c == 0.0:
+            return 0.0
+        return dot / (norm_p * norm_c)
+
+    def context_of(self, text: str) -> list[str]:
+        """The context bag of a raw document text."""
+        return _words(text)

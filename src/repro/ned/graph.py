@@ -1,0 +1,142 @@
+"""Joint disambiguation by greedy dense-subgraph search (the AIDA recipe).
+
+Build a weighted graph with one node per mention and one per candidate
+entity; mention-entity edges combine prior and context similarity,
+entity-entity edges carry coherence.  Then greedily remove the entity
+whose *weighted degree* is smallest — keeping at least one candidate per
+mention — until no removable entity remains; the surviving candidate with
+the best local score wins each mention.  The greedy density objective is
+what lets one confidently-identified entity pull its related, individually
+ambiguous neighbours to the right reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from ..kb import Entity
+
+
+@dataclass(slots=True)
+class MentionNode:
+    """One mention to disambiguate."""
+
+    mention_id: Hashable
+    surface: str
+    candidates: list[Entity] = field(default_factory=list)
+    local_scores: dict[Entity, float] = field(default_factory=dict)
+
+
+class DisambiguationGraph:
+    """The mention-entity graph and its greedy reduction."""
+
+    def __init__(self, coherence_weight: float = 1.0) -> None:
+        self.coherence_weight = coherence_weight
+        self.mentions: list[MentionNode] = []
+        self._entity_edges: dict[tuple[Entity, Entity], float] = {}
+
+    def add_mention(
+        self, mention_id: Hashable, surface: str, scored_candidates: list[tuple[Entity, float]]
+    ) -> None:
+        """Register a mention with (entity, local score) candidates."""
+        node = MentionNode(mention_id, surface)
+        for entity, score in scored_candidates:
+            node.candidates.append(entity)
+            node.local_scores[entity] = score
+        self.mentions.append(node)
+
+    def add_entity_edge(self, a: Entity, b: Entity, weight: float) -> None:
+        """Register coherence between two candidate entities."""
+        if a == b or weight <= 0.0:
+            return
+        key = (a, b) if a.id <= b.id else (b, a)
+        self._entity_edges[key] = max(self._entity_edges.get(key, 0.0), weight)
+
+    # -------------------------------------------------------------- solving
+
+    def solve(self) -> dict[Hashable, Optional[Entity]]:
+        """Greedy dense-subgraph reduction; returns mention -> entity."""
+        alive: set[Entity] = set()
+        mentions_of: dict[Entity, set[int]] = {}
+        for index, node in enumerate(self.mentions):
+            alive |= set(node.candidates)
+            for candidate in node.candidates:
+                mentions_of.setdefault(candidate, set()).add(index)
+
+        def weighted_degree(entity: Entity) -> float:
+            degree = 0.0
+            for node in self.mentions:
+                if entity in node.local_scores:
+                    degree += node.local_scores[entity]
+            my_mentions = mentions_of.get(entity, set())
+            for (a, b), weight in self._entity_edges.items():
+                if a != entity and b != entity:
+                    continue
+                other = b if a == entity else a
+                if other not in alive:
+                    continue
+                # Coherence only counts across mentions: rival candidates
+                # of the same mention must not prop each other up.
+                other_mentions = mentions_of.get(other, set())
+                if other_mentions and other_mentions <= my_mentions:
+                    continue
+                degree += self.coherence_weight * weight
+            return degree
+
+        # An entity is removable while every mention listing it keeps
+        # another living candidate.
+        def removable(entity: Entity) -> bool:
+            for node in self.mentions:
+                if entity in node.local_scores:
+                    living = [c for c in node.candidates if c in alive]
+                    if living == [entity]:
+                        return False
+            return True
+
+        while True:
+            candidates = sorted(
+                (e for e in alive if removable(e)),
+                key=lambda e: (weighted_degree(e), e.id),
+            )
+            if not candidates:
+                break
+            weakest = candidates[0]
+            # Stop when every mention is already unambiguous.
+            if all(
+                len([c for c in node.candidates if c in alive]) <= 1
+                for node in self.mentions
+            ):
+                break
+            alive.discard(weakest)
+
+        def edge(a: Entity, b: Entity) -> float:
+            key = (a, b) if a.id <= b.id else (b, a)
+            return self._entity_edges.get(key, 0.0)
+
+        result: dict[Hashable, Optional[Entity]] = {}
+        for index, node in enumerate(self.mentions):
+            living = [c for c in node.candidates if c in alive]
+            if not living:
+                living = node.candidates
+            if not living:
+                result[node.mention_id] = None
+                continue
+
+            def final_score(entity: Entity) -> float:
+                score = node.local_scores.get(entity, 0.0)
+                support = 0.0
+                for other_index, other_node in enumerate(self.mentions):
+                    if other_index == index:
+                        continue
+                    other_living = [
+                        c for c in other_node.candidates if c in alive and c != entity
+                    ]
+                    if other_living:
+                        support += max(edge(entity, c) for c in other_living)
+                return score + self.coherence_weight * support
+
+            result[node.mention_id] = max(
+                living, key=lambda e: (final_score(e), e.id)
+            )
+        return result

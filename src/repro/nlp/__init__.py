@@ -1,0 +1,35 @@
+"""The from-scratch NLP stack: tokenizer through dependency parser."""
+
+from . import lexicon
+from .tokenizer import Token, tokenize
+from .sentences import sentence_texts, split_sentences
+from .pos import tag
+from .lemmatize import lemma
+from .chunk import Chunk, chunk_of_token, noun_phrases, verb_groups
+from .dependency import Parse, parse
+from .gazetteer import Gazetteer, GazetteerMatch
+from .ner import MentionSpan, detect_mentions
+from .pipeline import Analysis, analyze, analyze_document
+
+__all__ = [
+    "lexicon",
+    "Token",
+    "tokenize",
+    "sentence_texts",
+    "split_sentences",
+    "tag",
+    "lemma",
+    "Chunk",
+    "chunk_of_token",
+    "noun_phrases",
+    "verb_groups",
+    "Parse",
+    "parse",
+    "Gazetteer",
+    "GazetteerMatch",
+    "MentionSpan",
+    "detect_mentions",
+    "Analysis",
+    "analyze",
+    "analyze_document",
+]

@@ -1,0 +1,105 @@
+"""Noun-phrase and verb-group chunking over POS tags.
+
+Open information extraction (tutorial section 3) "aggressively taps into
+noun phrases as entity candidates and verbal phrases as prototypic patterns
+for relations" — this module provides exactly those two chunk types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import lexicon as lx
+from .tokenizer import Token
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """A [start, end) token-index span with a label ("NP" or "VG")."""
+
+    start: int
+    end: int
+    label: str
+
+    def tokens(self, tokens: list[Token]) -> list[Token]:
+        """The tokens covered by this chunk."""
+        return tokens[self.start:self.end]
+
+    def text(self, tokens: list[Token]) -> str:
+        """The chunk's surface text reconstructed from token spans."""
+        covered = tokens[self.start:self.end]
+        if not covered:
+            return ""
+        pieces = [covered[0].text]
+        for prev, cur in zip(covered, covered[1:]):
+            pieces.append(" " if cur.start > prev.end else "")
+            pieces.append(cur.text)
+        return "".join(pieces)
+
+    @property
+    def head_index(self) -> int:
+        """Token index of the chunk head (the last token)."""
+        return self.end - 1
+
+
+_NP_BODY = frozenset({lx.NOUN, lx.PROPN, lx.NUM, lx.ADJ})
+_NP_START = frozenset({lx.DET, lx.NOUN, lx.PROPN, lx.ADJ, lx.NUM})
+
+
+def noun_phrases(tokens: list[Token], tags: list[str]) -> list[Chunk]:
+    """Maximal DET? (ADJ|NOUN|PROPN|NUM)+ chunks ending in a nominal."""
+    chunks = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tags[i] not in _NP_START:
+            i += 1
+            continue
+        start = i
+        if tags[i] == lx.DET:
+            i += 1
+        body_start = i
+        while i < n and tags[i] in _NP_BODY:
+            i += 1
+        # Must contain at least one nominal; trim trailing adjectives.
+        end = i
+        while end > body_start and tags[end - 1] == lx.ADJ:
+            end -= 1
+        has_nominal = any(
+            tags[j] in (lx.NOUN, lx.PROPN, lx.NUM) for j in range(body_start, end)
+        )
+        if has_nominal and end > start:
+            chunks.append(Chunk(start, end, "NP"))
+            i = end
+        else:
+            i = start + 1
+    return chunks
+
+
+def verb_groups(tokens: list[Token], tags: list[str]) -> list[Chunk]:
+    """Maximal AUX* ADV? VERB+ (or bare AUX) chunks."""
+    chunks = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tags[i] not in (lx.AUX, lx.VERB):
+            i += 1
+            continue
+        start = i
+        while i < n and tags[i] in (lx.AUX, lx.VERB, lx.ADV, lx.PART):
+            i += 1
+        end = i
+        while end > start and tags[end - 1] in (lx.ADV, lx.PART):
+            end -= 1
+        if end > start:
+            chunks.append(Chunk(start, end, "VG"))
+        i = max(i, start + 1)
+    return chunks
+
+
+def chunk_of_token(chunks: list[Chunk], token_index: int) -> Chunk | None:
+    """The chunk covering a token index, if any."""
+    for chunk in chunks:
+        if chunk.start <= token_index < chunk.end:
+            return chunk
+    return None

@@ -1,0 +1,104 @@
+"""A token-trie gazetteer for dictionary-based mention matching.
+
+Dictionary matching against a KB's name catalogue is how industrial NED
+systems detect candidate mentions.  The trie matches token sequences
+(longest match wins, left to right) and returns the payload stored under
+each name — typically the set of entities the name may denote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Optional, TypeVar
+
+from .tokenizer import Token, tokenize
+
+P = TypeVar("P")
+
+
+@dataclass
+class _Node(Generic[P]):
+    children: dict[str, "_Node[P]"] = field(default_factory=dict)
+    payload: Optional[P] = None
+    terminal: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class GazetteerMatch(Generic[P]):
+    """One dictionary hit: a [start, end) token span plus its payload."""
+
+    start: int
+    end: int
+    text: str
+    payload: P
+
+
+class Gazetteer(Generic[P]):
+    """A case-sensitive token-sequence trie."""
+
+    def __init__(self) -> None:
+        self._root: _Node[P] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, name: str, payload: P) -> None:
+        """Register a name (tokenized internally) with its payload."""
+        parts = [t.text for t in tokenize(name)]
+        if not parts:
+            raise ValueError("cannot add an empty name")
+        node = self._root
+        for part in parts:
+            node = node.children.setdefault(part, _Node())
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.payload = payload
+
+    def add_all(self, entries: Iterable[tuple[str, P]]) -> None:
+        """Register many (name, payload) pairs."""
+        for name, payload in entries:
+            self.add(name, payload)
+
+    def lookup(self, name: str) -> Optional[P]:
+        """The payload of an exact name, or None."""
+        node = self._root
+        for token in tokenize(name):
+            node = node.children.get(token.text)
+            if node is None:
+                return None
+        return node.payload if node.terminal else None
+
+    def match(self, tokens: list[Token]) -> list[GazetteerMatch[P]]:
+        """Longest non-overlapping dictionary matches, left to right."""
+        matches: list[GazetteerMatch[P]] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            node = self._root
+            best_end, best_payload = None, None
+            j = i
+            while j < n:
+                node = node.children.get(tokens[j].text)
+                if node is None:
+                    break
+                j += 1
+                if node.terminal:
+                    best_end, best_payload = j, node.payload
+            if best_end is not None:
+                text = _span_text(tokens, i, best_end)
+                matches.append(GazetteerMatch(i, best_end, text, best_payload))
+                i = best_end
+            else:
+                i += 1
+        return matches
+
+
+def _span_text(tokens: list[Token], start: int, end: int) -> str:
+    covered = tokens[start:end]
+    pieces = [covered[0].text]
+    for prev, cur in zip(covered, covered[1:]):
+        pieces.append(" " if cur.start > prev.end else "")
+        pieces.append(cur.text)
+    return "".join(pieces)

@@ -1,0 +1,66 @@
+"""A small lemmatizer: irregular table plus suffix stripping."""
+
+from __future__ import annotations
+
+_IRREGULAR = {
+    "was": "be", "were": "be", "is": "be", "are": "be", "been": "be",
+    "being": "be", "am": "be",
+    "has": "have", "had": "have", "having": "have",
+    "did": "do", "does": "do", "done": "do",
+    "won": "win", "wrote": "write", "written": "write", "led": "lead",
+    "held": "hold", "met": "meet", "gave": "give", "given": "give",
+    "made": "make", "said": "say", "knew": "know", "known": "know",
+    "grew": "grow", "grown": "grow", "broke": "break", "broken": "break",
+    "got": "get", "saw": "see", "seen": "see", "lay": "lie", "found": "find",
+    "founded": "found", "passed": "pass", "died": "die", "lies": "lie",
+    "studied": "study", "studies": "study", "married": "marry",
+    "marries": "marry", "cities": "city", "companies": "company",
+    "universities": "university", "people": "person", "children": "child",
+    "men": "man", "women": "woman", "graduated": "graduate",
+    "located": "locate", "created": "create", "compared": "compare",
+    "fell": "fall", "bought": "buy", "sold": "sell",
+}
+
+#: Words that look plural/inflected but are not.
+_NO_STRIP = frozenset(
+    {"this", "his", "its", "thus", "less", "yes", "always", "perhaps",
+     "news", "series", "species", "analysis", "basis", "bus", "plus",
+     "gas", "as", "is", "us", "lens"}
+)
+
+_DOUBLED = frozenset("bdgklmnprt")
+
+
+def lemma(word: str) -> str:
+    """The lemma of a word (lowercased; names pass through unchanged)."""
+    lower = word.lower()
+    if lower in _IRREGULAR:
+        return _IRREGULAR[lower]
+    if lower in _NO_STRIP:
+        return lower
+    if lower.endswith("ies") and len(lower) > 4:
+        return lower[:-3] + "y"
+    if lower.endswith(("sses", "shes", "ches", "xes", "zzes")):
+        return lower[:-2]
+    if lower.endswith("s") and len(lower) > 3 and not lower.endswith("ss"):
+        return lower[:-1]
+    if lower.endswith("ing") and len(lower) > 5:
+        stem = lower[:-3]
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] in _DOUBLED:
+            return stem[:-1]
+        return stem if _has_vowel(stem) else lower
+    if lower.endswith("ed") and len(lower) > 4:
+        stem = lower[:-2]
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] in _DOUBLED:
+            return stem[:-1]
+        if stem.endswith("i"):
+            return stem[:-1] + "y"
+        # Restore the silent e the suffix swallowed ("praised" -> "praise").
+        if stem and stem[-1] in "szcvgu":
+            return stem + "e"
+        return stem if _has_vowel(stem) else lower
+    return lower
+
+
+def _has_vowel(stem: str) -> bool:
+    return any(ch in "aeiouy" for ch in stem)

@@ -1,0 +1,116 @@
+"""The closed-class and core open-class lexicon of the POS tagger.
+
+The tagset is a simplified universal set: DET, NOUN, PROPN, VERB, AUX, ADP,
+NUM, PUNCT, ADJ, ADV, PRON, CCONJ, SCONJ, PART.  The open-class entries
+cover the vocabulary of the corpus templates plus common English filler, so
+the rule-based tagger is near-perfect on the synthetic corpus — mimicking a
+trained tagger's in-domain behaviour.
+"""
+
+from __future__ import annotations
+
+DET = "DET"
+NOUN = "NOUN"
+PROPN = "PROPN"
+VERB = "VERB"
+AUX = "AUX"
+ADP = "ADP"
+NUM = "NUM"
+PUNCT = "PUNCT"
+ADJ = "ADJ"
+ADV = "ADV"
+PRON = "PRON"
+CCONJ = "CCONJ"
+SCONJ = "SCONJ"
+PART = "PART"
+
+DETERMINERS = frozenset(
+    {"a", "an", "the", "this", "that", "these", "those", "some", "any",
+     "each", "every", "no", "many", "several", "other", "its", "his", "her",
+     "their", "my", "your", "our"}
+)
+
+PREPOSITIONS = frozenset(
+    {"in", "on", "at", "of", "to", "from", "by", "with", "for", "about",
+     "near", "into", "over", "under", "after", "before", "between", "during",
+     "through", "since", "until", "as", "per"}
+)
+
+PRONOUNS = frozenset(
+    {"he", "she", "it", "they", "we", "i", "you", "him", "her", "them",
+     "us", "me", "who", "which", "whom", "whose"}
+)
+
+CONJUNCTIONS = frozenset({"and", "or", "but", "nor", "yet"})
+
+SUBORDINATORS = frozenset({"that", "because", "although", "while", "when", "where", "if"})
+
+AUXILIARIES = frozenset(
+    {"is", "are", "was", "were", "be", "been", "being", "am",
+     "has", "have", "had", "having",
+     "do", "does", "did",
+     "will", "would", "can", "could", "may", "might", "shall", "should", "must"}
+)
+
+#: Verbs (all inflections) the corpus and its paraphrases use.
+VERBS = frozenset(
+    {"born", "founded", "found", "founds", "establish", "established",
+     "establishes", "marry", "married", "marries", "work", "works", "worked",
+     "working", "join", "joined", "joins", "study", "studied", "studies",
+     "graduate", "graduated", "graduates", "earn", "earned", "earns", "win",
+     "won", "wins", "receive", "received", "receives", "award", "awarded",
+     "awards", "write", "wrote", "written", "writes", "release", "released",
+     "releases", "record", "recorded", "records", "lie", "lies", "lay",
+     "locate", "located", "base", "based", "headquarter", "headquartered",
+     "unveil", "unveiled", "unveils", "launch", "launched", "launches",
+     "make", "made", "makes", "lead", "led", "leads", "serve", "serves",
+     "served", "die", "died", "dies", "pass", "passed", "passes", "hold",
+     "holds", "held", "meet", "met", "meets", "give", "gave", "given",
+     "gives", "praise", "praised", "praises", "visit", "visited", "visits",
+     "criticize", "criticized", "criticizes", "photograph", "photographed",
+     "mention", "mentioned", "mentioning", "attend", "attended", "attends",
+     "shape", "shaped", "shapes", "say", "said", "says", "know", "known",
+     "knows", "knew", "create", "created", "creates", "upgrade", "upgraded",
+     "get", "got", "see", "saw", "seen", "compare", "comparing", "compared",
+     "crack", "cracked", "overheat", "overheating", "regret", "regretting",
+     "love", "loved", "loves", "hate", "hated", "hates", "break", "broke",
+     "fall", "fell", "fallen", "falls", "buy", "bought", "buys", "sell", "sold",
+     "last", "lasts", "grow", "grew", "grown", "include", "included",
+     "including", "includes"}
+)
+
+#: Common nouns appearing in templates, categories, and commonsense text.
+NOUNS = frozenset(
+    {"city", "cities", "capital", "country", "countries", "birthplace",
+     "founder", "founders", "author", "authors", "degree", "album", "albums",
+     "headquarters", "conference", "speech", "interview", "essay", "summer",
+     "year", "years", "scientist", "scientists", "musician", "musicians",
+     "politician", "politicians", "entrepreneur", "entrepreneurs", "athlete",
+     "athletes", "writer", "writers", "company", "companies", "university",
+     "universities", "smartphone", "smartphones", "book", "books", "prize",
+     "prizes", "person", "people", "citizen", "citizens", "citizenship",
+     "era", "meeting", "chief", "executive", "ceo", "phone", "phones",
+     "camera", "battery", "screen", "update", "store", "display", "ad",
+     "rival", "rivals", "mouthpiece", "clarinet", "apple", "apples",
+     "wheel", "wheels", "engine", "car", "cars", "bird", "birds", "wing",
+     "wings", "history", "economy", "music", "culture", "award", "awards",
+     "talk", "products", "product", "birth", "births", "death", "deaths",
+     "articles", "cleanup", "noon", "week", "month", "day", "instrument",
+     "shape", "part", "parts"}
+)
+
+ADJECTIVES = frozenset(
+    {"new", "best", "worth", "slow", "fast", "amazing", "red", "green",
+     "juicy", "sweet", "sour", "funny", "cylindrical", "round", "loud",
+     "soft", "cold", "hot", "active", "famous", "late", "early",
+     "best-known", "total", "several", "own", "first", "last", "old",
+     "young", "big", "small", "long", "short", "high", "low"}
+)
+
+ADVERBS = frozenset(
+    {"also", "then", "now", "very", "totally", "finally", "just",
+     "repeatedly", "often", "usually", "never", "always", "ever", "forever",
+     "together", "well", "too", "yesterday", "today", "tomorrow"}
+)
+
+PARTICLES = frozenset({"to", "not", "n't", "'s", "’s"})

@@ -1,0 +1,79 @@
+"""Mention detection: gazetteer hits plus proper-noun fallback rules.
+
+With text as input, entities are first seen only in surface form (tutorial
+section 4); detecting those surface spans is the first stage of NED.  The
+detector prefers dictionary (gazetteer) matches — the KB's name catalogue —
+and falls back to maximal proper-noun runs (optionally extended by a
+trailing number, for product names like "Nova 3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import lexicon as lx
+from .gazetteer import Gazetteer
+from .tokenizer import Token
+
+
+@dataclass(frozen=True, slots=True)
+class MentionSpan:
+    """A detected mention: token span, character span, and surface text."""
+
+    token_start: int
+    token_end: int
+    char_start: int
+    char_end: int
+    text: str
+
+
+def detect_mentions(
+    tokens: list[Token],
+    tags: list[str],
+    gazetteer: Optional[Gazetteer] = None,
+) -> list[MentionSpan]:
+    """Detect entity mentions in one tagged sentence."""
+    taken = [False] * len(tokens)
+    mentions: list[MentionSpan] = []
+    if gazetteer is not None:
+        for match in gazetteer.match(tokens):
+            mentions.append(_to_span(tokens, match.start, match.end))
+            for i in range(match.start, match.end):
+                taken[i] = True
+    mentions.extend(_propn_runs(tokens, tags, taken))
+    mentions.sort(key=lambda m: m.token_start)
+    return mentions
+
+
+def _propn_runs(tokens, tags, taken) -> list[MentionSpan]:
+    runs = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tags[i] != lx.PROPN or taken[i]:
+            i += 1
+            continue
+        start = i
+        while i < n and tags[i] == lx.PROPN and not taken[i]:
+            i += 1
+        # A trailing number is part of a product-style name ("Nova 3").
+        if i < n and tags[i] == lx.NUM and not taken[i]:
+            i += 1
+        runs.append(_to_span(tokens, start, i))
+    return runs
+
+
+def _to_span(tokens: list[Token], start: int, end: int) -> MentionSpan:
+    covered = tokens[start:end]
+    pieces = [covered[0].text]
+    for prev, cur in zip(covered, covered[1:]):
+        pieces.append(" " if cur.start > prev.end else "")
+        pieces.append(cur.text)
+    return MentionSpan(
+        token_start=start,
+        token_end=end,
+        char_start=covered[0].start,
+        char_end=covered[-1].end,
+        text="".join(pieces),
+    )

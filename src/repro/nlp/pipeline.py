@@ -1,0 +1,67 @@
+"""The one-call NLP pipeline: tokenize, tag, lemmatize, chunk, parse, NER."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .chunk import Chunk, noun_phrases, verb_groups
+from .dependency import Parse, parse
+from .gazetteer import Gazetteer
+from .lemmatize import lemma
+from .ner import MentionSpan, detect_mentions
+from .pos import tag
+from .sentences import split_sentences
+from .tokenizer import Token, tokenize
+
+
+@dataclass(slots=True)
+class Analysis:
+    """Everything the pipeline knows about one sentence."""
+
+    text: str
+    tokens: list[Token]
+    tags: list[str]
+    lemmas: list[str]
+    nps: list[Chunk]
+    verb_groups: list[Chunk]
+    parse: Parse
+    mentions: list[MentionSpan] = field(default_factory=list)
+
+    def mention_at_char(self, char_start: int) -> Optional[MentionSpan]:
+        """The detected mention starting at a character offset, if any."""
+        for mention in self.mentions:
+            if mention.char_start == char_start:
+                return mention
+        return None
+
+    def token_index_at_char(self, offset: int) -> Optional[int]:
+        """Index of the token covering a character offset."""
+        for i, token in enumerate(self.tokens):
+            if token.start <= offset < token.end:
+                return i
+        return None
+
+
+def analyze(text: str, gazetteer: Optional[Gazetteer] = None) -> Analysis:
+    """Run the full pipeline on one sentence."""
+    tokens = tokenize(text)
+    tags = tag(tokens)
+    analysis = Analysis(
+        text=text,
+        tokens=tokens,
+        tags=tags,
+        lemmas=[lemma(t.text) for t in tokens],
+        nps=noun_phrases(tokens, tags),
+        verb_groups=verb_groups(tokens, tags),
+        parse=parse(tokens, tags),
+    )
+    analysis.mentions = detect_mentions(tokens, tags, gazetteer)
+    return analysis
+
+
+def analyze_document(text: str, gazetteer: Optional[Gazetteer] = None) -> list[Analysis]:
+    """Split a document into sentences and analyze each."""
+    return [
+        analyze(text[a:b], gazetteer) for a, b in split_sentences(text)
+    ]

@@ -1,0 +1,93 @@
+"""A rule-based part-of-speech tagger.
+
+Tagging order per token: punctuation/number surface checks, closed-class
+lexicon, open-class lexicon, capitalization (mid-sentence capitalized word
+-> proper noun), then suffix heuristics, with a NOUN default.  A final
+contextual repair pass fixes the classic ambiguities that matter to the
+downstream parser (e.g. a lexicon VERB directly after a determiner is a
+noun: "the works of...").
+"""
+
+from __future__ import annotations
+
+from . import lexicon as lx
+from .tokenizer import Token
+
+
+def tag(tokens: list[Token]) -> list[str]:
+    """POS tags, one per token."""
+    tags = [_tag_one(token, index) for index, token in enumerate(tokens)]
+    _repair(tokens, tags)
+    return tags
+
+
+def _tag_one(token: Token, index: int) -> str:
+    text = token.text
+    lower = text.lower()
+    if not text[0].isalnum():
+        return lx.PUNCT
+    if token.is_number:
+        return lx.NUM
+    if lower in lx.AUXILIARIES:
+        return lx.AUX
+    if lower in lx.DETERMINERS:
+        return lx.DET
+    if lower in lx.PREPOSITIONS:
+        return lx.ADP
+    if lower in lx.PRONOUNS:
+        return lx.PRON
+    if lower in lx.CONJUNCTIONS:
+        return lx.CCONJ
+    if lower in lx.SUBORDINATORS:
+        return lx.SCONJ
+    # Mid-sentence capitalization outranks the open-class lexicon: "Falls"
+    # in "Jelgrad Falls" is part of a name, not the verb.
+    if token.is_capitalized and index > 0:
+        return lx.PROPN
+    if lower in lx.VERBS:
+        return lx.VERB
+    if lower in lx.ADJECTIVES:
+        return lx.ADJ
+    if lower in lx.ADVERBS:
+        return lx.ADV
+    if lower in lx.NOUNS:
+        return lx.NOUN
+    if token.is_capitalized and index == 0:
+        # Sentence-initial capitalization is uninformative; fall through to
+        # suffix rules, and only then guess proper noun.
+        guessed = _suffix_guess(lower)
+        return guessed if guessed is not None else lx.PROPN
+    guessed = _suffix_guess(lower)
+    return guessed if guessed is not None else lx.NOUN
+
+
+def _suffix_guess(lower: str) -> str | None:
+    if lower.endswith("ing") and len(lower) > 5:
+        return lx.VERB
+    if lower.endswith("ed") and len(lower) > 4:
+        return lx.VERB
+    if lower.endswith("ly") and len(lower) > 4:
+        return lx.ADV
+    if lower.endswith("ous") or lower.endswith("ful") or lower.endswith("ive"):
+        return lx.ADJ
+    return None
+
+
+def _repair(tokens: list[Token], tags: list[str]) -> None:
+    """Contextual fixes applied in place."""
+    for i, (token, pos) in enumerate(zip(tokens, tags)):
+        previous = tags[i - 1] if i > 0 else None
+        # "the works of" / "a record" — verb reading impossible after DET.
+        if pos == lx.VERB and previous in (lx.DET, lx.ADJ):
+            tags[i] = lx.NOUN
+        # Capitalized word after sentence start that is followed by another
+        # capitalized word is part of a name: "Acumen Labs ..."
+        if (
+            i == 0
+            and pos == lx.NOUN
+            and token.is_capitalized
+            and i + 1 < len(tokens)
+            and tokens[i + 1].is_capitalized
+            and token.text.lower() not in lx.DETERMINERS
+        ):
+            tags[i] = lx.PROPN

@@ -1,0 +1,53 @@
+"""A rule-based sentence splitter.
+
+Splits on sentence-final punctuation followed by whitespace and an uppercase
+letter (or end of text), while protecting common abbreviations and single-
+letter initials ("G. Weikum") from triggering a boundary.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ABBREVIATIONS = frozenset(
+    {"dr", "mr", "mrs", "ms", "prof", "st", "no", "vol", "fig", "vs", "etc",
+     "inc", "ltd", "corp", "univ", "dept"}
+)
+
+_BOUNDARY_RE = re.compile(r"([.!?])(\s+)(?=[A-Z0-9À-Ü])|([.!?])$")
+
+
+def split_sentences(text: str) -> list[tuple[int, int]]:
+    """Character spans (start, end) of the sentences in ``text``."""
+    spans = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(text):
+        end = match.start() + 1  # include the punctuation mark
+        if _is_protected(text, match.start()):
+            continue
+        if end > start:
+            spans.append((start, end))
+        start = match.end() if match.group(2) else end
+    tail = text[start:].strip()
+    if tail:
+        tail_start = start + (len(text[start:]) - len(text[start:].lstrip()))
+        spans.append((tail_start, tail_start + len(tail)))
+    return spans
+
+
+def _is_protected(text: str, dot_index: int) -> bool:
+    """True if the punctuation at ``dot_index`` should not split."""
+    if text[dot_index] != ".":
+        return False
+    word_start = dot_index
+    while word_start > 0 and text[word_start - 1].isalpha():
+        word_start -= 1
+    word = text[word_start:dot_index]
+    if len(word) == 1 and word.isupper():
+        return True  # an initial like "G."
+    return word.lower() in _ABBREVIATIONS
+
+
+def sentence_texts(text: str) -> list[str]:
+    """The sentence substrings of ``text``."""
+    return [text[a:b] for a, b in split_sentences(text)]

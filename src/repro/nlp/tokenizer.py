@@ -1,0 +1,63 @@
+"""An offset-preserving regex tokenizer.
+
+Every token records its character span in the original text, so mention
+spans produced downstream (NER, extraction) can always be mapped back to the
+source — a hard requirement for provenance in knowledge harvesting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Word-ish tokens (letters with internal hyphens/apostrophes), numbers
+#: (with decimals), or any single non-space symbol.
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-zÀ-ɏ]+(?:['’-][A-Za-zÀ-ɏ]+)*  # words
+    | \d+(?:[.,]\d+)*                                           # numbers
+    | \S                                                        # anything else
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One token with its source-text character span."""
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def is_word(self) -> bool:
+        """True if the token starts with a letter."""
+        return bool(self.text) and self.text[0].isalpha()
+
+    @property
+    def is_number(self) -> bool:
+        """True if the token is numeric (possibly with separators)."""
+        return bool(self.text) and self.text[0].isdigit()
+
+    @property
+    def is_capitalized(self) -> bool:
+        """True if the token starts with an uppercase letter."""
+        return bool(self.text) and self.text[0].isupper()
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split text into offset-annotated tokens."""
+    return [
+        Token(m.group(), m.start(), m.end()) for m in _TOKEN_RE.finditer(text)
+    ]
+
+
+def iter_token_texts(text: str) -> Iterator[str]:
+    """Just the token strings (convenience for hashing/counting)."""
+    for match in _TOKEN_RE.finditer(text):
+        yield match.group()

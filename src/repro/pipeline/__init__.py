@@ -1,0 +1,5 @@
+"""End-to-end knowledge-base construction."""
+
+from .builder import BuildConfig, BuildReport, KnowledgeBaseBuilder
+
+__all__ = ["BuildConfig", "BuildReport", "KnowledgeBaseBuilder"]

@@ -1,0 +1,220 @@
+"""The end-to-end knowledge-base construction pipeline.
+
+This is "a YAGO built from the synthetic Wikipedia": category integration
+supplies the class taxonomy, infobox and sentence extractors supply the
+facts, temporal tagging supplies scopes, interlanguage links supply
+multilingual labels, and MaxSat consistency reasoning cleans the result.
+The same extraction work can run through the in-process map-reduce engine
+(one page per input record), which is how the scaling experiment E11
+measures per-shard work and shuffle volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..kb import Entity, Taxonomy, Triple, TripleStore, ns
+from ..corpus.wiki import Wiki, WikiPage
+from ..bigdata.mapreduce import JobStats, MapReduce
+from ..extraction.base import Candidate, candidates_to_store
+from ..extraction.consistency import ConsistencyReasoner, ConsistencyReport
+from ..extraction.infobox import InfoboxExtractor
+from ..extraction.multilingual import harvest_labels
+from ..extraction.occurrences import sentence_occurrences
+from ..extraction.patterns import PatternExtractor
+from ..extraction.resolution import NameResolver
+from ..extraction.temporal import attach_scopes, extract_year_attributes
+from ..nlp.pipeline import analyze
+from ..taxonomy.integration import integrate
+from ..world import schema as ws
+
+
+@dataclass(frozen=True, slots=True)
+class BuildConfig:
+    """Pipeline switches."""
+
+    use_infobox: bool = True
+    use_patterns: bool = True
+    use_year_attributes: bool = True
+    use_temporal_scoping: bool = True
+    use_consistency: bool = True
+    use_multilingual: bool = True
+    min_confidence: float = 0.5
+    mapreduce_shards: Optional[int] = None  # None = serial execution
+
+
+@dataclass(slots=True)
+class BuildReport:
+    """What the pipeline produced at each stage."""
+
+    pages: int = 0
+    sentences: int = 0
+    type_triples: int = 0
+    infobox_candidates: int = 0
+    pattern_candidates: int = 0
+    year_candidates: int = 0
+    merged_facts: int = 0
+    accepted_facts: int = 0
+    label_triples: int = 0
+    consistency: Optional[ConsistencyReport] = None
+    mapreduce: Optional[JobStats] = None
+
+
+class KnowledgeBaseBuilder:
+    """Build a KB from an encyclopedia."""
+
+    def __init__(
+        self,
+        wiki: Wiki,
+        aliases: Optional[dict[Entity, list[str]]] = None,
+        config: BuildConfig = BuildConfig(),
+    ) -> None:
+        self.wiki = wiki
+        self.config = config
+        self.resolver = NameResolver()
+        for title, page in wiki.pages.items():
+            self.resolver.add(title, page.entity, count=5)
+        if aliases:
+            for entity, forms in aliases.items():
+                if entity in wiki.by_entity:
+                    for form in forms[1:]:
+                        self.resolver.add(form, entity)
+        self._gazetteer = self.resolver.to_gazetteer()
+
+    # -------------------------------------------------------------- stages
+
+    def _page_candidates(self, page: WikiPage) -> list[Candidate]:
+        """All fact candidates one page contributes (the map function)."""
+        candidates: list[Candidate] = []
+        if self.config.use_infobox:
+            infobox = InfoboxExtractor(self.resolver)
+            candidates.extend(infobox.extract_page(page))
+        if self.config.use_patterns or self.config.use_year_attributes:
+            patterns = PatternExtractor()
+            for sentence in page.document.sentences:
+                analysis = analyze(sentence.text, self._gazetteer)
+                if self.config.use_patterns:
+                    occurrences = list(
+                        sentence_occurrences(analysis, self.resolver)
+                    )
+                    candidates.extend(patterns.extract(occurrences))
+                if self.config.use_year_attributes:
+                    for triple in extract_year_attributes(
+                        page.entity, sentence.text
+                    ):
+                        candidates.append(
+                            Candidate(
+                                subject=triple.subject,
+                                relation=triple.predicate,
+                                object=triple.object,
+                                confidence=triple.confidence,
+                                extractor="year-attributes",
+                                evidence=sentence.text,
+                            )
+                        )
+        return candidates
+
+    def build(self) -> tuple[TripleStore, BuildReport]:
+        """Run the full pipeline; returns (knowledge base, report)."""
+        report = BuildReport(pages=len(self.wiki.pages))
+        report.sentences = sum(
+            len(p.document.sentences) for p in self.wiki.pages.values()
+        )
+
+        kb = TripleStore()
+        kb.merge(ws.schema_store())
+
+        # 1. Classes: category integration (types + subclass hierarchy).
+        type_store, __ = integrate(self.wiki)
+        report.type_triples = len(type_store)
+        kb.merge(type_store)
+
+        # 2. Facts: per-page extraction, serial or through map-reduce.
+        if self.config.mapreduce_shards:
+            candidates, stats = self._extract_mapreduce()
+            report.mapreduce = stats
+        else:
+            candidates = []
+            for title in sorted(self.wiki.pages):
+                candidates.extend(self._page_candidates(self.wiki.pages[title]))
+        for candidate in candidates:
+            if candidate.extractor == "infobox":
+                report.infobox_candidates += 1
+            elif candidate.extractor == "year-attributes":
+                report.year_candidates += 1
+            else:
+                report.pattern_candidates += 1
+
+        # 3. Temporal scoping from the evidence sentences.
+        if self.config.use_temporal_scoping:
+            candidates = attach_scopes(candidates)
+
+        fact_store = candidates_to_store(candidates, self.config.min_confidence)
+        report.merged_facts = len(fact_store)
+
+        # 4. Consistency reasoning against the harvested + schema taxonomy.
+        if self.config.use_consistency:
+            taxonomy = Taxonomy(_taxonomy_view(kb, self.wiki))
+            reasoner = ConsistencyReasoner(taxonomy)
+            fact_store, report.consistency = reasoner.clean(fact_store)
+        report.accepted_facts = len(fact_store)
+        kb.merge(fact_store)
+
+        # 5. Multilingual labels.
+        if self.config.use_multilingual:
+            labels = harvest_labels(self.wiki)
+            report.label_triples = len(labels)
+            kb.merge(labels)
+        for title, page in self.wiki.pages.items():
+            kb.add_fact(page.entity, ns.PREF_LABEL, _literal(title))
+        return kb, report
+
+    def _extract_mapreduce(self) -> tuple[list[Candidate], JobStats]:
+        """Run per-page extraction as a map-reduce job."""
+        engine: MapReduce = MapReduce(shards=self.config.mapreduce_shards)
+
+        def mapper(title: str):
+            for candidate in self._page_candidates(self.wiki.pages[title]):
+                yield repr(candidate.key()), candidate
+
+        def reducer(key: str, values: list[Candidate]):
+            yield from values
+
+        candidates, stats = engine.run(sorted(self.wiki.pages), mapper, reducer)
+        return candidates, stats
+
+
+def _taxonomy_view(kb: TripleStore, wiki: Wiki) -> TripleStore:
+    """Schema plus a coarse type assignment for consistency checking.
+
+    Harvested wcat/wordnet types do not line up with the schema's ``cls:``
+    domain/range classes by themselves; the bridge is the category-class
+    naming (the head lemma matches the schema class noun).  Real systems
+    maintain exactly such a mapping between harvested classes and the
+    ontology.  Unmapped entities stay untyped (open world).
+    """
+    from ..corpus.templates import CLASS_NOUNS
+    from ..taxonomy.categories import classify_category
+
+    noun_to_class = {
+        singular: cls for cls, (singular, __) in CLASS_NOUNS.items()
+    }
+    noun_to_class["person"] = ws.PERSON
+    noun_to_class["product"] = ws.PRODUCT
+    view = kb.copy()
+    for page in wiki.pages.values():
+        for category in page.categories:
+            decision = classify_category(category.name)
+            if not decision.conceptual:
+                continue
+            mapped = noun_to_class.get(decision.head_lemma)
+            if mapped is not None:
+                view.add(Triple(page.entity, ns.TYPE, mapped))
+    return view
+
+
+def _literal(text: str):
+    from ..kb import string_literal
+
+    return string_literal(text)

@@ -1,0 +1,228 @@
+"""Boolean factor graphs with Gibbs-sampled marginals (DeepDive-style).
+
+DeepDive grounds extraction candidates into a factor graph whose factors
+carry real-valued weights, then estimates per-candidate marginal
+probabilities by Gibbs sampling.  This module implements that substrate:
+boolean variables, weighted factors over small variable tuples, a seeded
+Gibbs sampler with burn-in, and exact enumeration for small graphs (used by
+tests to validate the sampler).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+#: A factor's semantics: maps the tuple of its variables' values to True
+#: (satisfied: contributes its weight) or False (contributes nothing).
+FactorFn = Callable[[tuple[bool, ...]], bool]
+
+
+def is_true(values: tuple[bool, ...]) -> bool:
+    """Unary factor: satisfied when its variable is true."""
+    return values[0]
+
+
+def implies(values: tuple[bool, ...]) -> bool:
+    """Binary factor A -> B."""
+    return (not values[0]) or values[1]
+
+
+def equivalent(values: tuple[bool, ...]) -> bool:
+    """Binary factor A <-> B."""
+    return values[0] == values[1]
+
+
+def not_both(values: tuple[bool, ...]) -> bool:
+    """Binary factor !(A & B) — mutual exclusion."""
+    return not (values[0] and values[1])
+
+
+def conjunction_implies(values: tuple[bool, ...]) -> bool:
+    """(A1 & ... & An-1) -> An."""
+    return (not all(values[:-1])) or values[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class Factor:
+    """A weighted boolean factor over an ordered tuple of variables."""
+
+    variables: tuple[Hashable, ...]
+    fn: FactorFn
+    weight: float
+
+    def satisfied(self, assignment: dict[Hashable, bool]) -> bool:
+        """Evaluate against a full assignment."""
+        return self.fn(tuple(assignment[v] for v in self.variables))
+
+
+class FactorGraph:
+    """A collection of boolean variables and weighted factors."""
+
+    def __init__(self) -> None:
+        self._variables: dict[Hashable, Optional[bool]] = {}
+        self._factors: list[Factor] = []
+        self._factors_of: dict[Hashable, list[int]] = {}
+
+    # ------------------------------------------------------------- building
+
+    def add_variable(self, name: Hashable, evidence: Optional[bool] = None) -> None:
+        """Declare a variable; ``evidence`` pins it to a fixed value."""
+        self._variables[name] = evidence
+
+    def add_factor(
+        self, variables: Sequence[Hashable], fn: FactorFn, weight: float
+    ) -> None:
+        """Attach a weighted factor; unknown variables are auto-declared."""
+        variables = tuple(variables)
+        if not variables:
+            raise ValueError("a factor needs at least one variable")
+        for v in variables:
+            if v not in self._variables:
+                self._variables[v] = None
+        index = len(self._factors)
+        self._factors.append(Factor(variables, fn, weight))
+        for v in variables:
+            self._factors_of.setdefault(v, []).append(index)
+
+    def prior(self, name: Hashable, weight: float) -> None:
+        """A unary is_true factor (positive weight favours True)."""
+        self.add_factor((name,), is_true, weight)
+
+    @property
+    def variables(self) -> list[Hashable]:
+        """All declared variable names."""
+        return list(self._variables)
+
+    @property
+    def factors(self) -> list[Factor]:
+        """All factors."""
+        return list(self._factors)
+
+    def free_variables(self) -> list[Hashable]:
+        """Variables not pinned by evidence."""
+        return [v for v, e in self._variables.items() if e is None]
+
+    # ------------------------------------------------------------ inference
+
+    def log_score(self, assignment: dict[Hashable, bool]) -> float:
+        """Sum of weights of satisfied factors (the unnormalized log-density)."""
+        return sum(f.weight for f in self._factors if f.satisfied(assignment))
+
+    def gibbs_marginals(
+        self,
+        iterations: int = 500,
+        burn_in: int = 100,
+        seed: int = 0,
+    ) -> dict[Hashable, float]:
+        """Marginal P(variable = True) estimated by Gibbs sampling.
+
+        ``iterations`` counts full sweeps over the free variables; samples
+        before ``burn_in`` sweeps are discarded.
+        """
+        if iterations <= burn_in:
+            raise ValueError("iterations must exceed burn_in")
+        rng = random.Random(seed)
+        assignment: dict[Hashable, bool] = {}
+        for v, evidence in self._variables.items():
+            assignment[v] = evidence if evidence is not None else rng.random() < 0.5
+        free = self.free_variables()
+        counts = {v: 0 for v in free}
+        kept = 0
+        for sweep in range(iterations):
+            for v in free:
+                assignment[v] = self._sample_conditional(v, assignment, rng)
+            if sweep >= burn_in:
+                kept += 1
+                for v in free:
+                    if assignment[v]:
+                        counts[v] += 1
+        marginals = {v: counts[v] / kept for v in free}
+        for v, evidence in self._variables.items():
+            if evidence is not None:
+                marginals[v] = 1.0 if evidence else 0.0
+        return marginals
+
+    def _sample_conditional(
+        self, variable: Hashable, assignment: dict[Hashable, bool], rng: random.Random
+    ) -> bool:
+        """Sample one variable from its conditional given the rest."""
+        score_true = 0.0
+        score_false = 0.0
+        for index in self._factors_of.get(variable, ()):
+            factor = self._factors[index]
+            original = assignment[variable]
+            assignment[variable] = True
+            if factor.satisfied(assignment):
+                score_true += factor.weight
+            assignment[variable] = False
+            if factor.satisfied(assignment):
+                score_false += factor.weight
+            assignment[variable] = original
+        delta = score_true - score_false
+        probability_true = 1.0 / (1.0 + math.exp(-delta)) if abs(delta) < 500 else (
+            1.0 if delta > 0 else 0.0
+        )
+        return rng.random() < probability_true
+
+    def exact_marginals(self) -> dict[Hashable, float]:
+        """Exact marginals by enumeration (exponential; for small graphs)."""
+        free = self.free_variables()
+        if len(free) > 20:
+            raise ValueError("exact inference is limited to 20 free variables")
+        fixed = {v: e for v, e in self._variables.items() if e is not None}
+        total_mass = 0.0
+        true_mass = {v: 0.0 for v in free}
+        for values in itertools.product((False, True), repeat=len(free)):
+            assignment = dict(fixed)
+            assignment.update(zip(free, values))
+            mass = math.exp(self.log_score(assignment))
+            total_mass += mass
+            for v, value in zip(free, values):
+                if value:
+                    true_mass[v] += mass
+        marginals = {v: true_mass[v] / total_mass for v in free}
+        for v, e in fixed.items():
+            marginals[v] = 1.0 if e else 0.0
+        return marginals
+
+    def map_assignment(self, seed: int = 0, restarts: int = 3, sweeps: int = 50):
+        """An approximate MAP assignment by greedy coordinate ascent."""
+        rng = random.Random(seed)
+        best_assignment: dict[Hashable, bool] = {}
+        best_score = -math.inf
+        free = self.free_variables()
+        fixed = {v: e for v, e in self._variables.items() if e is not None}
+        for __ in range(max(1, restarts)):
+            assignment = dict(fixed)
+            for v in free:
+                assignment[v] = rng.random() < 0.5
+            for __ in range(sweeps):
+                changed = False
+                for v in free:
+                    current = assignment[v]
+                    assignment[v] = True
+                    score_true = self._local_score(v, assignment)
+                    assignment[v] = False
+                    score_false = self._local_score(v, assignment)
+                    chosen = score_true > score_false
+                    assignment[v] = chosen
+                    if chosen != current:
+                        changed = True
+                if not changed:
+                    break
+            score = self.log_score(assignment)
+            if score > best_score:
+                best_score = score
+                best_assignment = dict(assignment)
+        return best_assignment, best_score
+
+    def _local_score(self, variable, assignment) -> float:
+        return sum(
+            self._factors[i].weight
+            for i in self._factors_of.get(variable, ())
+            if self._factors[i].satisfied(assignment)
+        )

@@ -1,0 +1,76 @@
+"""Markov-logic-lite: weighted rules grounded into a factor graph.
+
+A Markov Logic Network attaches weights to first-order clauses; grounding
+produces a Markov network whose variables are ground facts.  This "lite"
+version supports the rule shapes knowledge-base construction needs —
+weighted Horn implications and mutual-exclusion constraints — and delegates
+inference to the Gibbs sampler of :mod:`repro.reasoning.factorgraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from ..kb import TripleStore
+from .factorgraph import FactorGraph, conjunction_implies, not_both
+from .rules import FactKey, Rule, ground_rules
+
+
+@dataclass(slots=True)
+class MarkovLogicNetwork:
+    """A weighted rule set plus exclusion constraints over fact variables."""
+
+    rules: list[Rule] = field(default_factory=list)
+    exclusion_weight: float = 4.0
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register a weighted implication rule."""
+        self.rules.append(rule)
+
+    def ground(
+        self,
+        evidence: TripleStore,
+        priors: Optional[dict[FactKey, float]] = None,
+        exclusions: Iterable[tuple[FactKey, FactKey]] = (),
+    ) -> FactorGraph:
+        """Ground into a factor graph.
+
+        ``evidence`` supplies the candidate facts whose keys become boolean
+        variables; ``priors`` maps fact keys to log-odds-style weights (the
+        extraction confidences); ``exclusions`` adds weighted not-both
+        factors between conflicting facts.
+        """
+        graph = FactorGraph()
+        if priors:
+            for key, weight in priors.items():
+                graph.prior(key, weight)
+        for ground in ground_rules(self.rules, evidence):
+            variables = tuple(ground.body) + (ground.head,)
+            graph.add_factor(variables, conjunction_implies, ground.weight)
+        for a, b in exclusions:
+            graph.add_factor((a, b), not_both, self.exclusion_weight)
+        return graph
+
+    def marginals(
+        self,
+        evidence: TripleStore,
+        priors: Optional[dict[FactKey, float]] = None,
+        exclusions: Iterable[tuple[FactKey, FactKey]] = (),
+        iterations: int = 400,
+        burn_in: int = 100,
+        seed: int = 0,
+    ) -> dict[Hashable, float]:
+        """Ground and run Gibbs; returns P(fact) per fact variable."""
+        graph = self.ground(evidence, priors, exclusions)
+        if not graph.variables:
+            return {}
+        return graph.gibbs_marginals(iterations=iterations, burn_in=burn_in, seed=seed)
+
+
+def confidence_to_weight(confidence: float, floor: float = 0.05) -> float:
+    """Map an extraction confidence in (0, 1) to a log-odds prior weight."""
+    import math
+
+    clamped = min(max(confidence, floor), 1.0 - floor)
+    return math.log(clamped / (1.0 - clamped))

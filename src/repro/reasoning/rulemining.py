@@ -1,0 +1,234 @@
+"""AMIE-style rule mining from the knowledge base.
+
+Once a KB exists, its regularities can be *mined* as weighted Horn rules —
+``capitalOf(x, y) => locatedIn(x, y)``, ``bornIn(x, z) & locatedIn(z, y)
+=> citizenOf(x, y)`` — and the mined rules drive KB completion (AMIE,
+Galárraga et al., WWW 2013; same research programme as the tutorial).
+This lite version mines three rule shapes:
+
+* **same-pair**:      r1(x, y) => r2(x, y)
+* **inverse**:        r1(y, x) => r2(x, y)
+* **chain**:          r1(x, z) & r2(z, y) => r3(x, y)
+
+and scores each with *support* (positive instantiations), *standard
+confidence* (support / body instantiations), and *PCA confidence*
+(support / body instantiations whose subject has *some* head-relation
+fact — the partial-completeness reading that made AMIE work on open-world
+KBs).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kb import Entity, Relation, Triple, TripleStore
+from .rules import Atom, Rule
+
+
+@dataclass(frozen=True, slots=True)
+class MinedRule:
+    """One mined rule with its quality measures."""
+
+    rule: Rule
+    shape: str                 # "same-pair" | "inverse" | "chain"
+    support: int
+    std_confidence: float
+    pca_confidence: float
+
+    def describe(self) -> str:
+        """A human-readable rendering."""
+        body = " & ".join(
+            f"{a.relation.local_name}({a.subject},{a.object})" for a in self.rule.body
+        )
+        head = self.rule.head
+        return (
+            f"{body} => {head.relation.local_name}({head.subject},{head.object})"
+            f"  [supp={self.support}, conf={self.std_confidence:.2f},"
+            f" pca={self.pca_confidence:.2f}]"
+        )
+
+
+class RuleMiner:
+    """Mine Horn rules from an entity-to-entity fact store."""
+
+    def __init__(
+        self,
+        min_support: int = 5,
+        min_confidence: float = 0.5,
+        max_join_size: int = 200_000,
+    ) -> None:
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_join_size = max_join_size
+
+    # ---------------------------------------------------------------- mining
+
+    def mine(
+        self, store: TripleStore, relations: Optional[Iterable[Relation]] = None
+    ) -> list[MinedRule]:
+        """All rules above the support/confidence thresholds, best first."""
+        facts = self._entity_facts(store, relations)
+        mined: list[MinedRule] = []
+        mined.extend(self._mine_same_pair(facts))
+        mined.extend(self._mine_inverse(facts))
+        mined.extend(self._mine_chains(facts))
+        mined.sort(
+            key=lambda m: (-m.pca_confidence, -m.support, m.describe())
+        )
+        return mined
+
+    def _entity_facts(
+        self, store: TripleStore, relations
+    ) -> dict[Relation, set[tuple[Entity, Entity]]]:
+        wanted = set(relations) if relations is not None else None
+        facts: dict[Relation, set[tuple[Entity, Entity]]] = defaultdict(set)
+        for triple in store:
+            predicate = triple.predicate
+            if not isinstance(predicate, Relation):
+                continue
+            if wanted is not None and predicate not in wanted:
+                continue
+            if isinstance(triple.subject, Entity) and isinstance(triple.object, Entity):
+                facts[predicate].add((triple.subject, triple.object))
+        return facts
+
+    def _subjects_of(self, pairs: set[tuple[Entity, Entity]]) -> set[Entity]:
+        return {x for x, __ in pairs}
+
+    def _score(
+        self,
+        body_pairs: Iterable[tuple[Entity, Entity]],
+        head_pairs: set[tuple[Entity, Entity]],
+        head_subjects: set[Entity],
+    ) -> Optional[tuple[int, float, float]]:
+        body_list = list(body_pairs)
+        if not body_list:
+            return None
+        support = sum(1 for pair in body_list if pair in head_pairs)
+        if support < self.min_support:
+            return None
+        std_confidence = support / len(body_list)
+        pca_body = [pair for pair in body_list if pair[0] in head_subjects]
+        pca_confidence = support / len(pca_body) if pca_body else 0.0
+        if max(std_confidence, pca_confidence) < self.min_confidence:
+            return None
+        return support, std_confidence, pca_confidence
+
+    def _mine_same_pair(self, facts) -> list[MinedRule]:
+        mined = []
+        for r1, body_pairs in facts.items():
+            for r2, head_pairs in facts.items():
+                if r1 == r2:
+                    continue
+                head_subjects = self._subjects_of(head_pairs)
+                scored = self._score(body_pairs, head_pairs, head_subjects)
+                if scored is None:
+                    continue
+                support, std, pca = scored
+                rule = Rule(
+                    body=(Atom(r1, "x", "y"),),
+                    head=Atom(r2, "x", "y"),
+                    weight=pca,
+                )
+                mined.append(MinedRule(rule, "same-pair", support, std, pca))
+        return mined
+
+    def _mine_inverse(self, facts) -> list[MinedRule]:
+        mined = []
+        for r1, pairs in facts.items():
+            inverted = {(y, x) for x, y in pairs}
+            for r2, head_pairs in facts.items():
+                head_subjects = self._subjects_of(head_pairs)
+                scored = self._score(inverted, head_pairs, head_subjects)
+                if scored is None:
+                    continue
+                support, std, pca = scored
+                # Skip the trivial "r(y,x) => r(x,y)" unless genuinely
+                # symmetric data supports it (it will score well only then).
+                rule = Rule(
+                    body=(Atom(r1, "y", "x"),),
+                    head=Atom(r2, "x", "y"),
+                    weight=pca,
+                )
+                mined.append(MinedRule(rule, "inverse", support, std, pca))
+        return mined
+
+    def _mine_chains(self, facts) -> list[MinedRule]:
+        mined = []
+        by_subject: dict[Relation, dict[Entity, set[Entity]]] = {}
+        for relation, pairs in facts.items():
+            index: dict[Entity, set[Entity]] = defaultdict(set)
+            for x, y in pairs:
+                index[x].add(y)
+            by_subject[relation] = index
+        for r1, pairs1 in facts.items():
+            for r2, index2 in by_subject.items():
+                # Join r1(x, z) with r2(z, y).
+                joined: set[tuple[Entity, Entity]] = set()
+                for x, z in pairs1:
+                    for y in index2.get(z, ()):
+                        if x != y:
+                            joined.add((x, y))
+                        if len(joined) > self.max_join_size:
+                            break
+                if not joined:
+                    continue
+                for r3, head_pairs in facts.items():
+                    if r3 in (r1, r2) and r1 == r2:
+                        continue
+                    head_subjects = self._subjects_of(head_pairs)
+                    scored = self._score(joined, head_pairs, head_subjects)
+                    if scored is None:
+                        continue
+                    support, std, pca = scored
+                    if r3 == r1 or r3 == r2:
+                        continue  # avoid trivial re-derivations
+                    rule = Rule(
+                        body=(Atom(r1, "x", "z"), Atom(r2, "z", "y")),
+                        head=Atom(r3, "x", "y"),
+                        weight=pca,
+                    )
+                    mined.append(MinedRule(rule, "chain", support, std, pca))
+        return mined
+
+
+def complete_kb(
+    store: TripleStore,
+    mined: list[MinedRule],
+    min_pca: float = 0.7,
+    min_std: float = 0.6,
+    confidence_scale: float = 0.9,
+) -> TripleStore:
+    """Predict new facts by applying mined rules to the store.
+
+    Rules must clear *both* confidence measures: PCA confidence tolerates
+    open-world incompleteness, but alone it overrates inverse rules of
+    quasi-functional relations ("locatedIn => capitalOf" scores PCA 1.0
+    because only capital cities have any capitalOf fact) — the standard-
+    confidence gate filters those.  Returns only the *new* predictions,
+    each carrying ``pca-confidence * confidence_scale`` as its confidence.
+    """
+    from .rules import ground_rule
+
+    predictions = TripleStore()
+    for mined_rule in mined:
+        if mined_rule.pca_confidence < min_pca:
+            continue
+        if mined_rule.std_confidence < min_std:
+            continue
+        for ground in ground_rule(mined_rule.rule, store):
+            s, p, o = ground.head
+            if store.contains_fact(s, p, o) or predictions.contains_fact(s, p, o):
+                continue
+            predictions.add(
+                Triple(
+                    s, p, o,
+                    confidence=min(
+                        mined_rule.pca_confidence * confidence_scale, 1.0
+                    ),
+                    source="rule-mining",
+                )
+            )
+    return predictions

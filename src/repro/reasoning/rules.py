@@ -1,0 +1,130 @@
+"""A small first-order rule language grounded against triple stores.
+
+Rules are weighted Horn-style implications over triple atoms, e.g.::
+
+    Rule(
+        body=[Atom(CAPITAL_OF, "x", "y")],
+        head=Atom(LOCATED_IN, "x", "y"),
+        weight=2.0,
+    )
+
+The grounding engine enumerates body matches in a store and yields ground
+rule instances over *fact variables* — the (s, p, o) keys — which the MLN
+layer turns into factors and the consistency reasoner turns into clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..kb import Pattern, Query, Relation, Term, TripleStore, Var
+
+#: An atom argument: a variable name (str) or a constant term.
+Arg = Union[str, Term]
+
+#: A ground fact key.
+FactKey = tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """One triple atom: relation plus subject/object arguments."""
+
+    relation: Relation
+    subject: Arg
+    object: Arg
+
+    def ground(self, binding: dict[str, Term]) -> FactKey:
+        """The (s, p, o) fact key under a variable binding."""
+        subject = binding[self.subject] if isinstance(self.subject, str) else self.subject
+        obj = binding[self.object] if isinstance(self.object, str) else self.object
+        return (subject, self.relation, obj)
+
+    def to_pattern(self) -> Pattern:
+        """The query pattern for this atom."""
+        subject = Var(self.subject) if isinstance(self.subject, str) else self.subject
+        obj = Var(self.object) if isinstance(self.object, str) else self.object
+        return Pattern(subject, self.relation, obj)
+
+    def variables(self) -> set[str]:
+        """Variable names used by this atom."""
+        found = set()
+        if isinstance(self.subject, str):
+            found.add(self.subject)
+        if isinstance(self.object, str):
+            found.add(self.object)
+        return found
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """body_1 & ... & body_n -> head, with a weight (None = hard)."""
+
+    body: tuple[Atom, ...]
+    head: Atom
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("a rule needs at least one body atom")
+        head_vars = self.head.variables()
+        body_vars = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        if not head_vars <= body_vars:
+            raise ValueError("every head variable must occur in the body")
+
+
+@dataclass(frozen=True, slots=True)
+class GroundRule:
+    """One grounding: body fact keys, head fact key, weight."""
+
+    body: tuple[FactKey, ...]
+    head: FactKey
+    weight: float
+
+
+def ground_rule(rule: Rule, store: TripleStore) -> Iterator[GroundRule]:
+    """All groundings of a rule whose body matches the store."""
+    query = Query([atom.to_pattern() for atom in rule.body])
+    for binding in query.run(store):
+        yield GroundRule(
+            body=tuple(atom.ground(binding) for atom in rule.body),
+            head=rule.head.ground(binding),
+            weight=rule.weight,
+        )
+
+
+def ground_rules(rules: list[Rule], store: TripleStore) -> list[GroundRule]:
+    """Ground a rule set against a store."""
+    grounded = []
+    for rule in rules:
+        grounded.extend(ground_rule(rule, store))
+    return grounded
+
+
+def apply_rules(
+    rules: list[Rule], store: TripleStore, max_rounds: int = 5
+) -> TripleStore:
+    """Forward-chain hard rules to a fixpoint (bounded), returning new facts.
+
+    Only useful for deterministic inference (e.g. deriving locatedIn from
+    capitalOf); weighted reasoning should go through the MLN/MaxSat layers.
+    """
+    from ..kb import Triple
+
+    derived = TripleStore()
+    working = store.copy()
+    for __ in range(max_rounds):
+        new_facts = 0
+        for ground in ground_rules(rules, working):
+            s, p, o = ground.head
+            if not working.contains_fact(s, p, o):
+                triple = Triple(s, p, o, confidence=0.9, source="rule")
+                working.add(triple)
+                derived.add(triple)
+                new_facts += 1
+        if new_facts == 0:
+            break
+    return derived

@@ -1,0 +1,53 @@
+"""Harvesting knowledge on entities and classes (tutorial section 2)."""
+
+from .headparser import ParsedLabel, is_plural, parse_label
+from .categories import (
+    ADMINISTRATIVE_HEADS,
+    CategoryDecision,
+    class_label_of,
+    classify_category,
+)
+from .wordnet_mini import WORDNET, MiniWordNet, Synset
+from .integration import (
+    EXPECTED_SYNSET,
+    IntegrationReport,
+    category_class,
+    integrate,
+    wordnet_class,
+)
+from .hearst import IsAPair, extract_pairs, harvest
+from .set_expansion import ExpansionResult, SetExpander
+from .probase import ProbabilisticTaxonomy, ScoredConcept
+from .attributes import (
+    AttributeDiscoverer,
+    DiscoveredAttribute,
+    resolver_for_attributes,
+)
+
+__all__ = [
+    "ParsedLabel",
+    "is_plural",
+    "parse_label",
+    "ADMINISTRATIVE_HEADS",
+    "CategoryDecision",
+    "class_label_of",
+    "classify_category",
+    "WORDNET",
+    "MiniWordNet",
+    "Synset",
+    "EXPECTED_SYNSET",
+    "IntegrationReport",
+    "category_class",
+    "integrate",
+    "wordnet_class",
+    "IsAPair",
+    "extract_pairs",
+    "harvest",
+    "ExpansionResult",
+    "SetExpander",
+    "ProbabilisticTaxonomy",
+    "ScoredConcept",
+    "AttributeDiscoverer",
+    "DiscoveredAttribute",
+    "resolver_for_attributes",
+]

@@ -1,0 +1,125 @@
+"""Biperpedia-style class-attribute discovery from a query stream.
+
+Gupta et al. (PVLDB 2014 — reference [13] of the tutorial) showed that the
+best source of *attributes* (what users want to know about a class) is the
+query stream itself: queries shaped like "A of E" / "E A" pair an entity
+mention with an attribute phrase; aggregating over all entities of a class
+and filtering by support and entity diversity yields a per-class attribute
+vocabulary far richer than hand-built ontologies.
+
+The discoverer below matches those query shapes with the KB name
+dictionary, aggregates (class, attribute) evidence, and ranks attributes
+per class by smoothed frequency; misspelled and noise queries fall out via
+the entity-match requirement and the support threshold.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..kb import Entity
+from ..extraction.resolution import NameResolver
+
+_OF_RE = re.compile(r"^(?:what is the )?(?P<a>[a-z ]+?) of (?P<e>.+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveredAttribute:
+    """One attribute of one class, with its evidence."""
+
+    attribute: str
+    support: int          # total query occurrences
+    entity_diversity: int  # distinct entities it was asked about
+
+    def score(self) -> float:
+        """Diversity-weighted support (diverse evidence beats one hot entity)."""
+        return self.support * (1.0 + 0.1 * self.entity_diversity)
+
+
+class AttributeDiscoverer:
+    """Aggregate (class, attribute) evidence from query texts."""
+
+    def __init__(
+        self,
+        resolver: NameResolver,
+        classes_of,  # callable: Entity -> Iterable[Entity] (the classes)
+        min_support: int = 3,
+        min_diversity: int = 2,
+    ) -> None:
+        self.resolver = resolver
+        self.classes_of = classes_of
+        self.min_support = min_support
+        self.min_diversity = min_diversity
+        self._support: dict[tuple[Entity, str], int] = defaultdict(int)
+        self._entities: dict[tuple[Entity, str], set[Entity]] = defaultdict(set)
+
+    # -------------------------------------------------------------- parsing
+
+    def _interpret(self, query: str) -> Optional[tuple[Entity, str]]:
+        """(entity, attribute) if the query matches an attribute shape."""
+        query = query.strip().lower()
+        match = _OF_RE.match(query)
+        if match is not None:
+            entity = self._resolve(match.group("e"))
+            if entity is not None:
+                return entity, match.group("a").strip()
+        # "E A" shape: longest entity-name prefix, remainder = attribute.
+        tokens = query.split()
+        for split in range(len(tokens) - 1, 0, -1):
+            entity = self._resolve(" ".join(tokens[:split]))
+            if entity is not None:
+                attribute = " ".join(tokens[split:])
+                if attribute:
+                    return entity, attribute
+        return None
+
+    def _resolve(self, surface: str) -> Optional[Entity]:
+        return self.resolver.resolve(surface)
+
+    # ------------------------------------------------------------ streaming
+
+    def observe(self, query: str, count: int = 1) -> bool:
+        """Feed one query; returns True if it matched an attribute shape."""
+        interpreted = self._interpret(query)
+        if interpreted is None:
+            return False
+        entity, attribute = interpreted
+        for cls in self.classes_of(entity):
+            key = (cls, attribute)
+            self._support[key] += count
+            self._entities[key].add(entity)
+        return True
+
+    def observe_all(self, queries: Iterable[str]) -> int:
+        """Feed many queries; returns how many matched."""
+        return sum(1 for q in queries if self.observe(q))
+
+    # -------------------------------------------------------------- results
+
+    def attributes_of(self, cls: Entity, top_k: int = 10) -> list[DiscoveredAttribute]:
+        """The discovered attribute vocabulary of a class, best first."""
+        found = []
+        for (candidate_cls, attribute), support in self._support.items():
+            if candidate_cls != cls:
+                continue
+            diversity = len(self._entities[(candidate_cls, attribute)])
+            if support < self.min_support or diversity < self.min_diversity:
+                continue
+            found.append(DiscoveredAttribute(attribute, support, diversity))
+        found.sort(key=lambda a: (-a.score(), a.attribute))
+        return found[:top_k]
+
+    def classes(self) -> list[Entity]:
+        """Classes with at least one observed attribute."""
+        return sorted({cls for cls, __ in self._support}, key=lambda c: c.id)
+
+
+def resolver_for_attributes(world) -> NameResolver:
+    """A lowercase name dictionary over the world's entity names."""
+    resolver = NameResolver(dominance=0.9)
+    for entity in world.all_entities():
+        resolver.add(world.name[entity].lower(), entity, count=5)
+    return resolver

@@ -1,0 +1,71 @@
+"""Parsing category labels into head noun, premodifiers, and postmodifier.
+
+WikiTaxonomy/YAGO-style category analysis rests on a shallow parse of the
+category label: "Arvandian computer scientists" has head ``scientists`` and
+premodifiers ``Arvandian computer``; "Companies established in 1976" has
+head ``Companies`` and the participle postmodifier ``established in 1976``;
+"History of Arvandia" has head ``History`` with an of-postmodifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nlp.lemmatize import lemma
+from ..nlp.tokenizer import tokenize
+
+#: Connectors that start a postmodifier.
+_POSTMODIFIER_STARTERS = frozenset(
+    {"of", "in", "from", "by", "at", "for", "with", "established",
+     "founded", "located", "born", "based", "needing"}
+)
+
+#: Plural forms that do not end in "s" (head plurality check).
+_IRREGULAR_PLURALS = frozenset({"people", "men", "women", "children"})
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedLabel:
+    """The shallow parse of one category label."""
+
+    head: str                 # the head word as it appears (maybe plural)
+    head_lemma: str           # singular lemma of the head
+    head_is_plural: bool
+    premodifiers: tuple[str, ...]
+    postmodifier: str         # "" when absent
+
+
+def parse_label(label: str) -> ParsedLabel:
+    """Parse a category label into its head structure."""
+    words = [t.text for t in tokenize(label) if t.text[0].isalnum()]
+    if not words:
+        raise ValueError(f"cannot parse empty label: {label!r}")
+    # The head is the last word of the initial noun group, i.e. the word
+    # right before the first postmodifier connector (skipping position 0,
+    # which can never be a connector in a well-formed label).
+    cut = len(words)
+    for index in range(1, len(words)):
+        if words[index].lower() in _POSTMODIFIER_STARTERS:
+            cut = index
+            break
+    head = words[cut - 1]
+    premodifiers = tuple(words[:cut - 1])
+    postmodifier = " ".join(words[cut:])
+    return ParsedLabel(
+        head=head,
+        head_lemma=lemma(head),
+        head_is_plural=is_plural(head),
+        premodifiers=premodifiers,
+        postmodifier=postmodifier,
+    )
+
+
+def is_plural(word: str) -> bool:
+    """A conservative plural test for category heads."""
+    lower = word.lower()
+    if lower in _IRREGULAR_PLURALS:
+        return True
+    if lower.endswith("ss") or lower.endswith("us") or lower.endswith("is"):
+        return False
+    # The lemmatizer strips plural suffixes; a changed lemma implies plural.
+    return lower.endswith("s") and lemma(lower) != lower

@@ -1,0 +1,128 @@
+"""Hearst-pattern harvesting of instance-class pairs from text.
+
+The Web-based complement to category analysis (tutorial section 2):
+lexico-syntactic patterns like "<class> such as <X>, <Y>, and <Z>" or
+"<X> is a <class>" yield (instance, class) pairs directly from sentences.
+Each pair is counted across the corpus; support doubles as confidence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..nlp import lexicon as lx
+from ..nlp.lemmatize import lemma
+from ..nlp.pipeline import Analysis, analyze
+
+
+@dataclass(frozen=True, slots=True)
+class IsAPair:
+    """An extracted (instance surface form, class lemma) pair."""
+
+    instance: str
+    class_lemma: str
+
+
+def extract_pairs(analysis: Analysis) -> list[IsAPair]:
+    """Apply all Hearst patterns to one analyzed sentence."""
+    pairs: list[IsAPair] = []
+    pairs.extend(_such_as(analysis))
+    pairs.extend(_including(analysis))
+    pairs.extend(_and_other(analysis))
+    pairs.extend(_is_a(analysis))
+    return pairs
+
+
+def harvest(sentences: Iterable[str]) -> Counter:
+    """Count (instance, class) pairs over a corpus of raw sentences."""
+    counts: Counter = Counter()
+    for sentence in sentences:
+        for pair in extract_pairs(analyze(sentence)):
+            counts[pair] += 1
+    return counts
+
+
+def _mention_list_after(analysis: Analysis, start_token: int) -> list[str]:
+    """Proper-noun mentions in the enumeration starting at a token index."""
+    names = []
+    for mention in analysis.mentions:
+        if mention.token_start >= start_token:
+            names.append(mention.text)
+    return names
+
+
+def _class_noun_before(analysis: Analysis, token_index: int) -> str | None:
+    """The common-noun lemma directly before a pattern trigger."""
+    j = token_index - 1
+    if j >= 0 and analysis.tags[j] == lx.NOUN:
+        return lemma(analysis.tokens[j].text)
+    return None
+
+
+def _such_as(analysis: Analysis) -> list[IsAPair]:
+    """"<class> such as X, Y, and Z"."""
+    tokens = [t.text.lower() for t in analysis.tokens]
+    pairs = []
+    for i in range(len(tokens) - 1):
+        if tokens[i] == "such" and tokens[i + 1] == "as":
+            class_lemma = _class_noun_before(analysis, i)
+            if class_lemma is None:
+                continue
+            for name in _mention_list_after(analysis, i + 2):
+                pairs.append(IsAPair(name, class_lemma))
+    return pairs
+
+
+def _including(analysis: Analysis) -> list[IsAPair]:
+    """"many <class>, including X and Y"."""
+    tokens = [t.text.lower() for t in analysis.tokens]
+    pairs = []
+    for i, token in enumerate(tokens):
+        if token != "including":
+            continue
+        # Walk back over punctuation to the class noun.
+        j = i - 1
+        while j >= 0 and analysis.tags[j] == lx.PUNCT:
+            j -= 1
+        if j < 0 or analysis.tags[j] != lx.NOUN:
+            continue
+        class_lemma = lemma(analysis.tokens[j].text)
+        for name in _mention_list_after(analysis, i + 1):
+            pairs.append(IsAPair(name, class_lemma))
+    return pairs
+
+
+def _and_other(analysis: Analysis) -> list[IsAPair]:
+    """"X, Y, and other <class>"."""
+    tokens = [t.text.lower() for t in analysis.tokens]
+    pairs = []
+    for i in range(len(tokens) - 1):
+        if tokens[i] == "other" and analysis.tags[i + 1] == lx.NOUN:
+            class_lemma = lemma(analysis.tokens[i + 1].text)
+            for mention in analysis.mentions:
+                if mention.token_end <= i:
+                    pairs.append(IsAPair(mention.text, class_lemma))
+    return pairs
+
+
+def _is_a(analysis: Analysis) -> list[IsAPair]:
+    """"X is a/an <class>" (copula with indefinite article)."""
+    tokens = [t.text.lower() for t in analysis.tokens]
+    pairs = []
+    for i in range(len(tokens) - 2):
+        if tokens[i] in ("is", "was") and tokens[i + 1] in ("a", "an"):
+            # The class noun is the next NOUN after the article (skipping
+            # adjectives: "is a famous scientist").
+            j = i + 2
+            while j < len(tokens) and analysis.tags[j] == lx.ADJ:
+                j += 1
+            if j >= len(tokens) or analysis.tags[j] != lx.NOUN:
+                continue
+            class_lemma = lemma(analysis.tokens[j].text)
+            for mention in analysis.mentions:
+                if mention.token_end <= i:
+                    pairs.append(IsAPair(mention.text, class_lemma))
+                    break  # only the nearest subject mention
+    return pairs

@@ -1,0 +1,116 @@
+"""YAGO-style integration of conceptual categories into WordNet.
+
+For every page, each conceptual category becomes a fine-grained class
+(``wcat:Arvandian_scientists``); the category's head lemma is anchored to
+its most frequent WordNet sense (``wn:scientist.n.01``), and the synset's
+hypernym chain supplies the upper taxonomy.  The output is an ordinary
+triple store of ``rdf:type`` / ``rdfs:subClassOf`` facts plus a coverage
+report — the data behind experiment E1's integration rows.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..kb import Entity, Triple, TripleStore, ns
+from ..corpus.wiki import Wiki
+from ..world import schema as ws
+from ..world.names import identifier_from_name
+from .categories import classify_category
+from .wordnet_mini import WORDNET, MiniWordNet
+
+
+@dataclass(slots=True)
+class IntegrationReport:
+    """What happened during taxonomy integration."""
+
+    pages: int = 0
+    conceptual_categories: int = 0
+    rejected_categories: int = 0
+    anchored_heads: Counter = field(default_factory=Counter)
+    unanchored_heads: Counter = field(default_factory=Counter)
+    typed_entities: int = 0
+
+    @property
+    def anchor_rate(self) -> float:
+        """Fraction of conceptual-category uses whose head found a synset."""
+        anchored = sum(self.anchored_heads.values())
+        total = anchored + sum(self.unanchored_heads.values())
+        return anchored / total if total else 0.0
+
+
+def wordnet_class(synset_id: str) -> Entity:
+    """The class entity representing a WordNet synset."""
+    return Entity(f"wn:{synset_id}")
+
+
+def category_class(label: str) -> Entity:
+    """The fine-grained class entity representing a category."""
+    return Entity(f"wcat:{identifier_from_name(label)}")
+
+
+#: World class -> the WordNet synset its instances should end up under.
+#: (Used by E1's evaluation, not by the integration algorithm itself.)
+EXPECTED_SYNSET: dict[Entity, str] = {
+    ws.SCIENTIST: "scientist.n.01",
+    ws.MUSICIAN: "musician.n.01",
+    ws.POLITICIAN: "politician.n.01",
+    ws.ENTREPRENEUR: "entrepreneur.n.01",
+    ws.ATHLETE: "athlete.n.01",
+    ws.WRITER: "writer.n.01",
+    ws.COMPANY: "company.n.01",
+    ws.UNIVERSITY: "university.n.01",
+    ws.CITY: "city.n.01",
+    ws.COUNTRY: "country.n.01",
+    ws.SMARTPHONE: "smartphone.n.01",
+    ws.BOOK: "book.n.01",
+    ws.ALBUM: "album.n.01",
+    ws.PRIZE: "award.n.01",
+}
+
+
+def integrate(
+    wiki: Wiki,
+    wordnet: MiniWordNet = WORDNET,
+    use_plural_heuristic: bool = True,
+    use_stoplist: bool = True,
+) -> tuple[TripleStore, IntegrationReport]:
+    """Build the category-over-WordNet taxonomy for an encyclopedia."""
+    store = TripleStore()
+    report = IntegrationReport()
+    linked_synsets: set[str] = set()
+    for page in wiki.pages.values():
+        report.pages += 1
+        typed = False
+        for category in page.categories:
+            decision = classify_category(
+                category.name,
+                use_plural_heuristic=use_plural_heuristic,
+                use_stoplist=use_stoplist,
+            )
+            if not decision.conceptual:
+                report.rejected_categories += 1
+                continue
+            report.conceptual_categories += 1
+            fine_class = category_class(category.name)
+            store.add(Triple(page.entity, ns.TYPE, fine_class))
+            typed = True
+            synset = wordnet.first_synset(decision.head_lemma)
+            if synset is None:
+                report.unanchored_heads[decision.head_lemma] += 1
+                continue
+            report.anchored_heads[decision.head_lemma] += 1
+            store.add(Triple(fine_class, ns.SUBCLASS_OF, wordnet_class(synset.id)))
+            linked_synsets.add(synset.id)
+        if typed:
+            report.typed_entities += 1
+    # The upper taxonomy: hypernym chains of every linked synset.
+    for synset_id in sorted(linked_synsets):
+        current = synset_id
+        for hypernym in wordnet.hypernym_closure(synset_id):
+            store.add(
+                Triple(wordnet_class(current), ns.SUBCLASS_OF, wordnet_class(hypernym.id))
+            )
+            current = hypernym.id
+    return store, report

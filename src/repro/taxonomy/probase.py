@@ -1,0 +1,146 @@
+"""Probase-style probabilistic taxonomy from Hearst evidence.
+
+Probase (Wu et al., SIGMOD 2012 — reference [32] of the tutorial) builds a
+*probabilistic* isA taxonomy: instead of hard class memberships, every
+(instance, concept) pair carries frequencies from which typicality scores
+are derived —
+
+* ``P(concept | instance)`` — what is "Corvain" most likely to be?
+* ``P(instance | concept)`` — what is a typical "city"?
+
+and *conceptualization* ranks the concepts that best explain a *set* of
+instances (the basis of Probase's text-understanding applications).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from .hearst import IsAPair
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredConcept:
+    """A concept with its probability under some conditioning."""
+
+    concept: str
+    probability: float
+
+
+class ProbabilisticTaxonomy:
+    """Frequency-backed isA knowledge with typicality scores."""
+
+    def __init__(self, smoothing: float = 0.0) -> None:
+        self.smoothing = smoothing
+        self._pair_counts: Counter = Counter()
+        self._instance_totals: Counter = Counter()
+        self._concept_totals: Counter = Counter()
+        self._instances_of: dict[str, set[str]] = defaultdict(set)
+        self._concepts_of: dict[str, set[str]] = defaultdict(set)
+
+    # --------------------------------------------------------------- loading
+
+    def add_evidence(self, instance: str, concept: str, count: int = 1) -> None:
+        """Record ``count`` isA observations for (instance, concept)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        self._pair_counts[(instance, concept)] += count
+        self._instance_totals[instance] += count
+        self._concept_totals[concept] += count
+        self._instances_of[concept].add(instance)
+        self._concepts_of[instance].add(concept)
+
+    def add_pairs(self, counts: dict[IsAPair, int]) -> None:
+        """Load a Hearst-harvest Counter (from :mod:`repro.taxonomy.hearst`)."""
+        for pair, count in counts.items():
+            self.add_evidence(pair.instance, pair.class_lemma, count)
+
+    # ---------------------------------------------------------------- scores
+
+    def concept_given_instance(self, instance: str) -> list[ScoredConcept]:
+        """P(concept | instance), highest first."""
+        total = self._instance_totals.get(instance, 0)
+        if total == 0:
+            return []
+        concepts = self._concepts_of[instance]
+        denominator = total + self.smoothing * len(concepts)
+        scored = [
+            ScoredConcept(
+                concept,
+                (self._pair_counts[(instance, concept)] + self.smoothing)
+                / denominator,
+            )
+            for concept in concepts
+        ]
+        scored.sort(key=lambda s: (-s.probability, s.concept))
+        return scored
+
+    def instance_given_concept(self, concept: str) -> list[tuple[str, float]]:
+        """P(instance | concept) — the typicality ranking of a concept."""
+        total = self._concept_totals.get(concept, 0)
+        if total == 0:
+            return []
+        ranked = [
+            (instance, self._pair_counts[(instance, concept)] / total)
+            for instance in self._instances_of[concept]
+        ]
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked
+
+    def typicality(self, instance: str, concept: str) -> float:
+        """P(instance | concept) for one pair (0 when unseen)."""
+        total = self._concept_totals.get(concept, 0)
+        if total == 0:
+            return 0.0
+        return self._pair_counts.get((instance, concept), 0) / total
+
+    # ------------------------------------------------------ conceptualization
+
+    def conceptualize(
+        self, instances: Iterable[str], top_k: int = 5
+    ) -> list[ScoredConcept]:
+        """The concepts that best explain a set of instances (naive Bayes).
+
+        Scores each concept by P(concept) * prod_i P(instance_i | concept),
+        which is Probase's standard conceptualization recipe; returns a
+        normalized distribution over the top-k.
+        """
+        instance_list = [i for i in instances if self._instance_totals.get(i)]
+        if not instance_list:
+            return []
+        grand_total = sum(self._concept_totals.values())
+        candidates: set[str] = set()
+        for instance in instance_list:
+            candidates |= self._concepts_of[instance]
+        raw: dict[str, float] = {}
+        for concept in candidates:
+            score = self._concept_totals[concept] / grand_total
+            for instance in instance_list:
+                likelihood = self.typicality(instance, concept)
+                if likelihood == 0.0:
+                    score = 0.0
+                    break
+                score *= likelihood
+            if score > 0.0:
+                raw[concept] = score
+        if not raw:
+            return []
+        normalizer = sum(raw.values())
+        scored = [
+            ScoredConcept(concept, score / normalizer)
+            for concept, score in raw.items()
+        ]
+        scored.sort(key=lambda s: (-s.probability, s.concept))
+        return scored[:top_k]
+
+    # ------------------------------------------------------------------ misc
+
+    def concepts(self) -> list[str]:
+        """All known concepts."""
+        return sorted(self._concept_totals)
+
+    def size(self) -> int:
+        """Number of distinct (instance, concept) pairs."""
+        return len(self._pair_counts)

@@ -1,0 +1,94 @@
+"""SEAL/Paşca-style set expansion from seed entities.
+
+Given a handful of seed names ("Corvain", "Lorvik"), set expansion finds
+other members of the same implicit class by collecting the *contexts* the
+seeds occur in (token windows and list constructs) and ranking every other
+candidate mention by how many distinct seed contexts it shares.  Scoring
+uses a per-context reliability weight (how many distinct seeds the context
+matched), which is the essence of the wrapper-quality score in SEAL.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..nlp.pipeline import Analysis, analyze
+
+#: A context: the token immediately left and right of a mention (lowercased),
+#: with sentence boundaries marked.
+Context = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class ExpansionResult:
+    """A ranked expansion candidate."""
+
+    name: str
+    score: float
+    shared_contexts: int
+
+
+class SetExpander:
+    """An inverted index from contexts to the mentions seen in them."""
+
+    def __init__(self) -> None:
+        self._contexts_of: dict[str, set[Context]] = defaultdict(set)
+        self._mentions_in: dict[Context, set[str]] = defaultdict(set)
+
+    def index_sentence(self, analysis: Analysis) -> None:
+        """Add one analyzed sentence's mentions to the index."""
+        for mention in analysis.mentions:
+            left = (
+                analysis.tokens[mention.token_start - 1].text.lower()
+                if mention.token_start > 0
+                else "<s>"
+            )
+            right = (
+                analysis.tokens[mention.token_end].text.lower()
+                if mention.token_end < len(analysis.tokens)
+                else "</s>"
+            )
+            context = (left, right)
+            self._contexts_of[mention.text].add(context)
+            self._mentions_in[context].add(mention.text)
+
+    def index_corpus(self, sentences: Iterable[str]) -> None:
+        """Analyze and index raw sentences."""
+        for sentence in sentences:
+            self.index_sentence(analyze(sentence))
+
+    def expand(self, seeds: list[str], top_k: int = 20) -> list[ExpansionResult]:
+        """Candidates ranked by reliability-weighted shared contexts."""
+        if not seeds:
+            raise ValueError("set expansion needs at least one seed")
+        seed_set = set(seeds)
+        seed_contexts: set[Context] = set()
+        for seed in seeds:
+            seed_contexts |= self._contexts_of.get(seed, set())
+        if not seed_contexts:
+            return []
+        # A context is reliable in proportion to how many distinct seeds use
+        # it: listing constructs shared by several seeds beat one-off noise.
+        reliability = {
+            context: sum(1 for s in seed_set if context in self._contexts_of.get(s, ()))
+            / len(seed_set)
+            for context in seed_contexts
+        }
+        scores: dict[str, float] = defaultdict(float)
+        shared: dict[str, int] = defaultdict(int)
+        for context in seed_contexts:
+            weight = reliability[context]
+            for name in self._mentions_in.get(context, ()):
+                if name in seed_set:
+                    continue
+                scores[name] += weight
+                shared[name] += 1
+        ranked = sorted(
+            scores, key=lambda name: (-scores[name], -shared[name], name)
+        )
+        return [
+            ExpansionResult(name, scores[name], shared[name])
+            for name in ranked[:top_k]
+        ]

@@ -1,0 +1,139 @@
+"""A miniature WordNet: synsets, lemmas, and hypernym edges.
+
+YAGO anchors Wikipedia category heads in WordNet synsets to obtain a clean
+upper taxonomy.  This module provides the small lexical hierarchy that role
+needs: a core of everyday and domain nouns with hypernym chains up to
+``entity``.  Senses are ordered; ``first_synset`` is the most frequent
+sense, which is the YAGO default disambiguation policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class Synset:
+    """One sense: an id like ``person.n.01`` plus its member lemmas."""
+
+    id: str
+    lemmas: tuple[str, ...]
+    gloss: str = ""
+
+
+#: (synset id, lemmas, gloss, hypernym id or None)
+_SYNSET_TABLE: tuple[tuple[str, tuple[str, ...], str, Optional[str]], ...] = (
+    ("entity.n.01", ("entity",), "that which exists", None),
+    ("physical_entity.n.01", ("physical entity",), "a tangible entity", "entity.n.01"),
+    ("abstraction.n.01", ("abstraction",), "an abstract entity", "entity.n.01"),
+    ("object.n.01", ("object",), "a physical object", "physical_entity.n.01"),
+    ("living_thing.n.01", ("living thing", "organism"), "a living entity", "physical_entity.n.01"),
+    ("person.n.01", ("person", "individual", "human"), "a human being", "living_thing.n.01"),
+    ("worker.n.01", ("worker",), "a person who works", "person.n.01"),
+    ("professional.n.01", ("professional",), "a person engaged in a profession", "worker.n.01"),
+    ("scientist.n.01", ("scientist",), "a person with advanced knowledge of science", "professional.n.01"),
+    ("physicist.n.01", ("physicist",), "a scientist trained in physics", "scientist.n.01"),
+    ("chemist.n.01", ("chemist",), "a scientist trained in chemistry", "scientist.n.01"),
+    ("musician.n.01", ("musician",), "an artist who plays music", "artist.n.01"),
+    ("artist.n.01", ("artist",), "a person who creates art", "person.n.01"),
+    ("writer.n.01", ("writer", "author"), "a person who writes", "artist.n.01"),
+    ("politician.n.01", ("politician",), "a person active in politics", "leader.n.01"),
+    ("leader.n.01", ("leader",), "a person who leads", "person.n.01"),
+    ("entrepreneur.n.01", ("entrepreneur", "businessperson"), "a person who starts businesses", "person.n.01"),
+    ("athlete.n.01", ("athlete", "sportsperson"), "a person trained in sports", "person.n.01"),
+    ("pioneer.n.01", ("pioneer",), "one of the first of its kind", "person.n.01"),
+    ("group.n.01", ("group",), "a collection of entities", "abstraction.n.01"),
+    ("organization.n.01", ("organization", "organisation"), "a group with a purpose", "group.n.01"),
+    ("company.n.01", ("company", "firm", "business"), "a commercial organization", "organization.n.01"),
+    ("university.n.01", ("university",), "an institution of higher learning", "organization.n.01"),
+    ("institution.n.01", ("institution",), "an established organization", "organization.n.01"),
+    ("location.n.01", ("location", "place"), "a point or extent in space", "object.n.01"),
+    ("region.n.01", ("region",), "an extended spatial location", "location.n.01"),
+    ("city.n.01", ("city", "town", "metropolis"), "a large settlement", "region.n.01"),
+    ("country.n.01", ("country", "state", "nation"), "a politically organized territory", "region.n.01"),
+    ("artifact.n.01", ("artifact", "artefact"), "a man-made object", "object.n.01"),
+    ("product.n.01", ("product",), "an artifact that is made for sale", "artifact.n.01"),
+    ("device.n.01", ("device",), "an instrumentality for a purpose", "artifact.n.01"),
+    ("smartphone.n.01", ("smartphone", "phone"), "a handheld computing phone", "device.n.01"),
+    ("instrument.n.01", ("instrument",), "a device for making music or measurements", "device.n.01"),
+    ("clarinet.n.01", ("clarinet",), "a single-reed woodwind", "instrument.n.01"),
+    ("creation.n.01", ("creation", "work"), "an artifact brought into existence", "artifact.n.01"),
+    ("book.n.01", ("book",), "a written work", "creation.n.01"),
+    ("album.n.01", ("album",), "a recorded collection of music", "creation.n.01"),
+    ("award.n.01", ("award", "prize", "medal"), "a tangible symbol of recognition", "abstraction.n.01"),
+    ("event.n.01", ("event",), "something that happens", "abstraction.n.01"),
+    ("birth.n.01", ("birth",), "the event of being born", "event.n.01"),
+    ("death.n.01", ("death",), "the event of dying", "event.n.01"),
+    ("communication.n.01", ("communication",), "something communicated", "abstraction.n.01"),
+    ("history.n.01", ("history",), "a record of events", "communication.n.01"),
+    ("economy.n.01", ("economy",), "a system of production and consumption", "abstraction.n.01"),
+    ("music.n.01", ("music",), "an artistic form of sound", "communication.n.01"),
+    ("food.n.01", ("food",), "a substance that can be eaten", "physical_entity.n.01"),
+    ("fruit.n.01", ("fruit",), "the ripened reproductive body of a plant", "food.n.01"),
+    ("apple.n.01", ("apple",), "a common pome fruit", "fruit.n.01"),
+    ("animal.n.01", ("animal",), "a living organism that feeds on organic matter", "living_thing.n.01"),
+    ("bird.n.01", ("bird",), "a warm-blooded egg-laying vertebrate", "animal.n.01"),
+    ("body_part.n.01", ("part", "body part"), "a part of an organism or artifact", "object.n.01"),
+    ("wing.n.01", ("wing",), "a limb used for flying", "body_part.n.01"),
+    ("mouthpiece.n.01", ("mouthpiece",), "the part held in or near the mouth", "body_part.n.01"),
+    ("vehicle.n.01", ("vehicle",), "a conveyance that transports", "artifact.n.01"),
+    ("car.n.01", ("car", "automobile"), "a motor vehicle", "vehicle.n.01"),
+    ("wheel.n.01", ("wheel",), "a circular frame that revolves", "artifact.n.01"),
+    ("engine.n.01", ("engine",), "a motor that converts energy into motion", "device.n.01"),
+)
+
+
+class MiniWordNet:
+    """The in-memory lexical taxonomy."""
+
+    def __init__(self) -> None:
+        self._synsets: dict[str, Synset] = {}
+        self._hypernym: dict[str, Optional[str]] = {}
+        self._by_lemma: dict[str, list[str]] = {}
+        for synset_id, lemmas, gloss, hypernym in _SYNSET_TABLE:
+            self._synsets[synset_id] = Synset(synset_id, lemmas, gloss)
+            self._hypernym[synset_id] = hypernym
+            for lemma in lemmas:
+                self._by_lemma.setdefault(lemma, []).append(synset_id)
+
+    def synset(self, synset_id: str) -> Optional[Synset]:
+        """Look up a synset by id."""
+        return self._synsets.get(synset_id)
+
+    def synsets_for(self, lemma: str) -> list[Synset]:
+        """All senses of a lemma, most frequent first."""
+        return [self._synsets[i] for i in self._by_lemma.get(lemma.lower(), ())]
+
+    def first_synset(self, lemma: str) -> Optional[Synset]:
+        """The most frequent sense of a lemma (the YAGO policy)."""
+        senses = self.synsets_for(lemma)
+        return senses[0] if senses else None
+
+    def hypernym(self, synset_id: str) -> Optional[Synset]:
+        """The direct hypernym, if any."""
+        parent = self._hypernym.get(synset_id)
+        return self._synsets.get(parent) if parent else None
+
+    def hypernym_closure(self, synset_id: str) -> list[Synset]:
+        """All hypernyms from direct parent up to the root, in order."""
+        closure = []
+        current = self._hypernym.get(synset_id)
+        while current is not None:
+            closure.append(self._synsets[current])
+            current = self._hypernym.get(current)
+        return closure
+
+    def is_hyponym_of(self, child_id: str, ancestor_id: str) -> bool:
+        """True if ``ancestor_id`` is ``child_id`` or one of its hypernyms."""
+        if child_id == ancestor_id:
+            return True
+        return any(s.id == ancestor_id for s in self.hypernym_closure(child_id))
+
+    def all_synsets(self) -> list[Synset]:
+        """Every synset."""
+        return list(self._synsets.values())
+
+
+#: A process-wide instance (the data is immutable).
+WORDNET = MiniWordNet()

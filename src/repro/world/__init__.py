@@ -1,0 +1,23 @@
+"""The synthetic ground-truth world (the stand-in for Wikipedia/Web reality)."""
+
+from . import schema
+from .generator import World, WorldConfig, generate_world
+from .names import (
+    NamePool,
+    identifier_from_name,
+    nationality_adjective,
+    person_aliases,
+    pseudo_translate,
+)
+
+__all__ = [
+    "schema",
+    "World",
+    "WorldConfig",
+    "generate_world",
+    "NamePool",
+    "identifier_from_name",
+    "nationality_adjective",
+    "person_aliases",
+    "pseudo_translate",
+]

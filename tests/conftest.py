@@ -1,0 +1,59 @@
+"""Shared fixtures: one world, corpus, and wiki reused across the suite.
+
+The expensive artifacts are session-scoped; tests must treat them as
+read-only (stores hand out immutable triples, so accidental mutation is
+hard anyway — but don't add to them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_wiki, synthesize
+from repro.extraction import corpus_occurrences, resolver_from_aliases
+from repro.kb import Entity, TripleStore
+from repro.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    return generate_world(WorldConfig(seed=1))
+
+
+@pytest.fixture(scope="session")
+def wiki(world):
+    return build_wiki(world)
+
+
+@pytest.fixture(scope="session")
+def documents(world):
+    return synthesize(
+        world,
+        CorpusConfig(seed=2, mentions_per_fact=1.3, p_short_alias=0.1),
+    )
+
+
+@pytest.fixture(scope="session")
+def sentences(documents):
+    return [s.text for d in documents for s in d.sentences]
+
+
+@pytest.fixture(scope="session")
+def resolver(world):
+    return resolver_from_aliases(world.aliases)
+
+
+@pytest.fixture(scope="session")
+def occurrences(sentences, resolver):
+    return corpus_occurrences(sentences, resolver)
+
+
+@pytest.fixture(scope="session")
+def seed_kb(world):
+    """Half of the world's entity-object facts (deterministic split)."""
+    import random
+
+    rng = random.Random(3)
+    facts = [t for t in world.facts if isinstance(t.object, Entity)]
+    rng.shuffle(facts)
+    return TripleStore(facts[: len(facts) // 2])

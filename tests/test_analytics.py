@@ -1,0 +1,246 @@
+"""Tests for repro.analytics (sentiment, tracking, search, QA)."""
+
+import pytest
+
+from repro.analytics import (
+    EntitySearch,
+    ProductTracker,
+    TemplateQA,
+    classify_sentiment,
+    volume_correlation,
+)
+from repro.corpus import SocialConfig, generate_stream
+from repro.extraction import resolver_from_aliases
+from repro.world import schema as ws
+
+
+class TestSentiment:
+    def test_positive(self):
+        assert classify_sentiment("love my new Nova 3") == "pos"
+
+    def test_negative(self):
+        assert classify_sentiment("my Nova keeps overheating") == "neg"
+
+    def test_neutral(self):
+        assert classify_sentiment("just saw an ad for the Nova") == "neu"
+
+    def test_mixed_votes(self):
+        assert classify_sentiment("love it but the screen cracked and it broke") == "neg"
+
+
+class TestTracking:
+    @pytest.fixture(scope="class")
+    def stream(self, world):
+        return generate_stream(world, SocialConfig(seed=5, months=24))
+
+    @pytest.fixture(scope="class")
+    def tracker(self, world):
+        return ProductTracker(world.store, world.product_family)
+
+    def test_kb_beats_string_on_assignment(self, world, stream, tracker):
+        kb_result = tracker.track(stream, "kb", start_year=stream.start_year)
+        string_result = tracker.track(stream, "string", start_year=stream.start_year)
+        assert kb_result.assignment_accuracy > string_result.assignment_accuracy
+
+    def test_family_volume_exact(self, stream, tracker):
+        result = tracker.track(stream, "kb", start_year=stream.start_year)
+        for family in stream.families:
+            assert result.volume[family] == stream.gold_volume[family]
+
+    def test_volume_correlation_perfect(self, stream, tracker):
+        result = tracker.track(stream, "kb", start_year=stream.start_year)
+        for family in stream.families:
+            assert volume_correlation(
+                result.volume[family], stream.gold_volume[family]
+            ) == pytest.approx(1.0)
+
+    def test_sentiment_accuracy_high(self, stream, tracker):
+        result = tracker.track(stream, "kb", start_year=stream.start_year)
+        assert result.sentiment_accuracy > 0.9
+
+    def test_unknown_method(self, stream, tracker):
+        with pytest.raises(ValueError):
+            tracker.track(stream, "magic")
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            volume_correlation([1, 2], [1])
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def search(self, world):
+        return EntitySearch(world.store)
+
+    def test_name_query_finds_entity(self, world, search):
+        person = world.people[0]
+        hits = search.search(world.name[person])
+        assert hits and hits[0].entity == person
+
+    def test_class_filter(self, world, search):
+        city_name = world.name[world.cities[0]]
+        hits = search.search(city_name, class_filter=ws.PERSON)
+        assert all(
+            world.primary_class.get(h.entity) in ws.OCCUPATIONS
+            or h.entity in world.people
+            for h in hits
+        )
+
+    def test_related_keyword_query(self, world, search):
+        person = world.people[0]
+        birth_city = world.facts.one_object(person, ws.BORN_IN)
+        hits = search.search(world.name[birth_city], class_filter=ws.PERSON, top_k=30)
+        assert person in {h.entity for h in hits}
+
+    def test_empty_query(self, search):
+        assert search.search("") == []
+
+    def test_scores_sorted(self, world, search):
+        hits = search.search(world.name[world.cities[0]])
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestQA:
+    @pytest.fixture(scope="class")
+    def qa(self, world):
+        return TemplateQA(world.store, resolver_from_aliases(world.aliases))
+
+    def test_born_question(self, world, qa):
+        person = world.people[0]
+        city = world.facts.one_object(person, ws.BORN_IN)
+        answers = qa.answer(f"Where was {world.name[person]} born?")
+        assert answers
+        assert answers[0].text == world.name[city]
+
+    def test_when_born(self, world, qa):
+        person = world.people[0]
+        year = world.facts.one_object(person, ws.BIRTH_YEAR)
+        answers = qa.answer(f"When was {world.name[person]} born?")
+        assert answers and answers[0].text == year.value
+
+    def test_inverse_question(self, world, qa):
+        founded = next(iter(world.facts.match(predicate=ws.FOUNDED)))
+        company_name = world.name[founded.object]
+        answers = qa.answer(f"Who founded {company_name}?")
+        assert world.name[founded.subject] in [a.text for a in answers]
+
+    def test_capital_question(self, world, qa):
+        capital = next(iter(world.facts.match(predicate=ws.CAPITAL_OF)))
+        answers = qa.answer(f"What is the capital of {world.name[capital.object]}?")
+        assert answers and answers[0].text == world.name[capital.subject]
+
+    def test_unsupported_question(self, qa):
+        assert qa.answer("Why is the sky blue?") == []
+
+    def test_unknown_entity(self, qa):
+        assert qa.answer("Where was Zorblatt Unknown born?") == []
+
+    def test_case_insensitive(self, world, qa):
+        person = world.people[0]
+        answers = qa.answer(f"WHERE WAS {world.name[person]} BORN?")
+        assert answers
+
+    def test_multi_answer_question(self, world, qa):
+        company = None
+        for c in world.companies:
+            if len(list(world.facts.match(subject=c, predicate=ws.CREATED_PRODUCT))) >= 2:
+                company = c
+                break
+        if company is None:
+            pytest.skip("no multi-product company in this world")
+        answers = qa.answer(f"Which products did {world.name[company]} release?")
+        assert len(answers) >= 2
+
+
+class TestTemporalQA:
+    @pytest.fixture(scope="class")
+    def qa(self, world):
+        return TemplateQA(world.store, resolver_from_aliases(world.aliases))
+
+    def test_ceo_in_year(self, world, qa):
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.CEO_OF) if t.scope
+        )
+        year = scoped.scope.begin + 1 if scoped.scope.begin != scoped.scope.end else scoped.scope.begin
+        company = world.name[scoped.object]
+        answers = qa.answer(f"Who was the CEO of {company} in {year}?")
+        assert world.name[scoped.subject] in [a.text for a in answers]
+
+    def test_ceo_outside_scope_empty(self, world, qa):
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.CEO_OF) if t.scope
+        )
+        year = scoped.scope.begin - 5
+        company = world.name[scoped.object]
+        answers = qa.answer(f"Who was the CEO of {company} in {year}?")
+        assert world.name[scoped.subject] not in [a.text for a in answers]
+
+    def test_married_in_year(self, world, qa):
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.MARRIED_TO) if t.scope
+        )
+        year = scoped.scope.begin
+        person = world.name[scoped.subject]
+        answers = qa.answer(f"Who was {person} married to in {year}?")
+        assert world.name[scoped.object] in [a.text for a in answers]
+
+    def test_work_in_year(self, world, qa):
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.WORKS_AT) if t.scope
+        )
+        year = scoped.scope.begin
+        person = world.name[scoped.subject]
+        answers = qa.answer(f"Where did {person} work in {year}?")
+        assert world.name[scoped.object] in [a.text for a in answers]
+
+
+class TestHybridQA:
+    @pytest.fixture(scope="class")
+    def hybrid(self, world, sentences):
+        from repro.analytics import HybridQA
+        from repro.kb import TripleStore, Triple, ns
+        from repro.kb import string_literal
+
+        # A KB that knows labels but has NO relational facts: every
+        # relational question must fall back to text evidence.
+        labels_only = TripleStore()
+        for entity in world.all_entities():
+            labels_only.add(
+                Triple(entity, ns.PREF_LABEL, string_literal(world.name[entity]))
+            )
+        return HybridQA(labels_only, resolver_from_aliases(world.aliases), sentences)
+
+    def test_text_fallback_answers(self, world, hybrid):
+        person = world.people[0]
+        city = world.facts.one_object(person, ws.BORN_IN)
+        answers = hybrid.answer(f"Where was {world.name[person]} born?")
+        assert answers
+        assert answers[0].source == "text"
+        assert answers[0].text == world.name[city]
+
+    def test_kb_preferred_when_present(self, world, sentences):
+        from repro.analytics import HybridQA
+
+        full = HybridQA(world.store, resolver_from_aliases(world.aliases), sentences)
+        person = world.people[0]
+        answers = full.answer(f"Where was {world.name[person]} born?")
+        assert answers and answers[0].source == "kb"
+
+    def test_unparseable_question(self, hybrid):
+        assert hybrid.answer("Why is the sky blue?") == []
+
+    def test_text_accuracy_over_sample(self, world, hybrid):
+        correct = asked = 0
+        for person in world.people:
+            city = world.facts.one_object(person, ws.BORN_IN)
+            if city is None:
+                continue
+            answers = hybrid.answer(f"Where was {world.name[person]} born?")
+            if not answers:
+                continue
+            asked += 1
+            if answers[0].text == world.name[city]:
+                correct += 1
+        assert asked >= 10
+        assert correct / asked > 0.85

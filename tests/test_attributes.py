@@ -1,0 +1,139 @@
+"""Tests for the query-log substrate and Biperpedia-style attribute discovery."""
+
+import pytest
+
+from repro.corpus import GOLD_ATTRIBUTES, QueryLogConfig, generate_query_log
+from repro.taxonomy import AttributeDiscoverer, resolver_for_attributes
+from repro.world import schema as ws
+
+
+@pytest.fixture(scope="module")
+def query_log(world):
+    return generate_query_log(world, QueryLogConfig(seed=47))
+
+
+def classes_of_factory(world):
+    def classes_of(entity):
+        classes = []
+        cls = world.primary_class.get(entity)
+        if cls is not None:
+            classes.append(cls)
+        if entity in world.people:
+            classes.append(ws.PERSON)
+        return classes
+
+    return classes_of
+
+
+@pytest.fixture(scope="module")
+def discoverer(world, query_log):
+    discoverer = AttributeDiscoverer(
+        resolver_for_attributes(world), classes_of_factory(world)
+    )
+    for record in query_log.records:
+        discoverer.observe(record.text, count=record.frequency)
+    return discoverer
+
+
+class TestQueryLog:
+    def test_deterministic(self, world):
+        first = generate_query_log(world, QueryLogConfig(seed=47))
+        second = generate_query_log(world, QueryLogConfig(seed=47))
+        assert [r.text for r in first.records] == [r.text for r in second.records]
+
+    def test_noise_fraction(self, query_log):
+        noise = [r for r in query_log.records if r.entity is None]
+        total = len(query_log.records)
+        assert 0.1 < len(noise) / total < 0.3
+
+    def test_attribute_records_reference_gold(self, world, query_log):
+        for record in query_log.records:
+            if record.entity is None:
+                continue
+            assert record.attribute is not None
+            # The attribute must come from some class's gold vocabulary.
+            vocabulary = {
+                a for attrs in GOLD_ATTRIBUTES.values() for a, __ in attrs
+            }
+            assert record.attribute in vocabulary
+
+    def test_texts_expand_frequency(self, query_log):
+        texts = query_log.texts()
+        assert len(texts) == sum(r.frequency for r in query_log.records)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(noise_fraction=1.5)
+
+
+class TestInterpretation:
+    @pytest.fixture
+    def simple(self, world):
+        return AttributeDiscoverer(
+            resolver_for_attributes(world), classes_of_factory(world)
+        )
+
+    def test_of_shape(self, world, simple):
+        person = world.people[0]
+        name = world.name[person].lower()
+        assert simple.observe(f"birthplace of {name}")
+
+    def test_question_shape(self, world, simple):
+        person = world.people[0]
+        name = world.name[person].lower()
+        assert simple.observe(f"what is the age of {name}")
+
+    def test_suffix_shape(self, world, simple):
+        company = world.companies[0]
+        name = world.name[company].lower()
+        assert simple.observe(f"{name} ceo")
+
+    def test_noise_rejected(self, simple):
+        assert not simple.observe("cheap flights")
+        assert not simple.observe("how to tie a tie")
+
+    def test_unknown_entity_rejected(self, simple):
+        assert not simple.observe("population of atlantis")
+
+
+class TestDiscovery:
+    def test_gold_attributes_recovered(self, discoverer):
+        for cls in (ws.COMPANY, ws.CITY, ws.COUNTRY):
+            gold = {a for a, __ in GOLD_ATTRIBUTES[cls]}
+            found = {
+                a.attribute for a in discoverer.attributes_of(cls, top_k=len(gold))
+            }
+            assert len(found & gold) / len(gold) >= 0.75
+
+    def test_ranking_follows_popularity(self, discoverer):
+        ranked = discoverer.attributes_of(ws.CITY, top_k=4)
+        assert ranked[0].attribute == "population"
+
+    def test_misspellings_rank_below_gold(self, discoverer):
+        top = discoverer.attributes_of(ws.PERSON, top_k=6)
+        gold = {a for a, __ in GOLD_ATTRIBUTES[ws.PERSON]}
+        assert all(a.attribute in gold for a in top)
+
+    def test_support_threshold(self, world, query_log):
+        strict = AttributeDiscoverer(
+            resolver_for_attributes(world),
+            classes_of_factory(world),
+            min_support=10_000,
+        )
+        for record in query_log.records:
+            strict.observe(record.text, count=record.frequency)
+        assert strict.attributes_of(ws.CITY) == []
+
+    def test_diversity_filter(self, world):
+        # One entity asked the same thing many times is not class evidence.
+        discoverer = AttributeDiscoverer(
+            resolver_for_attributes(world),
+            classes_of_factory(world),
+            min_support=2,
+            min_diversity=2,
+        )
+        name = world.name[world.cities[0]].lower()
+        for __ in range(20):
+            discoverer.observe(f"secret codes of {name}")
+        found = {a.attribute for a in discoverer.attributes_of(ws.CITY)}
+        assert "secret codes" not in found

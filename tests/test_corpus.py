@@ -1,0 +1,187 @@
+"""Tests for repro.corpus (documents, templates, synthesis)."""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    FactTemplate,
+    TEMPLATES,
+    class_sentences,
+    corpus_gold_facts,
+    corrupt_fact,
+    distractor_sentence,
+    render_fact_sentence,
+    synthesize,
+    templates_for,
+)
+from repro.corpus.document import Document, GoldFact, GoldMention, Sentence
+from repro.kb import Entity
+from repro.world import schema as ws
+
+
+class TestDocumentModel:
+    def test_mention_span_validation(self):
+        with pytest.raises(ValueError):
+            GoldMention(5, 5, Entity("w:x"), "x")
+
+    def test_document_text_joins(self):
+        doc = Document("d", sentences=[Sentence("A b."), Sentence("C d.")])
+        assert doc.text == "A b. C d."
+
+    def test_entities_aggregates(self):
+        mention = GoldMention(0, 1, Entity("w:x"), "X")
+        doc = Document("d", sentences=[Sentence("X", mentions=[mention])])
+        assert doc.entities() == {Entity("w:x")}
+
+    def test_gold_fact_spo(self):
+        fact = GoldFact(Entity("w:a"), ws.BORN_IN, Entity("w:b"))
+        assert fact.spo() == (Entity("w:a"), ws.BORN_IN, Entity("w:b"))
+
+
+class TestTemplates:
+    def test_every_template_has_slots(self):
+        for relation, templates in TEMPLATES.items():
+            for template in templates:
+                assert "{s}" in template.pattern and "{o}" in template.pattern
+
+    def test_difficulty_filter(self):
+        easy = templates_for(ws.BORN_IN, "easy")
+        hard = templates_for(ws.BORN_IN, "hard")
+        assert len(easy) < len(hard)
+        assert all(t.difficulty == "easy" for t in easy)
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(ValueError):
+            templates_for(ws.BORN_IN, "extreme")
+        with pytest.raises(ValueError):
+            FactTemplate("{s} x {o}", difficulty="impossible")
+
+    def test_template_requires_slots(self):
+        with pytest.raises(ValueError):
+            FactTemplate("no slots here")
+
+
+class TestRendering:
+    def test_mention_offsets_exact(self, world):
+        rng = random.Random(0)
+        fact = next(iter(world.facts.match(predicate=ws.BORN_IN)))
+        template = templates_for(ws.BORN_IN, "easy")[0]
+        sentence = render_fact_sentence(world, fact, template, rng)
+        for mention in sentence.mentions:
+            assert sentence.text[mention.start:mention.end] == mention.surface
+
+    def test_expressed_fact_recorded(self, world):
+        rng = random.Random(0)
+        fact = next(iter(world.facts.match(predicate=ws.FOUNDED)))
+        template = templates_for(ws.FOUNDED, "easy")[0]
+        sentence = render_fact_sentence(world, fact, template, rng)
+        assert sentence.facts[0].spo() == fact.spo()
+        assert sentence.facts[0].truthful
+
+    def test_year_slot_uses_scope(self, world):
+        rng = random.Random(0)
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.WON_PRIZE) if t.scope
+        )
+        template = next(
+            t for t in TEMPLATES[ws.WON_PRIZE] if t.needs_year
+        )
+        sentence = render_fact_sentence(world, scoped, template, rng)
+        assert str(scoped.scope.begin) in sentence.text
+
+
+class TestCorruption:
+    def test_corrupt_same_class_mode(self, world):
+        rng = random.Random(1)
+        fact = next(iter(world.facts.match(predicate=ws.BORN_IN)))
+        corrupted = corrupt_fact(world, fact, rng, p_cross_class=0.0)
+        assert corrupted is not None
+        assert corrupted.object != fact.object
+        assert (
+            world.primary_class[corrupted.object]
+            == world.primary_class[fact.object]
+        )
+        assert not world.fact_exists(
+            corrupted.subject, corrupted.predicate, corrupted.object
+        )
+
+    def test_corrupt_cross_class_mode(self, world):
+        rng = random.Random(1)
+        fact = next(iter(world.facts.match(predicate=ws.BORN_IN)))
+        corrupted = corrupt_fact(world, fact, rng, p_cross_class=1.0)
+        assert corrupted is not None
+        assert (
+            world.primary_class[corrupted.object]
+            != world.primary_class[fact.object]
+        )
+
+    def test_literal_object_not_corruptible(self, world):
+        rng = random.Random(1)
+        fact = next(iter(world.facts.match(predicate=ws.BIRTH_YEAR)))
+        assert corrupt_fact(world, fact, rng) is None
+
+
+class TestSynthesis:
+    def test_deterministic(self, world):
+        config = CorpusConfig(seed=4)
+        first = synthesize(world, config)
+        second = synthesize(world, config)
+        assert [s.text for d in first for s in d.sentences] == [
+            s.text for d in second for s in d.sentences
+        ]
+
+    def test_gold_facts_are_true_world_facts(self, world, documents):
+        for key in corpus_gold_facts(documents, truthful_only=True):
+            assert world.facts.contains_fact(*key)
+
+    def test_false_statements_marked(self, world):
+        noisy = synthesize(world, CorpusConfig(seed=4, p_false=0.3))
+        false_facts = [
+            f for d in noisy for f in d.all_facts() if not f.truthful
+        ]
+        assert false_facts
+        for fact in false_facts:
+            assert not world.facts.contains_fact(*fact.spo())
+
+    def test_distractors_express_nothing(self, world):
+        rng = random.Random(2)
+        sentence = distractor_sentence(world, rng, 0.0)
+        assert sentence.facts == []
+        assert len(sentence.mentions) == 2
+
+    def test_difficulty_cap_respected(self, world):
+        easy_only = synthesize(
+            world, CorpusConfig(seed=4, max_difficulty="easy")
+        )
+        # Every sentence must match an easy template's fixed parts; spot-check
+        # that no "birthplace of" (hard) phrasing appears.
+        all_text = " ".join(s.text for d in easy_only for s in d.sentences)
+        assert "birthplace" not in all_text
+
+    def test_class_sentences_carry_type_facts(self, world):
+        rng = random.Random(3)
+        sentences = class_sentences(world, rng, per_class=1)
+        assert sentences
+        for sentence in sentences:
+            assert sentence.facts
+            for fact in sentence.facts:
+                assert fact.relation.id == "rdf:type"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(p_false=1.5)
+        with pytest.raises(ValueError):
+            CorpusConfig(document_size=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(mentions_per_fact=-1)
+
+    def test_entity_centric_documents_have_topic(self, documents):
+        topical = [d for d in documents if d.topic is not None]
+        assert topical
+        for doc in topical[:20]:
+            for sentence in doc.sentences:
+                subjects = {f.subject for f in sentence.facts}
+                if subjects:
+                    assert doc.topic in subjects

@@ -1,0 +1,111 @@
+"""Tests for repro.corpus.wiki and repro.corpus.social."""
+
+import pytest
+
+from repro.corpus import SocialConfig, WikiConfig, build_wiki, generate_stream
+from repro.world import schema as ws
+
+
+class TestWiki:
+    def test_every_entity_has_page(self, world, wiki):
+        for entity in world.all_entities():
+            assert wiki.page_of(entity) is not None
+
+    def test_titles_are_names(self, world, wiki):
+        for entity in world.people[:10]:
+            assert wiki.page_of(entity).title == world.name[entity]
+
+    def test_infobox_gold_facts_true(self, world, wiki):
+        for page in wiki.pages.values():
+            for attribute, (relation, obj) in page.infobox_gold.items():
+                assert world.facts.contains_fact(page.entity, relation, obj)
+                assert attribute in page.infobox
+
+    def test_person_categories(self, world, wiki):
+        page = wiki.page_of(world.people[0])
+        names = [c.name for c in page.categories]
+        assert any("births" in n for n in names)
+        assert any(n.startswith("People from") for n in names)
+
+    def test_birth_category_not_conceptual(self, world, wiki):
+        page = wiki.page_of(world.people[0])
+        for category in page.categories:
+            if category.name.endswith("births"):
+                assert not category.conceptual
+
+    def test_country_categories_topical(self, world, wiki):
+        page = wiki.page_of(world.countries[0])
+        assert page.categories
+        assert all(not c.conceptual for c in page.categories)
+
+    def test_links_are_fact_neighbors(self, world, wiki):
+        person = world.people[0]
+        page = wiki.page_of(person)
+        birth_city = world.facts.one_object(person, ws.BORN_IN)
+        assert world.name[birth_city] in page.links
+
+    def test_interlanguage_dropout(self, world):
+        full = build_wiki(world, WikiConfig(seed=3, interlanguage_dropout=0.0))
+        sparse = build_wiki(world, WikiConfig(seed=3, interlanguage_dropout=0.8))
+        full_links = sum(len(p.interlanguage) for p in full.pages.values())
+        sparse_links = sum(len(p.interlanguage) for p in sparse.pages.values())
+        assert sparse_links < full_links * 0.5
+
+    def test_interlanguage_matches_world_labels(self, world, wiki):
+        for page in list(wiki.pages.values())[:20]:
+            for lang, title in page.interlanguage.items():
+                assert title == world.label_in(page.entity, lang)
+
+    def test_link_graph_closed(self, wiki):
+        graph = wiki.link_graph()
+        for targets in graph.values():
+            for target in targets:
+                assert target in wiki.pages
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WikiConfig(interlanguage_dropout=2.0)
+
+
+class TestSocialStream:
+    @pytest.fixture(scope="class")
+    def stream(self, world):
+        return generate_stream(world, SocialConfig(seed=5, months=18))
+
+    def test_two_families(self, stream):
+        assert len(stream.families) == 2
+
+    def test_gold_volume_matches_posts(self, stream):
+        for family in stream.families:
+            assert sum(stream.gold_volume[family]) == sum(
+                1 for p in stream.posts if p.family == family
+            )
+
+    def test_post_months_in_range(self, stream):
+        assert all(0 <= p.month < 18 for p in stream.posts)
+
+    def test_surface_is_product_or_family(self, world, stream):
+        for post in stream.posts[:200]:
+            assert post.surface in (world.name[post.product], post.family)
+
+    def test_surface_in_text(self, stream):
+        for post in stream.posts[:200]:
+            assert post.surface in post.text
+
+    def test_sentiment_labels_valid(self, stream):
+        assert {p.sentiment for p in stream.posts} <= {"pos", "neg", "neu"}
+
+    def test_deterministic(self, world):
+        first = generate_stream(world, SocialConfig(seed=5, months=6))
+        second = generate_stream(world, SocialConfig(seed=5, months=6))
+        assert [p.text for p in first.posts] == [p.text for p in second.posts]
+
+    def test_release_boost_visible(self, world):
+        stream = generate_stream(world, SocialConfig(seed=5, months=24))
+        for family in stream.families:
+            volumes = stream.gold_volume[family]
+            assert max(volumes) > min(v for v in volumes if v > 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SocialConfig(months=0)

@@ -1,0 +1,143 @@
+"""Tests for repro.eval.metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval import (
+    PRF,
+    accuracy,
+    average_precision,
+    brier_score,
+    calibration_bins,
+    f1_score,
+    macro_prf,
+    mean_average_precision,
+    micro_prf,
+    precision_at_k,
+    precision_recall,
+)
+
+
+class TestPRF:
+    def test_perfect(self):
+        assert precision_recall({1, 2}, {1, 2}) == PRF(1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        prf = precision_recall({1, 2, 3, 4}, {1, 2})
+        assert prf.precision == 0.5
+        assert prf.recall == 1.0
+
+    def test_empty_predictions(self):
+        prf = precision_recall([], {1})
+        assert prf.precision == 1.0
+        assert prf.recall == 0.0
+        assert prf.f1 == 0.0
+
+    def test_empty_gold(self):
+        assert precision_recall({1}, []).recall == 1.0
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_bounds(self, predicted, gold):
+        prf = precision_recall(predicted, gold)
+        for value in (prf.precision, prf.recall, prf.f1):
+            assert 0.0 <= value <= 1.0
+
+    @given(st.sets(st.integers(0, 20), min_size=1))
+    def test_identity_is_perfect(self, items):
+        assert precision_recall(items, items).f1 == 1.0
+
+
+class TestF1:
+    def test_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_harmonic(self):
+        assert f1_score(1.0, 0.5) == pytest.approx(2 / 3)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    def test_f1_between_min_and_max(self, p, r):
+        f1 = f1_score(p, r)
+        assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        assert accuracy([], []) == 1.0
+
+
+class TestRanked:
+    def test_precision_at_k(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 3) == pytest.approx(2 / 3)
+
+    def test_precision_at_k_invalid(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_average_precision_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_average_precision_order_sensitive(self):
+        good = average_precision(["a", "x", "b"], {"a", "b"})
+        bad = average_precision(["x", "a", "b"], {"a", "b"})
+        assert good > bad
+
+    def test_map(self):
+        runs = [(["a"], {"a"}), (["x", "a"], {"a"})]
+        assert mean_average_precision(runs) == pytest.approx(0.75)
+
+
+class TestAveraging:
+    def test_micro(self):
+        prf = micro_prf([(1, 2, 2), (1, 1, 2)])
+        assert prf.precision == pytest.approx(2 / 3)
+        assert prf.recall == pytest.approx(0.5)
+
+    def test_macro(self):
+        prf = macro_prf([PRF(1.0, 0.0, 0.0), PRF(0.0, 1.0, 0.0)])
+        assert prf.precision == 0.5
+        assert prf.recall == 0.5
+
+
+class TestProbabilistic:
+    def test_brier_perfect(self):
+        assert brier_score([1.0, 0.0], [True, False]) == 0.0
+
+    def test_brier_worst(self):
+        assert brier_score([0.0, 1.0], [True, False]) == 1.0
+
+    def test_calibration_bins(self):
+        bins = calibration_bins([0.1, 0.9, 0.95], [False, True, True], bins=2)
+        assert len(bins) == 2
+        low, high = bins
+        assert low[1] == 0.0
+        assert high[1] == 1.0
+        assert high[2] == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            brier_score([0.5], [True, False])
+
+
+class TestTables:
+    def test_render_alignment(self):
+        from repro.eval import render_table
+
+        table = render_table("T", ["col", "x"], [["a", 1.5], ["bbbb", 2]])
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in table
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+
+    def test_row_width_mismatch(self):
+        from repro.eval import render_table
+
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [["x", "y"]])

@@ -1,0 +1,118 @@
+"""Tests for extraction.commonsense and extraction.infobox."""
+
+import pytest
+
+from repro.extraction import (
+    GOLD_PARTS,
+    HAS_PROPERTY,
+    HAS_SHAPE,
+    PART_OF,
+    InfoboxExtractor,
+    acquire,
+    concept,
+    generate_sentences,
+    gold_store,
+    resolver_from_aliases,
+)
+from repro.eval import precision_recall
+from repro.kb import Literal
+from repro.world import schema as ws
+
+
+class TestCommonsenseAcquisition:
+    def test_parses_property_sentence(self):
+        store, __ = acquire(["Apples are often red."] * 2)
+        assert store.contains_fact(concept("apple"), HAS_PROPERTY, concept("red"))
+
+    def test_parses_part_sentences_all_templates(self):
+        store, __ = acquire(
+            [
+                "The wheel is part of a car.",
+                "Every car has a wheel.",
+                "A car contains a wheel.",
+            ],
+            min_support=3,
+        )
+        assert store.contains_fact(concept("wheel"), PART_OF, concept("car"))
+
+    def test_parses_shape_sentences(self):
+        store, __ = acquire(
+            ["A clarinet is cylindrical in shape.",
+             "The clarinet has a cylindrical shape."],
+            min_support=2,
+        )
+        assert store.contains_fact(
+            concept("clarinet"), HAS_SHAPE, concept("cylindrical")
+        )
+
+    def test_support_filter_drops_rare_noise(self):
+        sentences = ["Apples are often red."] * 3 + ["Apples are often funny."]
+        store, report = acquire(sentences, min_support=2)
+        assert store.contains_fact(concept("apple"), HAS_PROPERTY, concept("red"))
+        assert not store.contains_fact(
+            concept("apple"), HAS_PROPERTY, concept("funny")
+        )
+        assert report.filtered_low_support == 1
+
+    def test_end_to_end_precision_recall(self):
+        sentences = generate_sentences(seed=5, repetitions=4, noise_rate=0.15)
+        harvested, __ = acquire(sentences, min_support=2)
+        gold = gold_store()
+        prf = precision_recall(
+            {t.spo() for t in harvested}, {t.spo() for t in gold}
+        )
+        assert prf.precision > 0.9
+        assert prf.recall > 0.8
+
+    def test_without_filter_noise_leaks(self):
+        sentences = generate_sentences(seed=5, repetitions=4, noise_rate=0.3)
+        unfiltered, __ = acquire(sentences, min_support=1)
+        gold = gold_store()
+        prf = precision_recall(
+            {t.spo() for t in unfiltered}, {t.spo() for t in gold}
+        )
+        filtered, __ = acquire(sentences, min_support=2)
+        filtered_prf = precision_recall(
+            {t.spo() for t in filtered}, {t.spo() for t in gold}
+        )
+        assert filtered_prf.precision > prf.precision
+
+    def test_generation_deterministic(self):
+        assert generate_sentences(seed=5) == generate_sentences(seed=5)
+
+
+class TestInfoboxExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self, world):
+        return InfoboxExtractor(resolver_from_aliases(world.aliases))
+
+    def test_extracts_gold_facts(self, world, wiki, extractor):
+        page = wiki.page_of(world.people[0])
+        candidates = extractor.extract_page(page)
+        assert candidates
+        for candidate in candidates:
+            assert world.facts.contains_fact(
+                candidate.subject, candidate.relation, candidate.object
+            )
+
+    def test_year_values_become_literals(self, world, wiki, extractor):
+        page = wiki.page_of(world.companies[0])
+        candidates = extractor.extract_page(page)
+        founding = [c for c in candidates if c.relation == ws.FOUNDING_YEAR]
+        assert founding
+        assert isinstance(founding[0].object, Literal)
+        assert founding[0].object.datatype == "year"
+
+    def test_wiki_level_report(self, wiki, extractor):
+        candidates, report = extractor.extract_wiki(wiki)
+        assert report.pages == len(wiki.pages)
+        assert report.values_resolved == len(candidates)
+        assert report.attributes_mapped >= report.values_resolved
+
+    def test_wiki_precision_near_one(self, world, wiki, extractor):
+        candidates, __ = extractor.extract_wiki(wiki)
+        correct = sum(
+            1 for c in candidates
+            if world.facts.contains_fact(c.subject, c.relation, c.object)
+        )
+        assert correct / len(candidates) > 0.98

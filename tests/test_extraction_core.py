@@ -1,0 +1,149 @@
+"""Tests for extraction base, resolution, and occurrences."""
+
+import pytest
+
+from repro.extraction import (
+    Candidate,
+    NameResolver,
+    candidates_to_store,
+    corpus_occurrences,
+    merge_candidates,
+    resolver_from_aliases,
+    sentence_occurrences,
+)
+from repro.kb import Entity, Relation
+from repro.nlp import analyze
+
+R = Relation("rel:bornIn")
+A, B = Entity("w:a"), Entity("w:b")
+
+
+def make_candidate(confidence: float, extractor: str = "x") -> Candidate:
+    return Candidate(A, R, B, confidence, extractor, "evidence text")
+
+
+class TestCandidateModel:
+    def test_key(self):
+        assert make_candidate(0.5).key() == (A, R, B)
+
+    def test_to_triple_carries_provenance(self):
+        triple = make_candidate(0.7, "patterns").to_triple()
+        assert triple.confidence == 0.7
+        assert triple.source == "patterns"
+
+    def test_to_triple_clamps_confidence(self):
+        assert make_candidate(0.0).to_triple().confidence == 0.0
+
+    def test_merge_noisy_or(self):
+        merged = merge_candidates([make_candidate(0.5), make_candidate(0.5)])
+        assert merged[(A, R, B)] == pytest.approx(0.75)
+
+    def test_merge_distinct_keys(self):
+        other = Candidate(B, R, A, 0.4, "y")
+        merged = merge_candidates([make_candidate(0.5), other])
+        assert len(merged) == 2
+
+    def test_candidates_to_store_threshold(self):
+        store = candidates_to_store(
+            [make_candidate(0.3)], min_confidence=0.5
+        )
+        assert len(store) == 0
+        store = candidates_to_store(
+            [make_candidate(0.3), make_candidate(0.4)], min_confidence=0.5
+        )
+        assert len(store) == 1  # noisy-or lifts above the threshold
+
+
+class TestNameResolver:
+    @pytest.fixture
+    def resolver(self):
+        resolver = NameResolver(dominance=0.8)
+        resolver.add_aliases(A, ["Alan Weber", "Weber", "Alan"])
+        resolver.add_aliases(B, ["Bella Weber", "Weber"])
+        return resolver
+
+    def test_unique_name_resolves(self, resolver):
+        assert resolver.resolve("Alan Weber") == A
+        assert resolver.resolve("Bella Weber") == B
+
+    def test_ambiguous_name_dropped(self, resolver):
+        assert resolver.resolve("Weber") is None
+
+    def test_dominant_candidate_resolves(self):
+        resolver = NameResolver(dominance=0.8)
+        resolver.add("X", A, count=9)
+        resolver.add("X", B, count=1)
+        assert resolver.resolve("X") == A
+
+    def test_unknown_name(self, resolver):
+        assert resolver.resolve("Nobody") is None
+
+    def test_candidates_with_priors(self, resolver):
+        candidates = resolver.candidates("Weber")
+        assert len(candidates) == 2
+        assert sum(prior for __, prior in candidates) == pytest.approx(1.0)
+
+    def test_gazetteer_roundtrip(self, resolver):
+        gazetteer = resolver.to_gazetteer()
+        assert gazetteer.lookup("Alan Weber") == "Alan Weber"
+
+    def test_from_aliases(self, world):
+        resolver = resolver_from_aliases(world.aliases)
+        person = world.people[0]
+        assert resolver.resolve(world.name[person]) == person
+
+    def test_invalid_dominance(self):
+        with pytest.raises(ValueError):
+            NameResolver(dominance=0.0)
+
+
+class TestOccurrences:
+    @pytest.fixture
+    def simple_resolver(self):
+        resolver = NameResolver()
+        resolver.add("Alan Weber", A)
+        resolver.add("Nimbus Systems", B)
+        return resolver
+
+    def test_forward_pair(self, simple_resolver):
+        analysis = analyze(
+            "Alan Weber founded Nimbus Systems.",
+            simple_resolver.to_gazetteer(),
+        )
+        occurrences = list(sentence_occurrences(analysis, simple_resolver))
+        assert len(occurrences) == 1
+        occurrence = occurrences[0]
+        assert occurrence.first == A and occurrence.second == B
+        assert occurrence.middle == ("founded",)
+        assert occurrence.pair() == (A, B)
+        assert occurrence.pair(inverse=True) == (B, A)
+
+    def test_paths_in_both_directions(self, simple_resolver):
+        analysis = analyze(
+            "Nimbus Systems was founded by Alan Weber.",
+            simple_resolver.to_gazetteer(),
+        )
+        occurrence = next(iter(sentence_occurrences(analysis, simple_resolver)))
+        assert occurrence.path(False) != occurrence.path(True)
+        assert "nsubjpass" in occurrence.path(True)
+
+    def test_max_gap_respected(self, simple_resolver):
+        analysis = analyze(
+            "Alan Weber said many different things about a lot of topics "
+            "before mentioning Nimbus Systems.",
+            simple_resolver.to_gazetteer(),
+        )
+        assert list(sentence_occurrences(analysis, simple_resolver, max_gap=5)) == []
+
+    def test_unresolved_mentions_skipped(self, simple_resolver):
+        analysis = analyze(
+            "Unknown Person praised Nimbus Systems.",
+            simple_resolver.to_gazetteer(),
+        )
+        assert list(sentence_occurrences(analysis, simple_resolver)) == []
+
+    def test_corpus_occurrences_counts(self, sentences, resolver, occurrences):
+        assert len(occurrences) > len(sentences) * 0.5
+        for occurrence in occurrences[:50]:
+            assert occurrence.first != occurrence.second
+            assert occurrence.sentence

@@ -1,0 +1,150 @@
+"""Tests for the extraction method spectrum (E3's subsystems)."""
+
+import pytest
+
+from repro.corpus.document import corpus_gold_facts
+from repro.eval import precision_recall
+from repro.extraction import (
+    DependencyPathExtractor,
+    DistantSupervisionExtractor,
+    PatternExtractor,
+    SnowballExtractor,
+    candidates_to_store,
+)
+from repro.kb import Entity
+from repro.world import schema as ws
+
+
+@pytest.fixture(scope="module")
+def gold_entity_facts(documents):
+    return {
+        key for key in corpus_gold_facts(documents)
+        if isinstance(key[2], Entity)
+    }
+
+
+class TestPatternExtractor:
+    def test_high_precision(self, occurrences, gold_entity_facts):
+        store = candidates_to_store(PatternExtractor().extract(occurrences))
+        prf = precision_recall({t.spo() for t in store}, gold_entity_facts)
+        assert prf.precision > 0.95
+        assert 0.3 < prf.recall < 0.9  # misses the paraphrases by design
+
+    def test_evidence_recorded(self, occurrences):
+        candidates = PatternExtractor().extract(occurrences)
+        assert all(c.evidence for c in candidates)
+
+    def test_empty_pattern_rejected(self):
+        from repro.extraction import SurfacePattern
+
+        with pytest.raises(ValueError):
+            SurfacePattern(ws.BORN_IN, ())
+
+
+class TestSnowball:
+    def test_bootstraps_beyond_seeds(self, world, occurrences):
+        seeds = [
+            (t.subject, t.object)
+            for t in list(world.facts.match(predicate=ws.FOUNDED))[:8]
+        ]
+        extractor = SnowballExtractor(ws.FOUNDED, seeds)
+        candidates = extractor.run(occurrences)
+        found_pairs = {(c.subject, c.object) for c in candidates}
+        assert len(found_pairs) > len(seeds)
+        assert extractor.report.iterations >= 1
+        assert extractor.patterns  # learned something
+
+    def test_learned_patterns_include_paraphrases(self, world, occurrences):
+        seeds = [
+            (t.subject, t.object)
+            for t in list(world.facts.match(predicate=ws.FOUNDED))[:8]
+        ]
+        extractor = SnowballExtractor(ws.FOUNDED, seeds)
+        extractor.run(occurrences)
+        middles = {p.middle for p in extractor.patterns}
+        assert ("founded",) in middles
+        assert len(middles) >= 3  # paraphrase contexts were promoted
+
+    def test_precision_against_world(self, world, occurrences):
+        seeds = [
+            (t.subject, t.object)
+            for t in list(world.facts.match(predicate=ws.FOUNDED))[:8]
+        ]
+        candidates = SnowballExtractor(ws.FOUNDED, seeds).run(occurrences)
+        correct = sum(
+            1 for c in candidates
+            if world.fact_exists(c.subject, ws.FOUNDED, c.object)
+        )
+        assert correct / len(candidates) > 0.9
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            SnowballExtractor(ws.FOUNDED, [])
+
+
+class TestDependencyPaths:
+    @pytest.fixture(scope="class")
+    def extractor(self, seed_kb, occurrences):
+        extractor = DependencyPathExtractor(
+            seed_kb, [s.relation for s in ws.RELATION_SPECS]
+        )
+        extractor.learn(occurrences)
+        return extractor
+
+    def test_rules_learned(self, extractor):
+        assert len(extractor.rules) >= 10
+        assert all(0.0 < r.confidence <= 1.0 for r in extractor.rules)
+
+    def test_covers_passives(self, extractor):
+        passive_rules = [r for r in extractor.rules if "nsubjpass" in r.path]
+        assert passive_rules
+
+    def test_beats_patterns_on_recall(
+        self, extractor, occurrences, gold_entity_facts
+    ):
+        path_pred = {c.key() for c in extractor.extract(occurrences)}
+        pattern_pred = {
+            t.spo()
+            for t in candidates_to_store(PatternExtractor().extract(occurrences))
+        }
+        path_prf = precision_recall(path_pred, gold_entity_facts)
+        pattern_prf = precision_recall(pattern_pred, gold_entity_facts)
+        assert path_prf.recall > pattern_prf.recall
+        assert path_prf.precision > 0.9
+
+
+class TestDistantSupervision:
+    @pytest.fixture(scope="class")
+    def extractor(self, seed_kb, occurrences):
+        extractor = DistantSupervisionExtractor(
+            seed_kb, [s.relation for s in ws.RELATION_SPECS]
+        )
+        extractor.train(occurrences)
+        return extractor
+
+    def test_training_summary(self, extractor):
+        assert extractor.summary.positives > 100
+        assert extractor.summary.negatives > 0
+
+    def test_best_recall_of_the_spectrum(
+        self, extractor, occurrences, gold_entity_facts
+    ):
+        predictions = {c.key() for c in extractor.extract(occurrences)}
+        prf = precision_recall(predictions, gold_entity_facts)
+        pattern_prf = precision_recall(
+            {
+                t.spo()
+                for t in candidates_to_store(
+                    PatternExtractor().extract(occurrences)
+                )
+            },
+            gold_entity_facts,
+        )
+        assert prf.recall > pattern_prf.recall
+        assert prf.f1 > pattern_prf.f1
+        assert prf.precision > 0.85
+
+    def test_extract_before_train_raises(self, seed_kb):
+        extractor = DistantSupervisionExtractor(seed_kb, [ws.BORN_IN])
+        with pytest.raises(RuntimeError):
+            extractor.extract([])

@@ -1,0 +1,160 @@
+"""Tests for extraction.consistency (MaxSat) and extraction.deepdive (MLN)."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, synthesize
+from repro.corpus.document import corpus_gold_facts
+from repro.extraction import (
+    Candidate,
+    ConsistencyReasoner,
+    DeepDivePipeline,
+    PatternExtractor,
+    candidates_to_store,
+    corpus_occurrences,
+    resolver_from_aliases,
+)
+from repro.eval import precision_recall
+from repro.kb import Entity, Taxonomy, TripleStore
+from repro.world import schema as ws
+
+
+@pytest.fixture(scope="module")
+def taxonomy(world):
+    return Taxonomy(world.store)
+
+
+@pytest.fixture(scope="module")
+def noisy_candidates(world):
+    """Pattern extraction over a corpus with injected false statements."""
+    documents = synthesize(
+        world,
+        CorpusConfig(seed=13, mentions_per_fact=1.5, p_false=0.25, p_short_alias=0.05),
+    )
+    resolver = resolver_from_aliases(world.aliases)
+    sentences = [s.text for d in documents for s in d.sentences]
+    occurrences = corpus_occurrences(sentences, resolver)
+    candidates = PatternExtractor().extract(occurrences)
+    gold = {
+        key for key in corpus_gold_facts(documents)
+        if isinstance(key[2], Entity)
+    }
+    return candidates, gold
+
+
+class TestConsistencyReasoner:
+    def test_cleaning_lifts_precision(self, taxonomy, noisy_candidates, world):
+        candidates, gold = noisy_candidates
+        raw_store = candidates_to_store(candidates)
+
+        def precision(store):
+            facts = [t for t in store]
+            correct = sum(
+                1 for t in facts
+                if world.facts.contains_fact(t.subject, t.predicate, t.object)
+            )
+            return correct / len(facts)
+
+        reasoner = ConsistencyReasoner(taxonomy)
+        cleaned, report = reasoner.clean(raw_store)
+        assert report.rejected > 0
+        assert precision(cleaned) > precision(raw_store)
+
+    def test_small_recall_cost(self, taxonomy, noisy_candidates, gold=None):
+        candidates, gold = noisy_candidates
+        raw_store = candidates_to_store(candidates)
+        cleaned, __ = ConsistencyReasoner(taxonomy).clean(raw_store)
+        raw_prf = precision_recall({t.spo() for t in raw_store}, gold)
+        clean_prf = precision_recall({t.spo() for t in cleaned}, gold)
+        assert clean_prf.recall > raw_prf.recall * 0.85
+
+    def test_constraint_ablation_counts(self, taxonomy, noisy_candidates):
+        candidates, __ = noisy_candidates
+        store = candidates_to_store(candidates)
+        full = ConsistencyReasoner(taxonomy)
+        __, full_report = full.clean(store)
+        no_functional = ConsistencyReasoner(taxonomy, use_functionality=False)
+        __, nf_report = no_functional.clean(store)
+        assert full_report.functional_clauses > 0
+        assert nf_report.functional_clauses == 0
+        assert nf_report.rejected <= full_report.rejected
+
+    def test_type_constraint_kills_mistyped_fact(self, taxonomy, world):
+        person = world.people[0]
+        company = world.companies[0]
+        bad = Candidate(person, ws.BORN_IN, company, 0.9, "test")
+        store = candidates_to_store([bad])
+        cleaned, report = ConsistencyReasoner(taxonomy).clean(store)
+        assert len(cleaned) == 0
+        assert report.type_clauses == 1
+
+    def test_functional_conflict_keeps_stronger(self, taxonomy, world):
+        person = world.people[0]
+        true_city = world.facts.one_object(person, ws.BORN_IN)
+        other_city = next(c for c in world.cities if c != true_city)
+        store = candidates_to_store(
+            [
+                Candidate(person, ws.BORN_IN, true_city, 0.9, "a"),
+                Candidate(person, ws.BORN_IN, other_city, 0.4, "b"),
+            ]
+        )
+        cleaned, __ = ConsistencyReasoner(taxonomy).clean(store)
+        assert cleaned.contains_fact(person, ws.BORN_IN, true_city)
+        assert not cleaned.contains_fact(person, ws.BORN_IN, other_city)
+
+
+class TestDeepDive:
+    def test_marginals_favor_repeated_facts(self, taxonomy, world):
+        person = world.people[0]
+        city = world.facts.one_object(person, ws.BORN_IN)
+        repeated = [
+            Candidate(person, ws.BORN_IN, city, 0.7, "a", "s1"),
+            Candidate(person, ws.BORN_IN, city, 0.7, "b", "s2"),
+        ]
+        lonely_city = next(c for c in world.cities if c != city)
+        lonely = [Candidate(world.people[1], ws.BORN_IN, lonely_city, 0.55, "a")]
+        pipeline = DeepDivePipeline(taxonomy)
+        __, marginals, __ = pipeline.infer(
+            repeated + lonely, iterations=600, burn_in=100, seed=0
+        )
+        assert marginals[repeated[0].key()] > marginals[lonely[0].key()]
+
+    def test_functional_exclusion_suppresses_conflict(self, taxonomy, world):
+        person = world.people[0]
+        city_a = world.cities[0]
+        city_b = world.cities[1]
+        pipeline = DeepDivePipeline(taxonomy)
+        accepted, marginals, stats = pipeline.infer(
+            [
+                Candidate(person, ws.BORN_IN, city_a, 0.9, "a"),
+                Candidate(person, ws.BORN_IN, city_b, 0.6, "b"),
+            ],
+            iterations=800,
+            burn_in=100,
+            seed=0,
+        )
+        assert stats.exclusion_factors == 1
+        assert marginals[(person, ws.BORN_IN, city_a)] > marginals[
+            (person, ws.BORN_IN, city_b)
+        ]
+
+    def test_rule_propagates_located_in(self, taxonomy, world):
+        city = world.cities[0]
+        country = world.facts.one_object(city, ws.LOCATED_IN)
+        pipeline = DeepDivePipeline(taxonomy)
+        __, marginals, __ = pipeline.infer(
+            [
+                Candidate(city, ws.CAPITAL_OF, country, 0.9, "a"),
+                Candidate(city, ws.LOCATED_IN, country, 0.5, "b"),
+            ],
+            iterations=800,
+            burn_in=100,
+            seed=0,
+        )
+        # The capitalOf -> locatedIn rule lifts the weak locatedIn candidate.
+        assert marginals[(city, ws.LOCATED_IN, country)] > 0.6
+
+    def test_empty_input(self, taxonomy):
+        pipeline = DeepDivePipeline(taxonomy)
+        accepted, marginals, stats = pipeline.infer([])
+        assert len(accepted) == 0
+        assert marginals == {}

@@ -1,0 +1,251 @@
+"""Tests for extraction.temporal and extraction.multilingual."""
+
+import pytest
+
+from repro.corpus import WikiConfig, build_wiki
+from repro.extraction import (
+    Candidate,
+    align_by_links,
+    align_by_strings,
+    align_combined,
+    attach_scopes,
+    extract_year_attributes,
+    harvest_labels,
+    sentence_scope,
+    tag_temporal,
+)
+from repro.kb import Entity, TimeSpan, ns
+from repro.world import schema as ws
+
+
+class TestTemporalTagger:
+    def test_bare_year(self):
+        tags = tag_temporal("He arrived in Lorvik in 1955 by train.")
+        assert any(t.span == TimeSpan(1955, 1955) for t in tags)
+
+    def test_span_expression(self):
+        tags = tag_temporal("She led the company from 1990 to 2001.")
+        span_tags = [t for t in tags if t.kind == "span"]
+        assert span_tags and span_tags[0].span == TimeSpan(1990, 2001)
+
+    def test_since_expression(self):
+        tags = tag_temporal("He has worked there since 1988.")
+        since = [t for t in tags if t.kind == "since"]
+        assert since and since[0].span == TimeSpan(1988, None)
+
+    def test_until_expression(self):
+        tags = tag_temporal("She stayed until 1999.")
+        until = [t for t in tags if t.kind == "until"]
+        assert until and until[0].span == TimeSpan(None, 1999)
+
+    def test_no_overlapping_tags(self):
+        tags = tag_temporal("from 1990 to 2001")
+        assert len(tags) == 1  # the years inside the span are not re-tagged
+
+    def test_non_years_ignored(self):
+        assert tag_temporal("He bought 5000 apples for 300 coins.") == []
+
+    def test_invalid_span_order_skipped(self):
+        tags = tag_temporal("from 2010 to 2001")
+        assert all(t.kind != "span" for t in tags)
+
+
+class TestSentenceScope:
+    def test_span_preferred_over_point(self):
+        scope = sentence_scope("In 1995 she led Acme from 1990 to 2001.")
+        assert scope == TimeSpan(1990, 2001)
+
+    def test_point_fallback(self):
+        assert sentence_scope("They married in 1981.") == TimeSpan(1981, 1981)
+
+    def test_none_when_no_expression(self):
+        assert sentence_scope("They married in spring.") is None
+
+
+class TestAttachScopes:
+    def test_scoped_relation_gets_span(self, world):
+        person = world.people[0]
+        prize = world.prizes[0]
+        candidate = Candidate(
+            person, ws.WON_PRIZE, prize, 0.9, "test",
+            evidence="Alan won the Meridian Prize in 1977.",
+        )
+        scoped = attach_scopes([candidate])[0]
+        assert scoped.scope == TimeSpan(1977, 1977)
+        assert scoped.to_triple().scope == TimeSpan(1977, 1977)
+
+    def test_unscoped_relation_untouched(self, world):
+        candidate = Candidate(
+            world.people[0], ws.BORN_IN, world.cities[0], 0.9, "test",
+            evidence="Alan was born in Lorvik in 1950.",
+        )
+        assert attach_scopes([candidate])[0].scope is None
+
+
+class TestYearAttributes:
+    def test_birth_year(self, world):
+        person = world.people[0]
+        triples = extract_year_attributes(
+            person, "Alan Weber was born in Lorvik in 1950.", ws.PERSON
+        )
+        assert len(triples) == 1
+        assert triples[0].predicate == ws.BIRTH_YEAR
+        assert triples[0].object.value == "1950"
+
+    def test_class_filter(self, world):
+        company = world.companies[0]
+        triples = extract_year_attributes(
+            company, "Nimbus was founded in 1976.", ws.COMPANY
+        )
+        assert [t.predicate for t in triples] == [ws.FOUNDING_YEAR]
+        none = extract_year_attributes(
+            company, "Nimbus was born in 1976.", ws.COMPANY
+        )
+        assert [t.predicate for t in none] == []
+
+    def test_no_year_no_facts(self, world):
+        assert extract_year_attributes(world.people[0], "He was born early.") == []
+
+
+class TestMultilingual:
+    @pytest.fixture(scope="class")
+    def sparse_wiki(self, world):
+        return build_wiki(world, WikiConfig(seed=21, interlanguage_dropout=0.4))
+
+    def test_harvest_labels_covers_languages(self, sparse_wiki):
+        labels = harvest_labels(sparse_wiki)
+        langs = {
+            t.object.lang for t in labels.match(predicate=ns.LABEL)
+        }
+        assert {"en", "de", "fr", "es"} <= langs
+
+    def test_link_alignment_perfect_but_partial(self, world, sparse_wiki):
+        alignments = align_by_links(sparse_wiki, "de")
+        assert alignments
+        for alignment in alignments:
+            page = sparse_wiki.pages[alignment.english]
+            assert world.label_in(page.entity, "de") == alignment.foreign
+        assert len(alignments) < len(sparse_wiki.pages)
+
+    def test_string_alignment_recovers_translations(self, world, sparse_wiki):
+        english = sorted(sparse_wiki.pages)[:40]
+        foreign = [
+            world.label_in(sparse_wiki.pages[t].entity, "de") for t in english
+        ]
+        alignments = align_by_strings(english, foreign)
+        gold = dict(zip(english, foreign))
+        correct = sum(1 for a in alignments if gold[a.english] == a.foreign)
+        assert alignments
+        assert correct / len(alignments) > 0.7
+
+    def test_combined_beats_strings_alone(self, world, sparse_wiki):
+        english = sorted(sparse_wiki.pages)
+        foreign = [
+            world.label_in(sparse_wiki.pages[t].entity, "de") for t in english
+        ]
+        gold = dict(zip(english, foreign))
+
+        def accuracy(alignments):
+            correct = sum(1 for a in alignments if gold.get(a.english) == a.foreign)
+            return correct / len(english)
+
+        combined = align_combined(sparse_wiki, "de", foreign)
+        strings_only = align_by_strings(english, foreign)
+        assert accuracy(combined) > accuracy(strings_only)
+
+    def test_one_to_one(self, sparse_wiki, world):
+        english = sorted(sparse_wiki.pages)[:30]
+        foreign = [
+            world.label_in(sparse_wiki.pages[t].entity, "fr") for t in english
+        ]
+        alignments = align_by_strings(english, foreign)
+        assert len({a.english for a in alignments}) == len(alignments)
+        assert len({a.foreign for a in alignments}) == len(alignments)
+
+
+class TestScopeInference:
+    def test_inferred_bounds_contain_gold_scopes(self, world):
+        from repro.extraction import infer_scope_bounds
+        from repro.kb import TripleStore
+        import dataclasses
+
+        # Strip the gold scopes, infer bounds, check containment.
+        stripped = TripleStore(
+            dataclasses.replace(t, scope=None) for t in world.store
+        )
+        inferred = infer_scope_bounds(stripped)
+        checked = 0
+        for gold in world.facts:
+            if gold.scope is None:
+                continue
+            witness = inferred.get(*gold.spo())
+            if witness is None or witness.scope is None:
+                continue
+            checked += 1
+            assert witness.scope.begin <= gold.scope.begin
+            if witness.scope.end is not None:
+                assert gold.scope.end is None or gold.scope.end <= witness.scope.end
+        assert checked > 50
+
+    def test_existing_scopes_pass_through(self, world):
+        from repro.extraction import infer_scope_bounds
+
+        inferred = infer_scope_bounds(world.store)
+        for gold in world.facts:
+            if gold.scope is not None:
+                witness = inferred.get(*gold.spo())
+                assert witness.scope == gold.scope
+
+    def test_world_has_no_lifespan_violations(self, world):
+        from repro.extraction import lifespan_violations
+
+        assert lifespan_violations(world.store) == []
+
+    def test_violations_detected(self, world):
+        from repro.extraction import lifespan_violations
+        from repro.kb import TimeSpan, Triple, TripleStore
+        from repro.world import schema as ws
+        import dataclasses
+
+        person = next(
+            p for p in world.people
+            if world.facts.one_object(p, ws.DEATH_YEAR) is not None
+        )
+        death = int(world.facts.one_object(person, ws.DEATH_YEAR).value)
+        bad = Triple(
+            person, ws.WORKS_AT, world.companies[0],
+            scope=TimeSpan(death + 1, death + 5),
+        )
+        store = world.store.copy()
+        store.add(bad)
+        violations = lifespan_violations(store)
+        assert bad in violations
+
+
+class TestExactMaxSat:
+    def test_matches_walksat_on_small_instance(self):
+        from repro.reasoning import WeightedMaxSat
+
+        problem = WeightedMaxSat()
+        problem.add_soft_unit("a", True, 0.9)
+        problem.add_soft_unit("b", True, 0.4)
+        problem.add_soft_unit("c", True, 0.7)
+        problem.add_hard([("a", False), ("b", False)])
+        problem.add_hard([("b", False), ("c", False)])
+        exact = problem.solve_exact()
+        local = problem.solve(seed=0, restarts=4)
+        assert exact.hard_violations == 0
+        assert abs(exact.soft_cost - local.soft_cost) < 1e-9
+        assert exact.assignment["a"] and exact.assignment["c"]
+        assert not exact.assignment["b"]
+
+    def test_size_limit(self):
+        from repro.reasoning import WeightedMaxSat
+
+        problem = WeightedMaxSat()
+        for i in range(30):
+            problem.add_soft_unit(f"x{i}", True, 1.0)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            problem.solve_exact(max_variables=24)

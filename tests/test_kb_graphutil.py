@@ -1,0 +1,89 @@
+"""Tests for the networkx graph views of a triple store."""
+
+import networkx as nx
+import pytest
+
+from repro.kb import (
+    Entity,
+    Relation,
+    Triple,
+    TripleStore,
+    degree_statistics,
+    relation_path,
+    to_networkx,
+)
+
+A, B, C = Entity("w:a"), Entity("w:b"), Entity("w:c")
+R1, R2 = Relation("r:one"), Relation("r:two")
+
+
+@pytest.fixture
+def store():
+    return TripleStore(
+        [
+            Triple(A, R1, B, confidence=0.8),
+            Triple(B, R2, C),
+            Triple(A, R2, C),
+        ]
+    )
+
+
+class TestExport:
+    def test_nodes_and_edges(self, store):
+        graph = to_networkx(store)
+        assert set(graph.nodes) == {A, B, C}
+        assert graph.number_of_edges() == 3
+
+    def test_edge_attributes(self, store):
+        graph = to_networkx(store)
+        data = next(iter(graph.get_edge_data(A, B).values()))
+        assert data["relation"] == "r:one"
+        assert data["confidence"] == 0.8
+
+    def test_relation_filter(self, store):
+        graph = to_networkx(store, relations={R1})
+        assert graph.number_of_edges() == 1
+
+    def test_literals_skipped(self):
+        from repro.kb import string_literal
+
+        store = TripleStore([Triple(A, R1, string_literal("x"))])
+        assert to_networkx(store).number_of_edges() == 0
+
+    def test_world_graph_connected_enough(self, world):
+        stats = degree_statistics(world.facts)
+        assert stats["nodes"] > 100
+        assert stats["mean_degree"] > 2
+        assert stats["components"] < stats["nodes"] / 10
+
+
+class TestRelationPath:
+    def test_direct_edge(self, store):
+        assert relation_path(store, A, B) == ["r:one"]
+
+    def test_reversed_edge_annotated(self, store):
+        assert relation_path(store, B, A) == ["^r:one"]
+
+    def test_two_hop(self):
+        store = TripleStore([Triple(A, R1, B), Triple(B, R2, C)])
+        assert relation_path(store, A, C) == ["r:one", "r:two"]
+
+    def test_no_path(self):
+        store = TripleStore([Triple(A, R1, B)])
+        assert relation_path(store, A, C) is None
+
+    def test_world_citizenship_path(self, world):
+        from repro.world import schema as ws
+
+        person = world.people[0]
+        country = world.facts.one_object(person, ws.CITIZEN_OF)
+        path = relation_path(world.facts, person, country)
+        assert path is not None
+        assert len(path) >= 1
+
+
+class TestStats:
+    def test_empty_store(self):
+        stats = degree_statistics(TripleStore())
+        assert stats["nodes"] == 0
+        assert stats["components"] == 0

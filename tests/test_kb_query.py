@@ -1,0 +1,140 @@
+"""Tests for repro.kb.query (the conjunctive query engine)."""
+
+import pytest
+
+from repro.kb import Entity, Pattern, Query, Relation, Triple, TripleStore, Var, ask
+
+ALICE, BOB, CARLA = Entity("w:alice"), Entity("w:bob"), Entity("w:carla")
+PARIS, BERLIN = Entity("w:paris"), Entity("w:berlin")
+FRANCE, GERMANY = Entity("w:france"), Entity("w:germany")
+BORN = Relation("w:bornIn")
+LOC = Relation("w:locatedIn")
+KNOWS = Relation("w:knows")
+
+
+@pytest.fixture
+def store():
+    return TripleStore(
+        [
+            Triple(ALICE, BORN, PARIS),
+            Triple(BOB, BORN, BERLIN),
+            Triple(CARLA, BORN, PARIS),
+            Triple(PARIS, LOC, FRANCE),
+            Triple(BERLIN, LOC, GERMANY),
+            Triple(ALICE, KNOWS, BOB),
+            Triple(BOB, KNOWS, CARLA),
+        ]
+    )
+
+
+class TestQuery:
+    def test_single_pattern(self, store):
+        results = Query([Pattern(Var("x"), BORN, PARIS)]).run(store)
+        assert {b["x"] for b in results} == {ALICE, CARLA}
+
+    def test_join_two_patterns(self, store):
+        query = Query(
+            [
+                Pattern(Var("p"), BORN, Var("c")),
+                Pattern(Var("c"), LOC, FRANCE),
+            ]
+        )
+        results = query.run(store)
+        assert {b["p"] for b in results} == {ALICE, CARLA}
+        assert all(b["c"] == PARIS for b in results)
+
+    def test_three_way_join(self, store):
+        query = Query(
+            [
+                Pattern(Var("a"), KNOWS, Var("b")),
+                Pattern(Var("b"), KNOWS, Var("c")),
+            ]
+        )
+        results = query.run(store)
+        assert len(results) == 1
+        assert results[0]["a"] == ALICE and results[0]["c"] == CARLA
+
+    def test_shared_variable_consistency(self, store):
+        # ?x knows ?x has no solutions (nobody knows themselves).
+        assert Query([Pattern(Var("x"), KNOWS, Var("x"))]).run(store) == []
+
+    def test_variable_predicate(self, store):
+        results = Query([Pattern(ALICE, Var("r"), Var("o"))]).run(store)
+        assert {b["r"] for b in results} == {BORN, KNOWS}
+
+    def test_filters(self, store):
+        query = Query(
+            [Pattern(Var("x"), BORN, Var("c"))],
+            filters=[lambda b: b["c"] == BERLIN],
+        )
+        results = query.run(store)
+        assert [b["x"] for b in results] == [BOB]
+
+    def test_select_projection(self, store):
+        query = Query(
+            [Pattern(Var("x"), BORN, Var("c"))], select=["x"]
+        )
+        for binding in query.run(store):
+            assert set(binding) == {"x"}
+
+    def test_count(self, store):
+        assert Query([Pattern(Var("x"), BORN, Var("y"))]).count(store) == 3
+
+    def test_no_solutions(self, store):
+        assert Query([Pattern(FRANCE, BORN, Var("y"))]).run(store) == []
+
+    def test_empty_pattern_list_rejected(self):
+        with pytest.raises(ValueError):
+            Query([])
+
+    def test_constant_only_pattern(self, store):
+        assert Query([Pattern(ALICE, BORN, PARIS)]).count(store) == 1
+        assert Query([Pattern(ALICE, BORN, BERLIN)]).count(store) == 0
+
+
+class TestAsk:
+    def test_ask_true(self, store):
+        assert ask(store, [Pattern(Var("x"), LOC, GERMANY)])
+
+    def test_ask_false(self, store):
+        assert not ask(store, [Pattern(FRANCE, LOC, Var("x"))])
+
+
+class TestSolutionModifiers:
+    def test_distinct(self, store):
+        query = Query(
+            [Pattern(Var("x"), BORN, Var("c"))], select=["c"], distinct=True
+        )
+        results = query.run(store)
+        assert len(results) == 2  # Paris and Berlin, Paris deduplicated
+
+    def test_order_by(self, store):
+        query = Query(
+            [Pattern(Var("x"), BORN, Var("c"))], order_by="x"
+        )
+        names = [b["x"].id for b in query.run(store)]
+        assert names == sorted(names)
+
+    def test_limit(self, store):
+        query = Query([Pattern(Var("x"), BORN, Var("c"))], limit=2)
+        assert len(query.run(store)) == 2
+
+    def test_limit_zero(self, store):
+        query = Query([Pattern(Var("x"), BORN, Var("c"))], limit=0)
+        assert query.run(store) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Query([Pattern(Var("x"), BORN, Var("c"))], limit=-1)
+
+    def test_modifiers_compose(self, store):
+        query = Query(
+            [Pattern(Var("x"), BORN, Var("c"))],
+            select=["c"],
+            distinct=True,
+            order_by="c",
+            limit=1,
+        )
+        results = query.run(store)
+        assert len(results) == 1
+        assert results[0]["c"] == BERLIN  # 'berlin' < 'paris' lexicographically

@@ -1,0 +1,123 @@
+"""Tests for repro.kb.rdfio (line-format serialization)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kb import (
+    Entity,
+    Literal,
+    Relation,
+    TimeSpan,
+    Triple,
+    TripleStore,
+    string_literal,
+    triple_from_line,
+    triple_to_line,
+)
+from repro.kb.rdfio import read_ntriples, term_from_text, term_to_text, write_ntriples
+
+
+class TestTermRoundtrip:
+    def test_entity(self):
+        assert term_from_text(term_to_text(Entity("w:X"))) == Entity("w:X")
+
+    def test_relation_position(self):
+        text = term_to_text(Relation("w:p"))
+        assert term_from_text(text, relation_position=True) == Relation("w:p")
+
+    def test_plain_literal(self):
+        literal = string_literal("hello world")
+        assert term_from_text(term_to_text(literal)) == literal
+
+    def test_language_literal(self):
+        literal = string_literal("München", "de")
+        assert term_from_text(term_to_text(literal)) == literal
+
+    def test_typed_literal(self):
+        literal = Literal("1955", "year")
+        assert term_from_text(term_to_text(literal)) == literal
+
+    def test_escaping(self):
+        literal = string_literal('say "hi"\nplease\t!')
+        assert term_from_text(term_to_text(literal)) == literal
+
+
+class TestTripleRoundtrip:
+    def test_plain(self):
+        triple = Triple(Entity("w:a"), Relation("w:p"), Entity("w:b"))
+        assert triple_from_line(triple_to_line(triple)) == triple
+
+    def test_with_annotations(self):
+        triple = Triple(
+            Entity("w:a"),
+            Relation("w:p"),
+            string_literal("v"),
+            confidence=0.75,
+            source="doc_7",
+            scope=TimeSpan(1990, None),
+        )
+        parsed = triple_from_line(triple_to_line(triple))
+        assert parsed == triple
+
+    def test_blank_and_comment_lines(self):
+        assert triple_from_line("") is None
+        assert triple_from_line("# a comment") is None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            triple_from_line("<a> <b> .")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            triple_from_line('"lit" <w:p> <w:o> .')
+
+
+class TestStreamRoundtrip:
+    def test_write_read(self, world):
+        buffer = io.StringIO()
+        count = write_ntriples(world.store, buffer)
+        assert count == len(world.store)
+        buffer.seek(0)
+        loaded = TripleStore(read_ntriples(buffer))
+        assert len(loaded) == len(world.store)
+        assert {t.spo() for t in loaded} == {t.spo() for t in world.store}
+
+    def test_save_load_file(self, tmp_path, world):
+        from repro.kb import load, save
+
+        path = tmp_path / "kb.nt"
+        save(world.facts, str(path))
+        loaded = load(str(path))
+        assert {t.spo() for t in loaded} == {t.spo() for t in world.facts}
+        # Confidence and scopes survive.
+        for triple in world.facts:
+            witness = loaded.get(*triple.spo())
+            assert witness is not None
+            assert witness.scope == triple.scope
+
+
+_safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=32),
+    min_size=0,
+    max_size=30,
+)
+
+
+class TestPropertyRoundtrip:
+    @settings(max_examples=80, deadline=None)
+    @given(_safe_text)
+    def test_literal_roundtrip(self, value):
+        literal = string_literal(value)
+        rendered = term_to_text(literal)
+        assert term_from_text(rendered) == literal
+
+    @settings(max_examples=80, deadline=None)
+    @given(_safe_text, st.floats(0.01, 1.0))
+    def test_triple_roundtrip(self, value, confidence):
+        triple = Triple(
+            Entity("w:s"), Relation("w:p"), string_literal(value),
+            confidence=round(confidence, 4),
+        )
+        assert triple_from_line(triple_to_line(triple)) == triple

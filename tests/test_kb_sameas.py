@@ -1,0 +1,83 @@
+"""Tests for repro.kb.sameas (union-find and canonicalization)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kb import Entity, Relation, Triple, TripleStore, UnionFind, canonicalize, ns
+
+A, B, C, D = (Entity(f"w:{x}") for x in "abcd")
+P = Relation("w:p")
+
+
+class TestUnionFind:
+    def test_initially_distinct(self):
+        uf = UnionFind()
+        assert not uf.same(A, B)
+
+    def test_union_and_same(self):
+        uf = UnionFind()
+        uf.union(A, B)
+        uf.union(B, C)
+        assert uf.same(A, C)
+        assert not uf.same(A, D)
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union(A, B)
+        uf.union(C, D)
+        groups = sorted(uf.groups(), key=lambda g: min(e.id for e in g))
+        assert groups == [{A, B}, {C, D}]
+
+    def test_find_unknown_is_self(self):
+        assert UnionFind().find(A) == A
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+    def test_equivalence_is_transitive_closure(self, unions):
+        import networkx as nx
+
+        uf = UnionFind()
+        graph = nx.Graph()
+        graph.add_nodes_from(range(16))
+        for a, b in unions:
+            uf.union(a, b)
+            graph.add_edge(a, b)
+        components = list(nx.connected_components(graph))
+        for component in components:
+            members = sorted(component)
+            for m in members[1:]:
+                assert uf.same(members[0], m)
+        # Items in different components stay apart.
+        if len(components) >= 2:
+            first, second = sorted(components[0])[0], sorted(components[1])[0]
+            assert not uf.same(first, second)
+
+
+class TestCanonicalize:
+    def test_rewrites_to_smallest_id(self):
+        store = TripleStore(
+            [
+                Triple(B, ns.SAME_AS, A),
+                Triple(B, P, C),
+                Triple(D, P, B),
+            ]
+        )
+        result = canonicalize(store)
+        assert result.contains_fact(A, P, C)
+        assert result.contains_fact(D, P, A)
+        assert not result.contains_fact(B, P, C)
+
+    def test_sameas_dropped_by_default(self):
+        store = TripleStore([Triple(A, ns.SAME_AS, B)])
+        assert len(canonicalize(store)) == 0
+
+    def test_sameas_kept_when_requested(self):
+        store = TripleStore([Triple(B, ns.SAME_AS, A), Triple(B, P, C)])
+        result = canonicalize(store, keep_sameas=True)
+        assert any(t.predicate == ns.SAME_AS for t in result)
+
+    def test_deterministic_regardless_of_order(self):
+        forward = TripleStore([Triple(A, ns.SAME_AS, B), Triple(B, P, C)])
+        backward = TripleStore([Triple(B, ns.SAME_AS, A), Triple(B, P, C)])
+        assert {t.spo() for t in canonicalize(forward)} == {
+            t.spo() for t in canonicalize(backward)
+        }

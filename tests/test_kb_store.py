@@ -1,0 +1,161 @@
+"""Tests for repro.kb.store (the indexed triple store)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kb import Entity, Relation, Triple, TripleStore, ns, string_literal
+
+A, B, C = Entity("w:a"), Entity("w:b"), Entity("w:c")
+KNOWS, LIKES = Relation("w:knows"), Relation("w:likes")
+
+
+@pytest.fixture
+def store():
+    return TripleStore(
+        [
+            Triple(A, KNOWS, B),
+            Triple(A, KNOWS, C),
+            Triple(B, KNOWS, C),
+            Triple(A, LIKES, B),
+        ]
+    )
+
+
+class TestAddRemove:
+    def test_len(self, store):
+        assert len(store) == 4
+
+    def test_add_duplicate_returns_false(self, store):
+        assert not store.add(Triple(A, KNOWS, B))
+        assert len(store) == 4
+
+    def test_duplicate_keeps_higher_confidence(self):
+        store = TripleStore()
+        store.add(Triple(A, KNOWS, B, confidence=0.4))
+        store.add(Triple(A, KNOWS, B, confidence=0.9))
+        assert store.get(A, KNOWS, B).confidence == 0.9
+        store.add(Triple(A, KNOWS, B, confidence=0.2))
+        assert store.get(A, KNOWS, B).confidence == 0.9
+
+    def test_remove(self, store):
+        assert store.remove(Triple(A, KNOWS, B))
+        assert len(store) == 3
+        assert not store.contains_fact(A, KNOWS, B)
+        assert not store.remove(Triple(A, KNOWS, B))
+
+    def test_remove_clears_indexes(self, store):
+        store.remove(Triple(A, LIKES, B))
+        assert list(store.match(predicate=LIKES)) == []
+
+    def test_merge(self, store):
+        other = TripleStore([Triple(C, LIKES, A), Triple(A, KNOWS, B)])
+        added = store.merge(other)
+        assert added == 1
+        assert len(store) == 5
+
+
+class TestMatch:
+    def test_full_scan(self, store):
+        assert len(list(store.match())) == 4
+
+    def test_by_subject(self, store):
+        assert len(list(store.match(subject=A))) == 3
+
+    def test_by_predicate(self, store):
+        assert len(list(store.match(predicate=KNOWS))) == 3
+
+    def test_by_object(self, store):
+        assert len(list(store.match(obj=C))) == 2
+
+    def test_by_subject_predicate(self, store):
+        assert {t.object for t in store.match(A, KNOWS)} == {B, C}
+
+    def test_by_predicate_object(self, store):
+        assert {t.subject for t in store.match(predicate=KNOWS, obj=C)} == {A, B}
+
+    def test_by_subject_object(self, store):
+        matched = list(store.match(subject=A, obj=B))
+        assert {t.predicate for t in matched} == {KNOWS, LIKES}
+
+    def test_exact(self, store):
+        assert len(list(store.match(A, KNOWS, B))) == 1
+        assert list(store.match(A, LIKES, C)) == []
+
+    def test_count_matches_match(self, store):
+        for pattern in [
+            {}, {"subject": A}, {"predicate": KNOWS}, {"obj": C},
+            {"subject": A, "predicate": KNOWS},
+            {"predicate": KNOWS, "obj": C},
+        ]:
+            assert store.count(**pattern) == len(list(store.match(**pattern)))
+
+
+class TestConveniences:
+    def test_objects_subjects(self, store):
+        assert set(store.objects(A, KNOWS)) == {B, C}
+        assert set(store.subjects(KNOWS, C)) == {A, B}
+
+    def test_one_object(self, store):
+        assert store.one_object(B, KNOWS) == C
+        assert store.one_object(C, KNOWS) is None
+
+    def test_entities(self, store):
+        assert store.entities() == {A, B, C}
+
+    def test_predicates(self, store):
+        assert store.predicates() == {KNOWS, LIKES}
+
+    def test_labels_of(self):
+        store = TripleStore(
+            [
+                Triple(A, ns.LABEL, string_literal("Anna", "en")),
+                Triple(A, ns.LABEL, string_literal("Anne", "fr")),
+            ]
+        )
+        assert set(store.labels_of(A)) == {"Anna", "Anne"}
+        assert store.labels_of(A, lang="fr") == ["Anne"]
+
+    def test_with_min_confidence(self):
+        store = TripleStore(
+            [Triple(A, KNOWS, B, confidence=0.3), Triple(A, KNOWS, C, confidence=0.8)]
+        )
+        kept = store.with_min_confidence(0.5)
+        assert len(kept) == 1
+        assert kept.contains_fact(A, KNOWS, C)
+
+    def test_copy_is_independent(self, store):
+        clone = store.copy()
+        clone.add(Triple(C, LIKES, B))
+        assert len(store) == 4
+        assert len(clone) == 5
+
+
+_entities = st.integers(0, 8).map(lambda i: Entity(f"e:{i}"))
+_relations = st.integers(0, 2).map(lambda i: Relation(f"r:{i}"))
+_triples = st.builds(Triple, _entities, _relations, _entities)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_triples, max_size=40))
+    def test_every_added_triple_matchable(self, triples):
+        store = TripleStore(triples)
+        for triple in triples:
+            assert store.contains_fact(*triple.spo())
+            assert triple.spo() in {t.spo() for t in store.match(subject=triple.subject)}
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_triples, max_size=40))
+    def test_len_equals_distinct_spo(self, triples):
+        store = TripleStore(triples)
+        assert len(store) == len({t.spo() for t in triples})
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_triples, min_size=1, max_size=30), st.data())
+    def test_remove_then_absent_everywhere(self, triples, data):
+        store = TripleStore(triples)
+        victim = data.draw(st.sampled_from(triples))
+        store.remove(victim)
+        assert not store.contains_fact(*victim.spo())
+        assert victim.spo() not in {t.spo() for t in store.match(obj=victim.object)}
+        assert store.count(victim.subject, victim.predicate, victim.object) == 0

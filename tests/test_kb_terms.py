@@ -1,0 +1,83 @@
+"""Tests for repro.kb.terms."""
+
+import pytest
+
+from repro.kb import (
+    Entity,
+    Literal,
+    Relation,
+    decimal_literal,
+    integer_literal,
+    string_literal,
+    year_literal,
+)
+
+
+class TestEntity:
+    def test_identity_equality(self):
+        assert Entity("world:Jobs") == Entity("world:Jobs")
+        assert Entity("world:Jobs") != Entity("world:Woz")
+
+    def test_hashable(self):
+        assert len({Entity("a:x"), Entity("a:x"), Entity("a:y")}) == 2
+
+    def test_local_name_strips_namespace(self):
+        assert Entity("world:Steve_Jobs").local_name == "Steve_Jobs"
+
+    def test_local_name_without_namespace(self):
+        assert Entity("Steve").local_name == "Steve"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("")
+
+    def test_str_is_id(self):
+        assert str(Entity("world:X")) == "world:X"
+
+
+class TestRelation:
+    def test_distinct_from_entity_with_same_id(self):
+        assert Relation("x:a") != Entity("x:a")
+
+    def test_local_name(self):
+        assert Relation("rel:bornIn").local_name == "bornIn"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("")
+
+
+class TestLiteral:
+    def test_default_is_string(self):
+        literal = Literal("hello")
+        assert literal.datatype == "string"
+        assert literal.to_python() == "hello"
+
+    def test_integer_conversion(self):
+        assert integer_literal(42).to_python() == 42
+
+    def test_year_conversion(self):
+        assert year_literal(1955).to_python() == 1955
+
+    def test_decimal_conversion(self):
+        assert decimal_literal(2.5).to_python() == 2.5
+
+    def test_language_tag(self):
+        literal = string_literal("München", "de")
+        assert literal.lang == "de"
+        assert str(literal) == '"München"@de'
+
+    def test_language_tag_only_on_strings(self):
+        with pytest.raises(ValueError):
+            Literal("5", "integer", lang="en")
+
+    def test_unknown_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("x", "floatish")
+
+    def test_typed_str_rendering(self):
+        assert str(Literal("5", "integer")) == '"5"^^integer'
+
+    def test_equality_includes_lang(self):
+        assert string_literal("a", "en") != string_literal("a", "de")
+        assert string_literal("a") == string_literal("a")

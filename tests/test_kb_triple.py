@@ -1,0 +1,91 @@
+"""Tests for repro.kb.triple (Triple and TimeSpan)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kb import ALWAYS, Entity, Relation, TimeSpan, Triple
+
+S = Entity("w:s")
+P = Relation("w:p")
+O = Entity("w:o")
+
+
+class TestTimeSpan:
+    def test_point_span(self):
+        span = TimeSpan(1955, 1955)
+        assert span.is_point
+        assert span.contains(1955)
+        assert not span.contains(1956)
+
+    def test_open_ends(self):
+        assert TimeSpan(None, 2000).contains(1500)
+        assert TimeSpan(1990, None).contains(3000)
+        assert ALWAYS.contains(-500)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSpan(2000, 1990)
+
+    def test_overlap(self):
+        assert TimeSpan(1990, 2000).overlaps(TimeSpan(1995, 2005))
+        assert not TimeSpan(1990, 1995).overlaps(TimeSpan(1996, 2000))
+        assert TimeSpan(None, 1995).overlaps(TimeSpan(1995, None))
+
+    def test_intersect(self):
+        left = TimeSpan(1990, 2000)
+        right = TimeSpan(1995, 2005)
+        assert left.intersect(right) == TimeSpan(1995, 2000)
+        assert left.intersect(TimeSpan(2001, 2002)) is None
+
+    def test_intersect_with_open_span(self):
+        assert TimeSpan(1990, None).intersect(TimeSpan(None, 2000)) == TimeSpan(1990, 2000)
+
+    @given(
+        st.integers(1800, 2100), st.integers(0, 100),
+        st.integers(1800, 2100), st.integers(0, 100),
+    )
+    def test_overlap_symmetry(self, b1, l1, b2, l2):
+        s1, s2 = TimeSpan(b1, b1 + l1), TimeSpan(b2, b2 + l2)
+        assert s1.overlaps(s2) == s2.overlaps(s1)
+
+    @given(
+        st.integers(1800, 2100), st.integers(0, 100),
+        st.integers(1800, 2100), st.integers(0, 100),
+    )
+    def test_intersect_contained_in_both(self, b1, l1, b2, l2):
+        s1, s2 = TimeSpan(b1, b1 + l1), TimeSpan(b2, b2 + l2)
+        common = s1.intersect(s2)
+        if common is not None:
+            for year in (common.begin, common.end):
+                assert s1.contains(year) and s2.contains(year)
+
+
+class TestTriple:
+    def test_spo_key(self):
+        assert Triple(S, P, O).spo() == (S, P, O)
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            Triple(S, P, O, confidence=1.5)
+        with pytest.raises(ValueError):
+            Triple(S, P, O, confidence=-0.1)
+
+    def test_with_confidence(self):
+        triple = Triple(S, P, O, confidence=0.5)
+        updated = triple.with_confidence(0.9)
+        assert updated.confidence == 0.9
+        assert updated.spo() == triple.spo()
+
+    def test_with_scope(self):
+        triple = Triple(S, P, O).with_scope(TimeSpan(1990, 1995))
+        assert triple.scope == TimeSpan(1990, 1995)
+
+    def test_holds_in(self):
+        unscoped = Triple(S, P, O)
+        assert unscoped.holds_in(1234)
+        scoped = Triple(S, P, O, scope=TimeSpan(1990, 1995))
+        assert scoped.holds_in(1992)
+        assert not scoped.holds_in(1980)
+
+    def test_str_contains_scope(self):
+        assert "[1990,1995]" in str(Triple(S, P, O, scope=TimeSpan(1990, 1995)))

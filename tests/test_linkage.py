@@ -1,0 +1,230 @@
+"""Tests for repro.linkage (strsim, records, blocking, matchers, task)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kb import Entity
+from repro.linkage import (
+    GraphMatcher,
+    LogisticMatcher,
+    StringMatcher,
+    TfIdfCosine,
+    blocking_recall,
+    edit_similarity,
+    jaro,
+    jaro_winkler,
+    key_blocking,
+    levenshtein,
+    make_linkage_task,
+    minhash_blocking,
+    ngram_jaccard,
+    no_blocking,
+    pair_prf,
+    pairs_to_sameas,
+    perturb_name,
+    records_from_store,
+    sorted_neighborhood,
+)
+
+_names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=15
+)
+
+
+class TestStringSimilarity:
+    def test_levenshtein_basics(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("same", "same") == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, _names)
+    def test_levenshtein_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, _names, _names)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    def test_edit_similarity_bounds(self):
+        assert edit_similarity("abc", "abc") == 1.0
+        assert edit_similarity("abc", "xyz") == 0.0
+        assert edit_similarity("", "") == 1.0
+
+    def test_jaro_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_jaro_winkler_prefix_boost(self):
+        assert jaro_winkler("nimbus", "nimbux") > jaro("nimbus", "nimbux")
+
+    @settings(max_examples=60, deadline=None)
+    @given(_names, _names)
+    def test_jaro_winkler_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    def test_ngram_jaccard(self):
+        assert ngram_jaccard("abc", "abc") == 1.0
+        assert ngram_jaccard("abcdef", "abcxef") < 1.0
+
+    def test_tfidf_cosine(self):
+        tfidf = TfIdfCosine().fit(["nimbus systems", "vertex labs", "nimbus labs"])
+        assert tfidf.similarity("nimbus systems", "nimbus systems") == pytest.approx(1.0)
+        assert tfidf.similarity("nimbus systems", "vertex labs") == 0.0
+        # The rare token "systems" outweighs the common "labs".
+        assert tfidf.similarity("nimbus systems", "nimbus labs") > 0.0
+
+    def test_tfidf_unfitted(self):
+        with pytest.raises(RuntimeError):
+            TfIdfCosine().similarity("a", "b")
+
+
+class TestRecords:
+    def test_records_have_names_and_structure(self, world):
+        records = records_from_store(world.store, label_lang="en")
+        person = world.people[0]
+        record = records[person]
+        assert record.name == world.name[person]
+        assert record.neighbors  # relational neighbourhood present
+        assert record.neighbor_name_set()
+
+    def test_attributes_collected(self, world):
+        records = records_from_store(world.store, label_lang="en")
+        person = world.people[0]
+        assert "birthYear" in records[person].attributes
+
+
+class TestPerturbation:
+    def test_identity_at_zero_noise(self):
+        rng = random.Random(0)
+        assert perturb_name("Viktor Adler", rng, 0.0) == "Viktor Adler"
+
+    def test_noise_changes_names(self):
+        rng = random.Random(0)
+        changed = sum(
+            1 for __ in range(50)
+            if perturb_name("Viktor Adler", rng, 0.8) != "Viktor Adler"
+        )
+        assert changed > 25
+
+
+class TestBlocking:
+    @pytest.fixture(scope="class")
+    def task(self, world):
+        return make_linkage_task(world, seed=31, name_noise=0.3, fact_dropout=0.3)
+
+    def test_no_blocking_is_cross_product(self, task):
+        result = no_blocking(task.side_a, task.side_b)
+        assert len(result.pairs) == len(task.side_a) * len(task.side_b)
+        assert result.reduction_ratio == 0.0
+
+    def test_key_blocking_prunes_and_keeps_recall(self, task):
+        result = key_blocking(task.side_a, task.side_b)
+        assert result.reduction_ratio > 0.9
+        assert blocking_recall(result, task.gold) > 0.8
+
+    def test_sorted_neighborhood(self, task):
+        result = sorted_neighborhood(task.side_a, task.side_b, window=8)
+        assert result.reduction_ratio > 0.8
+        assert blocking_recall(result, task.gold) > 0.5
+
+    def test_minhash_blocking(self, task):
+        result = minhash_blocking(task.side_a, task.side_b)
+        assert result.reduction_ratio > 0.8
+        assert blocking_recall(result, task.gold) > 0.7
+
+    def test_window_validation(self, task):
+        with pytest.raises(ValueError):
+            sorted_neighborhood(task.side_a, task.side_b, window=0)
+
+
+class TestMatchers:
+    @pytest.fixture(scope="class")
+    def task(self, world):
+        return make_linkage_task(world, seed=31, name_noise=0.4, fact_dropout=0.3)
+
+    @pytest.fixture(scope="class")
+    def blocked(self, task):
+        return key_blocking(task.side_a, task.side_b)
+
+    @pytest.fixture(scope="class")
+    def trained_logistic(self, world, task):
+        train_task = make_linkage_task(world, seed=77, name_noise=0.4, fact_dropout=0.3)
+        blocked = key_blocking(train_task.side_a, train_task.side_b)
+        rng = random.Random(5)
+        positives = [p for p in blocked.pairs if p in train_task.gold]
+        negatives = [p for p in blocked.pairs if p not in train_task.gold]
+        rng.shuffle(negatives)
+        labeled = [(p, True) for p in positives] + [
+            (p, False) for p in negatives[: len(positives) * 3]
+        ]
+        matcher = LogisticMatcher(threshold=0.3)
+        matcher.train(labeled, train_task.side_a, train_task.side_b)
+        return matcher
+
+    def test_string_matcher_high_precision(self, task, blocked):
+        matches = StringMatcher(threshold=0.92).match(
+            blocked.pairs, task.side_a, task.side_b
+        )
+        prf = pair_prf([m.pair for m in matches], task.gold)
+        assert prf.precision > 0.95
+
+    def test_one_to_one(self, task, blocked):
+        matches = StringMatcher(threshold=0.8).match(
+            blocked.pairs, task.side_a, task.side_b
+        )
+        lefts = [m.pair[0] for m in matches]
+        rights = [m.pair[1] for m in matches]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_logistic_beats_string_f1(self, task, blocked, trained_logistic):
+        string_prf = pair_prf(
+            [
+                m.pair
+                for m in StringMatcher(threshold=0.9).match(
+                    blocked.pairs, task.side_a, task.side_b
+                )
+            ],
+            task.gold,
+        )
+        logistic_prf = pair_prf(
+            [
+                m.pair
+                for m in trained_logistic.match(blocked.pairs, task.side_a, task.side_b)
+            ],
+            task.gold,
+        )
+        assert logistic_prf.f1 > string_prf.f1
+
+    def test_graph_matcher_best_f1(self, task, blocked, trained_logistic):
+        graph = GraphMatcher()
+        graph_prf = pair_prf(
+            [m.pair for m in graph.match(blocked.pairs, task.side_a, task.side_b)],
+            task.gold,
+        )
+        logistic_prf = pair_prf(
+            [
+                m.pair
+                for m in trained_logistic.match(blocked.pairs, task.side_a, task.side_b)
+            ],
+            task.gold,
+        )
+        assert graph_prf.f1 >= logistic_prf.f1
+        assert graph.report.propagated_matches > 0
+
+    def test_untrained_logistic_raises(self, task, blocked):
+        with pytest.raises(RuntimeError):
+            LogisticMatcher().score_pairs(blocked.pairs, task.side_a, task.side_b)
+
+    def test_sameas_output(self, task, blocked):
+        matches = StringMatcher(threshold=0.9).match(
+            blocked.pairs, task.side_a, task.side_b
+        )
+        store = pairs_to_sameas(matches)
+        assert len(store) == len(matches)
+        from repro.kb import ns
+
+        assert all(t.predicate == ns.SAME_AS for t in store)

@@ -1,0 +1,143 @@
+"""Tests for repro.ml (feature hashing, logistic regression, Naive Bayes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    FeatureHasher,
+    LogisticRegression,
+    MultinomialNaiveBayes,
+    sigmoid,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+    @given(st.text(max_size=30))
+    def test_in_64_bit_range(self, text):
+        assert 0 <= stable_hash(text) < 2 ** 64
+
+
+class TestFeatureHasher:
+    def test_dimension(self):
+        hasher = FeatureHasher(dimensions=128)
+        vector = hasher.transform_one(["a", "b"])
+        assert vector.shape == (128,)
+
+    def test_deterministic(self):
+        hasher = FeatureHasher(dimensions=64)
+        assert np.array_equal(
+            hasher.transform_one(["x", "y"]), hasher.transform_one(["x", "y"])
+        )
+
+    def test_weighted_mapping(self):
+        hasher = FeatureHasher(dimensions=64, signed=False)
+        vector = hasher.transform_one({"a": 2.0})
+        assert vector.sum() == 2.0
+
+    def test_matrix_shape(self):
+        hasher = FeatureHasher(dimensions=32)
+        matrix = hasher.transform([["a"], ["b", "c"]])
+        assert matrix.shape == (2, 32)
+
+    def test_empty_input(self):
+        hasher = FeatureHasher(dimensions=32)
+        assert hasher.transform([]).shape == (0, 32)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FeatureHasher(dimensions=0)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+
+    def test_extremes_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(1.0)
+
+    @given(st.floats(-50, 50))
+    def test_monotone_and_bounded(self, z):
+        value = sigmoid(np.array([z]))[0]
+        assert 0.0 <= value <= 1.0
+        assert sigmoid(np.array([z + 1.0]))[0] >= value
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(-2, 0.5, (50, 2)), rng.normal(2, 0.5, (50, 2))])
+        y = np.array([0.0] * 50 + [1.0] * 50)
+        model = LogisticRegression(l2=1e-4).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.97
+
+    def test_probabilities_calibrated_direction(self):
+        X = np.array([[-1.0], [1.0]] * 30)
+        y = np.array([0.0, 1.0] * 30)
+        model = LogisticRegression().fit(X, y)
+        probabilities = model.predict_proba(np.array([[-3.0], [3.0]]))
+        assert probabilities[0] < 0.2 and probabilities[1] > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_decision_function_sign(self):
+        X = np.array([[-1.0], [1.0]] * 20)
+        y = np.array([0.0, 1.0] * 20)
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(np.array([[-2.0], [2.0]]))
+        assert scores[0] < 0 < scores[1]
+
+
+class TestNaiveBayes:
+    @pytest.fixture
+    def model(self):
+        examples = [
+            ["red", "sweet"], ["green", "sour"], ["red", "juicy"],
+            ["fast", "loud"], ["loud", "expensive"], ["fast", "expensive"],
+        ]
+        labels = ["fruit", "fruit", "fruit", "car", "car", "car"]
+        return MultinomialNaiveBayes().fit(examples, labels)
+
+    def test_predict(self, model):
+        assert model.predict(["red", "sour"]) == "fruit"
+        assert model.predict(["fast"]) == "car"
+
+    def test_posterior_sums_to_one(self, model):
+        posterior = model.predict_proba(["red"])
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_unseen_feature_smoothed(self, model):
+        posterior = model.predict_proba(["zorp"])
+        assert all(0 < p < 1 for p in posterior.values())
+
+    def test_classes(self, model):
+        assert set(model.classes) == {"fruit", "car"}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict(["x"])
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit([["a"]], ["x", "y"])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(alpha=0.0)

@@ -1,0 +1,190 @@
+"""Tests for repro.ned (candidates, context, coherence, graph, pipeline)."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, build_wiki, synthesize
+from repro.kb import Entity
+from repro.ned import (
+    CoherenceIndex,
+    DisambiguationGraph,
+    EntityContextIndex,
+    MentionTask,
+    NEDSystem,
+    dictionary_from_wiki,
+    evaluate_document,
+)
+from repro.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def ambiguous_world():
+    return generate_world(WorldConfig(seed=1, ambiguity=0.8, n_people=150))
+
+
+@pytest.fixture(scope="module")
+def ambiguous_wiki(ambiguous_world):
+    return build_wiki(ambiguous_world)
+
+
+@pytest.fixture(scope="module")
+def ned_system(ambiguous_world, ambiguous_wiki):
+    return NEDSystem(ambiguous_wiki, aliases=ambiguous_world.aliases)
+
+
+@pytest.fixture(scope="module")
+def eval_documents(ambiguous_world):
+    documents = synthesize(
+        ambiguous_world,
+        CorpusConfig(seed=9, p_short_alias=0.6, mentions_per_fact=1.2, document_size=3),
+    )
+    return [d for d in documents if d.topic is not None][:150]
+
+
+class TestCandidateDictionary:
+    def test_titles_resolve(self, ambiguous_world, ned_system):
+        person = ambiguous_world.people[0]
+        name = ambiguous_world.name[person]
+        candidates = ned_system.dictionary.candidates(name)
+        assert candidates and candidates[0].entity == person
+
+    def test_aliases_are_ambiguous(self, ambiguous_world, ned_system):
+        index = ambiguous_world.alias_index()
+        shared = next(
+            name for name, entities in index.items() if len(entities) > 2
+        )
+        assert ned_system.dictionary.ambiguity(shared) >= 2
+
+    def test_priors_sum_to_one(self, ned_system):
+        for name in list(ned_system.dictionary.names())[:50]:
+            candidates = ned_system.dictionary.candidates(name)
+            assert sum(c.prior for c in candidates) == pytest.approx(1.0)
+
+    def test_unknown_name_empty(self, ned_system):
+        assert ned_system.dictionary.candidates("Zorblatt Unknown") == []
+
+    def test_popularity_orders_candidates(self, ambiguous_wiki):
+        dictionary = dictionary_from_wiki(ambiguous_wiki)
+        for name in list(dictionary.names())[:50]:
+            priors = [c.prior for c in dictionary.candidates(name)]
+            assert priors == sorted(priors, reverse=True)
+
+
+class TestContextIndex:
+    def test_own_page_text_scores_high(self, ambiguous_world, ambiguous_wiki):
+        index = EntityContextIndex(ambiguous_wiki)
+        person = ambiguous_world.people[0]
+        page = ambiguous_wiki.page_of(person)
+        context = index.context_of(page.document.text)
+        own = index.similarity(person, context)
+        other = index.similarity(ambiguous_world.people[1], context)
+        assert own > other
+
+    def test_empty_context(self, ambiguous_world, ambiguous_wiki):
+        index = EntityContextIndex(ambiguous_wiki)
+        assert index.similarity(ambiguous_world.people[0], []) == 0.0
+
+
+class TestCoherence:
+    def test_linked_entities_related(self, ambiguous_world, ambiguous_wiki):
+        from repro.world import schema as ws
+
+        index = CoherenceIndex(ambiguous_wiki)
+        person = ambiguous_world.people[0]
+        city = ambiguous_world.facts.one_object(person, ws.BORN_IN)
+        assert index.relatedness(person, city) > 0.3
+
+    def test_self_relatedness_is_one(self, ambiguous_world, ambiguous_wiki):
+        index = CoherenceIndex(ambiguous_wiki)
+        person = ambiguous_world.people[0]
+        assert index.relatedness(person, person) == 1.0
+
+    def test_symmetry(self, ambiguous_world, ambiguous_wiki):
+        index = CoherenceIndex(ambiguous_wiki)
+        a, b = ambiguous_world.people[0], ambiguous_world.cities[0]
+        assert index.relatedness(a, b) == pytest.approx(index.relatedness(b, a))
+
+    def test_average_coherence(self, ambiguous_world, ambiguous_wiki):
+        from repro.world import schema as ws
+
+        index = CoherenceIndex(ambiguous_wiki)
+        person = ambiguous_world.people[0]
+        city = ambiguous_world.facts.one_object(person, ws.BORN_IN)
+        assert index.average_coherence(person, [city]) > 0.0
+        assert index.average_coherence(person, [person]) == 0.0
+
+
+class TestGraphSolver:
+    def test_coherence_overrides_weak_local(self):
+        a1, a2 = Entity("w:right_a"), Entity("w:wrong_a")
+        b1 = Entity("w:b")
+        graph = DisambiguationGraph(coherence_weight=2.0)
+        # The wrong candidate is locally a bit stronger...
+        graph.add_mention("m1", "A", [(a1, 0.4), (a2, 0.5)])
+        graph.add_mention("m2", "B", [(b1, 0.9)])
+        # ...but only the right one coheres with the unambiguous mention.
+        graph.add_entity_edge(a1, b1, 0.8)
+        result = graph.solve()
+        assert result["m1"] == a1
+        assert result["m2"] == b1
+
+    def test_local_wins_without_edges(self):
+        a1, a2 = Entity("w:x"), Entity("w:y")
+        graph = DisambiguationGraph()
+        graph.add_mention("m", "A", [(a1, 0.7), (a2, 0.3)])
+        assert graph.solve()["m"] == a1
+
+    def test_empty_candidates(self):
+        graph = DisambiguationGraph()
+        graph.add_mention("m", "A", [])
+        assert graph.solve()["m"] is None
+
+
+class TestPipeline:
+    def test_method_ordering(self, ned_system, eval_documents):
+        scores = {}
+        for method in ("prior", "local", "graph"):
+            correct = total = 0
+            for document in eval_documents:
+                c, t = evaluate_document(ned_system, document, method)
+                correct += c
+                total += t
+            scores[method] = correct / total
+        assert scores["local"] > scores["prior"]
+        assert scores["graph"] >= scores["local"] - 0.01
+        assert scores["graph"] > scores["prior"]
+
+    def test_unknown_method_rejected(self, ned_system):
+        with pytest.raises(ValueError):
+            ned_system.disambiguate([MentionTask("m", "X")], "", method="magic")
+
+    def test_unknown_surface_yields_none(self, ned_system):
+        result = ned_system.disambiguate(
+            [MentionTask("m", "Totally Unknown Name")], "context", method="local"
+        )
+        assert result["m"] is None
+
+    def test_graph_beats_prior_on_ambiguous_couples(
+        self, ambiguous_world, ned_system
+    ):
+        # Refer to married couples by surname only; coherence should link the
+        # right pair more often than the popularity prior does.
+        from repro.world import schema as ws
+
+        def couple_hits(method: str) -> int:
+            hits = 0
+            for triple in ambiguous_world.facts.match(predicate=ws.MARRIED_TO):
+                a, b = triple.subject, triple.object
+                if a.id > b.id:
+                    continue  # each couple once
+                surname_a = ambiguous_world.aliases[a][2]
+                surname_b = ambiguous_world.aliases[b][2]
+                result = ned_system.disambiguate(
+                    [MentionTask("a", surname_a), MentionTask("b", surname_b)],
+                    f"{surname_a} married {surname_b}.",
+                    method=method,
+                )
+                if result["a"] == a and result["b"] == b:
+                    hits += 1
+            return hits
+
+        assert couple_hits("graph") >= couple_hits("prior")

@@ -1,0 +1,119 @@
+"""Tests for repro.nlp.chunk and repro.nlp.dependency."""
+
+from repro.nlp import analyze, noun_phrases, parse, tag, tokenize, verb_groups
+
+
+def chunks_of(text):
+    tokens = tokenize(text)
+    tags = tag(tokens)
+    return tokens, tags
+
+
+class TestNounPhrases:
+    def test_simple_np(self):
+        tokens, tags = chunks_of("The old city fell.")
+        nps = noun_phrases(tokens, tags)
+        assert [c.text(tokens) for c in nps] == ["The old city"]
+
+    def test_proper_noun_np(self):
+        tokens, tags = chunks_of("Viktor Adler founded Nimbus Systems.")
+        nps = noun_phrases(tokens, tags)
+        assert [c.text(tokens) for c in nps] == ["Viktor Adler", "Nimbus Systems"]
+
+    def test_np_with_number(self):
+        tokens, tags = chunks_of("He launched the Nova 3 yesterday.")
+        texts = [c.text(tokens) for c in noun_phrases(tokens, tags)]
+        assert "the Nova 3" in texts
+
+    def test_head_index_is_last_token(self):
+        tokens, tags = chunks_of("The capital fell.")
+        np = noun_phrases(tokens, tags)[0]
+        assert tokens[np.head_index].text == "capital"
+
+
+class TestVerbGroups:
+    def test_simple_verb(self):
+        tokens, tags = chunks_of("Adler founded Nimbus.")
+        groups = verb_groups(tokens, tags)
+        assert [g.text(tokens) for g in groups] == ["founded"]
+
+    def test_aux_verb_group(self):
+        tokens, tags = chunks_of("Nimbus was founded by Adler.")
+        groups = verb_groups(tokens, tags)
+        assert groups and groups[0].text(tokens) == "was founded"
+
+    def test_bare_copula(self):
+        tokens, tags = chunks_of("Corvain is the capital of Arvandia.")
+        groups = verb_groups(tokens, tags)
+        assert groups[0].text(tokens) == "is"
+
+
+class TestDependencyParser:
+    def test_svo_arcs(self):
+        analysis = analyze("Viktor Adler founded Nimbus Systems.")
+        parse_ = analysis.parse
+        root = parse_.root()
+        assert analysis.tokens[root].text == "founded"
+        labels = dict(zip([t.text for t in analysis.tokens], parse_.labels))
+        assert labels["Adler"] == "nsubj"
+        assert labels["Systems"] == "dobj"
+
+    def test_passive_arcs(self):
+        analysis = analyze("Nimbus Systems was founded by Viktor Adler.")
+        labels = dict(zip([t.text for t in analysis.tokens], analysis.parse.labels))
+        assert labels["Systems"] == "nsubjpass"
+        assert labels["was"] == "auxpass"
+        assert labels["by"] == "prep"
+        assert labels["Adler"] == "pobj"
+
+    def test_copular_attr(self):
+        analysis = analyze("Adler is the founder of Nimbus.")
+        labels = dict(zip([t.text for t in analysis.tokens], analysis.parse.labels))
+        assert labels["founder"] == "attr"
+        assert labels["Nimbus"] == "pobj"
+
+    def test_preverbal_pp(self):
+        analysis = analyze("The capital of Arvandia is Corvain.")
+        labels = dict(zip([t.text for t in analysis.tokens], analysis.parse.labels))
+        assert labels["capital"] == "nsubj"
+        assert labels["Arvandia"] == "pobj"
+
+    def test_single_root(self):
+        for text in [
+            "Adler founded Nimbus.",
+            "In 1955, Weber was born in Lorvik.",
+            "The capital of Arvandia is Corvain.",
+        ]:
+            parse_ = analyze(text).parse
+            roots = [i for i, h in enumerate(parse_.heads) if h == -1]
+            assert len(roots) == 1
+
+    def test_all_tokens_attached(self):
+        parse_ = analyze("Julia Weber and Marco Santos married in 1981.").parse
+        root = parse_.root()
+        for i, head in enumerate(parse_.heads):
+            assert head == -1 if i == root else head >= 0
+
+    def test_path_signature_stable(self):
+        first = analyze("Alan Weber founded Helio Labs.")
+        second = analyze("Mara Santos founded Orbital Corp.")
+        path1 = first.parse.path(1, 4)
+        path2 = second.parse.path(1, 4)
+        assert path1 == path2 == "^nsubj:found:vdobj"
+
+    def test_path_differs_for_passive(self):
+        active = analyze("Alan Weber founded Helio Labs.")
+        passive = analyze("Helio Labs was founded by Alan Weber.")
+        active_path = active.parse.path(1, 4)
+        # From the agent (Weber, index 6) to the patient (Labs, index 1).
+        passive_path = passive.parse.path(6, 1)
+        assert active_path != passive_path
+        assert "nsubjpass" in passive_path
+
+    def test_path_none_beyond_max_length(self):
+        analysis = analyze("Alan Weber founded Helio Labs.")
+        assert analysis.parse.path(0, 4, max_length=1) is None
+
+    def test_empty_sentence(self):
+        parse_ = parse([], [])
+        assert parse_.heads == []

@@ -1,0 +1,100 @@
+"""Tests for repro.nlp.gazetteer, repro.nlp.ner, repro.nlp.pipeline."""
+
+import pytest
+
+from repro.nlp import Gazetteer, analyze, analyze_document, detect_mentions, tag, tokenize
+
+
+@pytest.fixture
+def gazetteer():
+    g = Gazetteer()
+    g.add("Viktor Adler", "person")
+    g.add("Adler", "surname")
+    g.add("Nimbus Systems", "company")
+    g.add("University of Corvain", "university")
+    return g
+
+
+class TestGazetteer:
+    def test_size(self, gazetteer):
+        assert len(gazetteer) == 4
+
+    def test_exact_lookup(self, gazetteer):
+        assert gazetteer.lookup("Viktor Adler") == "person"
+        assert gazetteer.lookup("Viktor") is None
+
+    def test_longest_match_wins(self, gazetteer):
+        tokens = tokenize("Viktor Adler arrived.")
+        matches = gazetteer.match(tokens)
+        assert len(matches) == 1
+        assert matches[0].text == "Viktor Adler"
+        assert matches[0].payload == "person"
+
+    def test_shorter_match_elsewhere(self, gazetteer):
+        tokens = tokenize("Then Adler left.")
+        matches = gazetteer.match(tokens)
+        assert [m.text for m in matches] == ["Adler"]
+
+    def test_multiword_with_lowercase_inside(self, gazetteer):
+        tokens = tokenize("She studied at University of Corvain in 1990.")
+        matches = gazetteer.match(tokens)
+        assert [m.text for m in matches] == ["University of Corvain"]
+
+    def test_non_overlapping(self, gazetteer):
+        tokens = tokenize("Viktor Adler met Nimbus Systems staff.")
+        matches = gazetteer.match(tokens)
+        assert [m.text for m in matches] == ["Viktor Adler", "Nimbus Systems"]
+
+    def test_empty_name_rejected(self, gazetteer):
+        with pytest.raises(ValueError):
+            gazetteer.add("", "x")
+
+    def test_duplicate_add_overwrites(self, gazetteer):
+        gazetteer.add("Adler", "city")
+        assert gazetteer.lookup("Adler") == "city"
+        assert len(gazetteer) == 4
+
+
+class TestNER:
+    def test_propn_runs(self):
+        tokens = tokenize("Yesterday Mara Santos visited Jelgrad Falls.")
+        mentions = detect_mentions(tokens, tag(tokens))
+        assert [m.text for m in mentions] == ["Mara Santos", "Jelgrad Falls"]
+
+    def test_product_with_number(self):
+        tokens = tokenize("He bought the Nova 3 yesterday.")
+        mentions = detect_mentions(tokens, tag(tokens))
+        assert "Nova 3" in [m.text for m in mentions]
+
+    def test_gazetteer_priority(self, gazetteer):
+        tokens = tokenize("She studied at University of Corvain.")
+        mentions = detect_mentions(tokens, tag(tokens), gazetteer)
+        assert "University of Corvain" in [m.text for m in mentions]
+
+    def test_char_spans(self):
+        text = "Mara Santos lives in Lorvik."
+        tokens = tokenize(text)
+        for mention in detect_mentions(tokens, tag(tokens)):
+            assert text[mention.char_start:mention.char_end] == mention.text
+
+
+class TestPipeline:
+    def test_analysis_fields(self):
+        analysis = analyze("Viktor Adler founded Nimbus Systems in 1976.")
+        assert len(analysis.tokens) == len(analysis.tags) == len(analysis.lemmas)
+        assert analysis.nps and analysis.verb_groups
+        assert analysis.parse.root() >= 0
+
+    def test_mention_at_char(self):
+        analysis = analyze("Viktor Adler founded Nimbus Systems.")
+        mention = analysis.mention_at_char(0)
+        assert mention is not None and mention.text == "Viktor Adler"
+
+    def test_token_index_at_char(self):
+        analysis = analyze("Hello world")
+        assert analysis.token_index_at_char(6) == 1
+        assert analysis.token_index_at_char(5) is None
+
+    def test_analyze_document_splits(self):
+        analyses = analyze_document("First one. Second one here.")
+        assert len(analyses) == 2

@@ -1,0 +1,82 @@
+"""Tests for repro.nlp.pos and repro.nlp.lemmatize."""
+
+from repro.nlp import lemma, tag, tokenize
+from repro.nlp import lexicon as lx
+
+
+def tags_of(text: str) -> list[tuple[str, str]]:
+    tokens = tokenize(text)
+    return list(zip([t.text for t in tokens], tag(tokens)))
+
+
+class TestTagger:
+    def test_simple_svo(self):
+        tagged = dict(tags_of("Viktor Adler founded Nimbus Systems."))
+        assert tagged["Viktor"] == lx.PROPN
+        assert tagged["founded"] == lx.VERB
+        assert tagged["Nimbus"] == lx.PROPN
+        assert tagged["."] == lx.PUNCT
+
+    def test_auxiliary_and_passive(self):
+        tagged = dict(tags_of("The company was founded by him."))
+        assert tagged["was"] == lx.AUX
+        assert tagged["founded"] == lx.VERB
+        assert tagged["by"] == lx.ADP
+
+    def test_determiners_and_nouns(self):
+        tagged = dict(tags_of("The capital of the country"))
+        assert tagged["The"] == lx.DET
+        assert tagged["capital"] == lx.NOUN
+        assert tagged["of"] == lx.ADP
+
+    def test_verb_after_determiner_is_noun(self):
+        tagged = dict(tags_of("He read the works of Adler."))
+        assert tagged["works"] == lx.NOUN
+
+    def test_numbers(self):
+        tagged = dict(tags_of("born in 1955"))
+        assert tagged["1955"] == lx.NUM
+
+    def test_sentence_initial_name(self):
+        tagged = tags_of("Mara Weber lives here.")
+        assert tagged[0][1] == lx.PROPN
+
+    def test_suffix_guesses(self):
+        tagged = dict(tags_of("they were qurbling vorpally"))
+        assert tagged["qurbling"] == lx.VERB
+        assert tagged["vorpally"] == lx.ADV
+
+    def test_unknown_defaults_to_noun(self):
+        tagged = dict(tags_of("a florb"))
+        assert tagged["florb"] == lx.NOUN
+
+
+class TestLemmatizer:
+    def test_irregular_verbs(self):
+        assert lemma("was") == "be"
+        assert lemma("won") == "win"
+        assert lemma("wrote") == "write"
+        assert lemma("led") == "lead"
+
+    def test_regular_past(self):
+        assert lemma("visited") == "visit"
+        assert lemma("praised") == "praise"
+
+    def test_doubled_consonant(self):
+        assert lemma("regretting") == "regret"
+
+    def test_ied_to_y(self):
+        assert lemma("studied") == "study"
+
+    def test_plural_nouns(self):
+        assert lemma("cities") == "city"
+        assert lemma("companies") == "company"
+        assert lemma("prizes") == "prize"
+        assert lemma("people") == "person"
+
+    def test_s_noise_protected(self):
+        assert lemma("this") == "this"
+        assert lemma("less") == "less"
+
+    def test_names_pass_through_lowercased(self):
+        assert lemma("Adler") == "adler"

@@ -1,0 +1,72 @@
+"""Tests for repro.nlp.tokenizer and repro.nlp.sentences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp import sentence_texts, split_sentences, tokenize
+
+
+class TestTokenizer:
+    def test_words_and_punctuation(self):
+        tokens = tokenize("Hello, world!")
+        assert [t.text for t in tokens] == ["Hello", ",", "world", "!"]
+
+    def test_offsets_match_source(self):
+        text = "Viktor Adler founded Nimbus Systems in 1976."
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+
+    def test_numbers_with_separators(self):
+        tokens = tokenize("population 3,768,000 in 2014")
+        assert "3,768,000" in [t.text for t in tokens]
+
+    def test_hyphenated_words(self):
+        assert "best-known" in [t.text for t in tokenize("the best-known writer")]
+
+    def test_apostrophes(self):
+        tokens = [t.text for t in tokenize("Adler's house")]
+        assert tokens[0] == "Adler's"
+
+    def test_flags(self):
+        word, comma, number = tokenize("Ab , 12")
+        assert word.is_word and word.is_capitalized and not word.is_number
+        assert not comma.is_word
+        assert number.is_number
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=80))
+    def test_offsets_always_consistent(self, text):
+        previous_end = -1
+        for token in tokenize(text):
+            assert text[token.start:token.end] == token.text
+            assert token.start >= previous_end
+            previous_end = token.end
+
+
+class TestSentenceSplitter:
+    def test_basic_split(self):
+        texts = sentence_texts("One sentence. Another one! A third?")
+        assert texts == ["One sentence.", "Another one!", "A third?"]
+
+    def test_initials_protected(self):
+        texts = sentence_texts("G. Weikum wrote it. F. Suchanek agreed.")
+        assert len(texts) == 2
+        assert texts[0].startswith("G. Weikum")
+
+    def test_abbreviations_protected(self):
+        texts = sentence_texts("Dr. Smith arrived. He sat down.")
+        assert len(texts) == 2
+
+    def test_no_trailing_punctuation(self):
+        texts = sentence_texts("An unfinished thought")
+        assert texts == ["An unfinished thought"]
+
+    def test_spans_cover_text(self):
+        text = "First here. Second there."
+        for start, end in split_sentences(text):
+            assert text[start:end].strip() == text[start:end]
+
+    def test_empty(self):
+        assert split_sentences("") == []

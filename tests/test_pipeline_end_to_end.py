@@ -1,0 +1,131 @@
+"""Integration tests: the end-to-end KB builder and cross-module flows."""
+
+import pytest
+
+from repro.analytics import TemplateQA
+from repro.extraction import NameResolver
+from repro.kb import Taxonomy, ns
+from repro.pipeline import BuildConfig, KnowledgeBaseBuilder
+from repro.world import schema as ws
+
+FACT_RELATIONS = {s.relation for s in ws.RELATION_SPECS} | set(ws.LITERAL_RELATIONS)
+
+
+@pytest.fixture(scope="module")
+def built(world, wiki):
+    builder = KnowledgeBaseBuilder(wiki, aliases=world.aliases)
+    return builder.build()
+
+
+class TestEndToEndBuild:
+    def test_kb_nonempty(self, built):
+        kb, report = built
+        assert len(kb) > 1000
+        assert report.accepted_facts > 300
+
+    def test_fact_precision_high(self, world, built):
+        kb, __ = built
+        facts = [t for t in kb if t.predicate in FACT_RELATIONS]
+        correct = sum(
+            1 for t in facts
+            if world.facts.contains_fact(t.subject, t.predicate, t.object)
+        )
+        assert correct / len(facts) > 0.95
+
+    def test_fact_recall_reasonable(self, world, built):
+        kb, __ = built
+        gold = [t for t in world.facts if t.predicate in FACT_RELATIONS]
+        recalled = sum(
+            1 for t in gold
+            if kb.contains_fact(t.subject, t.predicate, t.object)
+        )
+        assert recalled / len(gold) > 0.6
+
+    def test_types_harvested(self, world, built):
+        kb, __ = built
+        taxonomy = Taxonomy(kb)
+        from repro.taxonomy import wordnet_class
+
+        person_class = wordnet_class("person.n.01")
+        typed_people = sum(
+            1 for p in world.people if taxonomy.is_instance_of(p, person_class)
+        )
+        assert typed_people / len(world.people) > 0.8
+
+    def test_multilingual_labels_present(self, built):
+        kb, report = built
+        assert report.label_triples > 0
+        langs = {
+            t.object.lang
+            for t in kb.match(predicate=ns.LABEL)
+            if t.object.lang
+        }
+        assert {"en", "de", "fr", "es"} <= langs
+
+    def test_temporal_scopes_attached(self, built):
+        kb, __ = built
+        scoped = [t for t in kb if t.scope is not None]
+        assert scoped
+
+    def test_consistency_stage_ran(self, built):
+        __, report = built
+        assert report.consistency is not None
+        assert report.consistency.rejected >= 0
+        assert report.consistency.hard_violations == 0
+
+    def test_mapreduce_build_matches_serial(self, world, wiki, built):
+        serial_kb, __ = built
+        mr_builder = KnowledgeBaseBuilder(
+            wiki,
+            aliases=world.aliases,
+            config=BuildConfig(mapreduce_shards=4),
+        )
+        mr_kb, mr_report = mr_builder.build()
+        assert mr_report.mapreduce is not None
+        assert mr_report.mapreduce.shards == 4
+        serial_facts = {
+            t.spo() for t in serial_kb if t.predicate in FACT_RELATIONS
+        }
+        mr_facts = {t.spo() for t in mr_kb if t.predicate in FACT_RELATIONS}
+        overlap = len(serial_facts & mr_facts) / max(len(serial_facts), 1)
+        assert overlap > 0.95  # MaxSat tie-breaks may differ slightly
+
+    def test_qa_over_built_kb(self, world, wiki, built):
+        kb, __ = built
+        resolver = NameResolver()
+        for title, page in wiki.pages.items():
+            resolver.add(title, page.entity)
+        qa = TemplateQA(kb, resolver)
+        answered = 0
+        asked = 0
+        for person in world.people[:30]:
+            asked += 1
+            question = f"Where was {world.name[person]} born?"
+            answers = qa.answer(question)
+            city = world.facts.one_object(person, ws.BORN_IN)
+            if answers and answers[0].text == world.name[city]:
+                answered += 1
+        assert answered / asked > 0.7
+
+
+class TestAblations:
+    def test_no_consistency_lowers_precision(self, world, wiki):
+        noisy_config = BuildConfig(use_consistency=False)
+        kb, __ = KnowledgeBaseBuilder(
+            wiki, aliases=world.aliases, config=noisy_config
+        ).build()
+        facts = [t for t in kb if t.predicate in FACT_RELATIONS]
+        correct = sum(
+            1 for t in facts
+            if world.facts.contains_fact(t.subject, t.predicate, t.object)
+        )
+        raw_precision = correct / len(facts)
+        assert raw_precision <= 1.0  # sanity; detailed comparison in E4
+
+    def test_infobox_only_build(self, world, wiki):
+        config = BuildConfig(use_patterns=False, use_year_attributes=False)
+        kb, report = KnowledgeBaseBuilder(
+            wiki, aliases=world.aliases, config=config
+        ).build()
+        assert report.pattern_candidates == 0
+        assert report.infobox_candidates > 0

@@ -1,0 +1,136 @@
+"""Tests for repro.reasoning.factorgraph (Gibbs vs exact inference)."""
+
+import math
+
+import pytest
+
+from repro.reasoning import (
+    FactorGraph,
+    conjunction_implies,
+    equivalent,
+    implies,
+    is_true,
+    not_both,
+)
+
+
+class TestFactorSemantics:
+    def test_is_true(self):
+        assert is_true((True,))
+        assert not is_true((False,))
+
+    def test_implies(self):
+        assert implies((False, False))
+        assert implies((True, True))
+        assert not implies((True, False))
+
+    def test_equivalent(self):
+        assert equivalent((True, True))
+        assert not equivalent((True, False))
+
+    def test_not_both(self):
+        assert not_both((True, False))
+        assert not not_both((True, True))
+
+    def test_conjunction_implies(self):
+        assert conjunction_implies((True, True, True))
+        assert not conjunction_implies((True, True, False))
+        assert conjunction_implies((True, False, False))
+
+
+class TestExactInference:
+    def test_single_prior(self):
+        graph = FactorGraph()
+        graph.prior("x", 1.0)
+        marginal = graph.exact_marginals()["x"]
+        assert marginal == pytest.approx(1 / (1 + math.exp(-1.0)))
+
+    def test_negative_prior(self):
+        graph = FactorGraph()
+        graph.prior("x", -2.0)
+        assert graph.exact_marginals()["x"] < 0.2
+
+    def test_implication_pulls_consequent(self):
+        graph = FactorGraph()
+        graph.prior("a", 3.0)
+        graph.add_factor(("a", "b"), implies, 2.0)
+        marginals = graph.exact_marginals()
+        assert marginals["b"] > 0.5
+
+    def test_exclusion_pushes_apart(self):
+        graph = FactorGraph()
+        graph.prior("a", 1.0)
+        graph.prior("b", 1.0)
+        graph.add_factor(("a", "b"), not_both, 5.0)
+        marginals = graph.exact_marginals()
+        both_high = marginals["a"] > 0.5 and marginals["b"] > 0.5
+        assert not both_high or abs(marginals["a"] - marginals["b"]) < 1e-9
+
+    def test_evidence_pins_variable(self):
+        graph = FactorGraph()
+        graph.add_variable("e", evidence=True)
+        graph.add_factor(("e", "x"), implies, 3.0)
+        marginals = graph.exact_marginals()
+        assert marginals["e"] == 1.0
+        assert marginals["x"] > 0.5
+
+    def test_too_many_variables_rejected(self):
+        graph = FactorGraph()
+        for i in range(25):
+            graph.prior(f"v{i}", 0.1)
+        with pytest.raises(ValueError):
+            graph.exact_marginals()
+
+
+class TestGibbs:
+    def test_matches_exact_on_small_graph(self):
+        graph = FactorGraph()
+        graph.prior("a", 1.5)
+        graph.prior("b", -0.5)
+        graph.add_factor(("a", "b"), implies, 1.0)
+        graph.add_factor(("b", "c"), equivalent, 2.0)
+        exact = graph.exact_marginals()
+        sampled = graph.gibbs_marginals(iterations=4000, burn_in=500, seed=1)
+        for variable in exact:
+            assert sampled[variable] == pytest.approx(exact[variable], abs=0.06)
+
+    def test_seed_reproducibility(self):
+        graph = FactorGraph()
+        graph.prior("a", 0.5)
+        graph.add_factor(("a", "b"), implies, 1.0)
+        first = graph.gibbs_marginals(iterations=300, burn_in=50, seed=7)
+        second = graph.gibbs_marginals(iterations=300, burn_in=50, seed=7)
+        assert first == second
+
+    def test_invalid_iterations(self):
+        graph = FactorGraph()
+        graph.prior("a", 1.0)
+        with pytest.raises(ValueError):
+            graph.gibbs_marginals(iterations=10, burn_in=10)
+
+    def test_evidence_respected(self):
+        graph = FactorGraph()
+        graph.add_variable("e", evidence=False)
+        graph.prior("e", 10.0)  # the prior must lose against evidence
+        marginals = graph.gibbs_marginals(iterations=200, burn_in=50)
+        assert marginals["e"] == 0.0
+
+
+class TestMapAssignment:
+    def test_finds_obvious_optimum(self):
+        graph = FactorGraph()
+        graph.prior("a", 2.0)
+        graph.prior("b", -2.0)
+        assignment, score = graph.map_assignment(seed=0)
+        assert assignment["a"] is True
+        assert assignment["b"] is False
+        assert score == pytest.approx(2.0)
+
+    def test_respects_exclusion(self):
+        graph = FactorGraph()
+        graph.prior("a", 1.0)
+        graph.prior("b", 0.5)
+        graph.add_factor(("a", "b"), not_both, 10.0)
+        assignment, __ = graph.map_assignment(seed=0)
+        assert not (assignment["a"] and assignment["b"])
+        assert assignment["a"]  # the stronger prior wins

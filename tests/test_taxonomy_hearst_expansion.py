@@ -1,0 +1,111 @@
+"""Tests for repro.taxonomy.hearst and repro.taxonomy.set_expansion."""
+
+import random
+
+import pytest
+
+from repro.corpus import class_sentences
+from repro.nlp import analyze
+from repro.taxonomy import IsAPair, SetExpander, extract_pairs, harvest
+
+
+class TestHearst:
+    def test_such_as(self):
+        pairs = extract_pairs(
+            analyze("They honored scientists such as Alan Weber and Mara Santos.")
+        )
+        assert IsAPair("Alan Weber", "scientist") in pairs
+        assert IsAPair("Mara Santos", "scientist") in pairs
+
+    def test_including(self):
+        pairs = extract_pairs(
+            analyze("Many companies, including Nimbus Systems, were active then.")
+        )
+        assert IsAPair("Nimbus Systems", "company") in pairs
+
+    def test_and_other(self):
+        pairs = extract_pairs(
+            analyze("Lorvik, Corvain, and other cities attended the meeting.")
+        )
+        classes = {p.class_lemma for p in pairs}
+        assert classes == {"city"}
+        assert {p.instance for p in pairs} == {"Lorvik", "Corvain"}
+
+    def test_is_a(self):
+        pairs = extract_pairs(analyze("Alan Weber is a famous scientist."))
+        assert IsAPair("Alan Weber", "scientist") in pairs
+
+    def test_no_false_positive_on_plain_sentence(self):
+        pairs = extract_pairs(analyze("Alan Weber founded Nimbus Systems."))
+        assert pairs == []
+
+    def test_harvest_counts_support(self):
+        sentences = [
+            "Alan Weber is a scientist.",
+            "Scientists such as Alan Weber shaped the era.",
+        ]
+        counts = harvest(sentences)
+        assert counts[IsAPair("Alan Weber", "scientist")] == 2
+
+    def test_on_generated_class_sentences(self, world):
+        rng = random.Random(6)
+        sentences = class_sentences(world, rng, per_class=2)
+        counts = harvest([s.text for s in sentences])
+        assert counts
+        # Every harvested pair must be correct against the world gold.
+        index = world.alias_index()
+        from repro.corpus import CLASS_NOUNS
+
+        lemma_to_class = {noun: cls for cls, (noun, __) in CLASS_NOUNS.items()}
+        correct = total = 0
+        for pair, count in counts.items():
+            cls = lemma_to_class.get(pair.class_lemma)
+            entities = index.get(pair.instance, set())
+            if cls is None or not entities:
+                continue
+            total += count
+            if any(world.primary_class.get(e) == cls
+                   or cls in (world.primary_class.get(e),)
+                   for e in entities):
+                correct += count
+        assert total > 0
+        assert correct / total > 0.75
+
+
+class TestSetExpansion:
+    @pytest.fixture(scope="class")
+    def expander(self, sentences):
+        # Contexts are class-discriminative in the fact corpus ("born in X.",
+        # "founded Y"), which is what set expansion actually exploits.
+        expander = SetExpander()
+        expander.index_corpus(sentences)
+        return expander
+
+    def test_expansion_finds_same_class(self, world, expander):
+        cities = [world.name[c] for c in world.cities]
+        seeds = cities[:3]
+        results = expander.expand(seeds, top_k=10)
+        assert results
+        gold = set(cities)
+        precision = sum(1 for r in results[:5] if r.name in gold) / min(
+            5, len(results)
+        )
+        assert precision >= 0.6
+
+    def test_seeds_excluded_from_results(self, world, expander):
+        cities = [world.name[c] for c in world.cities]
+        results = expander.expand(cities[:3])
+        assert not set(cities[:3]) & {r.name for r in results}
+
+    def test_empty_seed_rejected(self, expander):
+        with pytest.raises(ValueError):
+            expander.expand([])
+
+    def test_unknown_seed_returns_empty(self, expander):
+        assert expander.expand(["Completely Unknown Entity"]) == []
+
+    def test_scores_sorted(self, world, expander):
+        cities = [world.name[c] for c in world.cities]
+        results = expander.expand(cities[:4], top_k=20)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
