@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.corpus import CorpusConfig, build_wiki, synthesize
 from repro.extraction import corpus_occurrences, resolver_from_aliases
 from repro.kb import Entity, TripleStore
@@ -65,3 +66,37 @@ def bench_seed_kb(bench_world):
     facts = [t for t in bench_world.facts if isinstance(t.object, Entity)]
     rng.shuffle(facts)
     return TripleStore(facts[: len(facts) // 2])
+
+
+def _instrumented_pipeline_report() -> dict:
+    """One traced pipeline build on a small world, as report_json() data.
+
+    Observability stays *off* during the timed benchmarks (so the numbers
+    measure the uninstrumented hot paths); the stage breakdown attached to
+    the bench JSON comes from this separate, fully traced run.
+    """
+    from repro.pipeline import KnowledgeBaseBuilder
+
+    world = generate_world(WorldConfig(seed=BENCH_WORLD_CONFIG.seed, n_people=60))
+    wiki = build_wiki(world)
+    obs.reset()
+    obs.enable()
+    try:
+        KnowledgeBaseBuilder(wiki, aliases=world.aliases).build()
+        return obs.report_json()
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Attach a stage-level observability breakdown to saved bench JSON.
+
+    Every ``--benchmark-json=BENCH_*.json`` run gains a top-level
+    ``stages`` key (span path, call count, total seconds, stage counters)
+    plus the full ``observability`` export, so regressions can be localized
+    to a pipeline stage without rerunning anything.
+    """
+    report = _instrumented_pipeline_report()
+    output_json["stages"] = report["stages"]
+    output_json["observability"] = report

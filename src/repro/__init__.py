@@ -29,6 +29,8 @@ Subpackages
     Map-reduce engine, frequent sequence mining, MinHash/LSH.
 ``repro.pipeline``
     The end-to-end KB builder.
+``repro.obs``
+    Observability: tracing spans, metrics, trace-tree rendering.
 """
 
 __version__ = "0.1.0"
@@ -44,6 +46,7 @@ from . import (
     ml,
     ned,
     nlp,
+    obs,
     pipeline,
     reasoning,
     taxonomy,
@@ -61,6 +64,7 @@ __all__ = [
     "ml",
     "ned",
     "nlp",
+    "obs",
     "pipeline",
     "reasoning",
     "taxonomy",

@@ -11,11 +11,13 @@ those counters instead of wall-clock network time.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Iterable, Optional, TypeVar
 
 from ..ml.features import stable_hash
+from ..obs import core as _obs
 
 I = TypeVar("I")   # input record
 K = TypeVar("K")   # intermediate key
@@ -43,11 +45,40 @@ class JobStats:
 
     @property
     def skew(self) -> float:
-        """Max/mean shard load (1.0 = perfectly balanced)."""
-        if not self.records_per_shard or sum(self.records_per_shard) == 0:
+        """Max/mean shard load (1.0 = perfectly balanced).
+
+        Defined as 1.0 for an empty job (no shards, or no records shuffled
+        at all) so callers never see a division by zero — an empty input is
+        a legitimate job, not an error.
+        """
+        if not self.records_per_shard:
             return 1.0
         mean = sum(self.records_per_shard) / len(self.records_per_shard)
+        if mean == 0:
+            return 1.0
         return max(self.records_per_shard) / mean
+
+    def publish(self) -> None:
+        """Fold these counters into the observability registry.
+
+        This is the single metrics mechanism for map-reduce jobs: the
+        dataclass stays the structured return value, and (when tracing is
+        enabled) the same numbers land in the global registry under
+        ``mapreduce.*`` along with a per-shard load histogram.
+        """
+        if not _obs.ENABLED:
+            return
+        _obs.count("mapreduce.jobs")
+        _obs.count("mapreduce.map_input_records", self.map_input_records)
+        _obs.count("mapreduce.map_output_records", self.map_output_records)
+        _obs.count("mapreduce.combine_output_records", self.combine_output_records)
+        _obs.count("mapreduce.shuffled_records", self.shuffled_records)
+        _obs.count("mapreduce.shuffled_bytes", self.shuffled_bytes)
+        _obs.count("mapreduce.reduce_groups", self.reduce_groups)
+        _obs.count("mapreduce.reduce_output_records", self.reduce_output_records)
+        _obs.gauge("mapreduce.last_job.skew", self.skew)
+        for records in self.records_per_shard:
+            _obs.observe("mapreduce.shard.records", records)
 
 
 def _approximate_size(value) -> int:
@@ -80,46 +111,71 @@ class MapReduce(Generic[I, K, V, R]):
         reducer: Reducer,
         combiner: Optional[Combiner] = None,
     ) -> tuple[list[R], JobStats]:
-        """Execute one job; return (reduce outputs, counters)."""
+        """Execute one job; return (reduce outputs, counters).
+
+        An empty input is a valid job: every counter is zero,
+        ``records_per_shard`` is a zero per shard, and ``skew`` is 1.0.
+        """
         stats = JobStats(shards=self.shards)
+        with _obs.span("mapreduce.run") as job:
 
-        # Map phase: each mapper output is routed to a shard by key hash.
-        shard_buffers: list[dict[K, list[V]]] = [defaultdict(list) for __ in range(self.shards)]
-        for record in inputs:
-            stats.map_input_records += 1
-            for key, value in mapper(record):
-                stats.map_output_records += 1
-                shard = stable_hash(repr(key)) % self.shards
-                shard_buffers[shard][key].append(value)
+            # Map phase: each mapper output is routed to a shard by key hash.
+            shard_buffers: list[dict[K, list[V]]] = [
+                defaultdict(list) for __ in range(self.shards)
+            ]
+            with _obs.span("mapreduce.map"):
+                for record in inputs:
+                    stats.map_input_records += 1
+                    for key, value in mapper(record):
+                        stats.map_output_records += 1
+                        shard = stable_hash(repr(key)) % self.shards
+                        shard_buffers[shard][key].append(value)
 
-        # Combine phase (runs "map-side", before the shuffle).
-        if combiner is not None:
-            for buffer in shard_buffers:
-                for key in list(buffer):
-                    combined = list(combiner(key, buffer[key]))
-                    buffer[key] = combined
-                    stats.combine_output_records += len(combined)
-        else:
-            stats.combine_output_records = stats.map_output_records
+            # Combine phase (runs "map-side", before the shuffle).
+            with _obs.span("mapreduce.combine"):
+                if combiner is not None:
+                    for buffer in shard_buffers:
+                        for key in list(buffer):
+                            combined = list(combiner(key, buffer[key]))
+                            buffer[key] = combined
+                            stats.combine_output_records += len(combined)
+                else:
+                    stats.combine_output_records = stats.map_output_records
 
-        # Shuffle accounting: everything that crosses the map/reduce border.
-        stats.records_per_shard = [0] * self.shards
-        for shard_index, buffer in enumerate(shard_buffers):
-            for key, values in buffer.items():
-                stats.shuffled_records += len(values)
-                stats.records_per_shard[shard_index] += len(values)
-                stats.shuffled_bytes += sum(
-                    _approximate_size(key) + _approximate_size(v) for v in values
-                )
+            # Shuffle accounting: everything crossing the map/reduce border.
+            with _obs.span("mapreduce.shuffle"):
+                stats.records_per_shard = [0] * self.shards
+                for shard_index, buffer in enumerate(shard_buffers):
+                    for key, values in buffer.items():
+                        stats.shuffled_records += len(values)
+                        stats.records_per_shard[shard_index] += len(values)
+                        stats.shuffled_bytes += sum(
+                            _approximate_size(key) + _approximate_size(v)
+                            for v in values
+                        )
 
-        # Reduce phase: shards in order, keys sorted for determinism.
-        results: list[R] = []
-        for buffer in shard_buffers:
-            for key in sorted(buffer, key=repr):
-                stats.reduce_groups += 1
-                for output in reducer(key, buffer[key]):
-                    results.append(output)
-                    stats.reduce_output_records += 1
+            # Reduce phase: shards in order, keys sorted for determinism.
+            # Each shard's reduce wall time feeds the per-shard histogram —
+            # the straggler signal a cluster scheduler would watch.
+            results: list[R] = []
+            with _obs.span("mapreduce.reduce"):
+                for buffer in shard_buffers:
+                    shard_t0 = time.perf_counter() if _obs.ENABLED else 0.0
+                    for key in sorted(buffer, key=repr):
+                        stats.reduce_groups += 1
+                        for output in reducer(key, buffer[key]):
+                            results.append(output)
+                            stats.reduce_output_records += 1
+                    if _obs.ENABLED:
+                        _obs.observe(
+                            "mapreduce.shard.reduce_s",
+                            time.perf_counter() - shard_t0,
+                        )
+            if _obs.ENABLED:
+                job.add("shards", self.shards)
+                job.add("map_input_records", stats.map_input_records)
+                job.add("shuffled_records", stats.shuffled_records)
+                stats.publish()
         return results, stats
 
 

@@ -18,11 +18,12 @@ import sys
 from collections import Counter
 from typing import Optional, Sequence
 
+from . import obs
 from .analytics.qa import TemplateQA
 from .corpus import build_wiki
 from .extraction.resolution import NameResolver
 from .kb import Entity, Literal, Relation, load, ns, save
-from .pipeline import KnowledgeBaseBuilder
+from .pipeline import BuildConfig, KnowledgeBaseBuilder
 from .world import WorldConfig, generate_world
 
 
@@ -39,6 +40,17 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=7)
     build.add_argument("--people", type=int, default=120)
     build.add_argument("--out", required=True, help="output .nt file")
+    build.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a span tree and metrics table for the pipeline run",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run extraction through map-reduce with this many shards",
+    )
 
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
     stats.add_argument("--kb", required=True)
@@ -58,11 +70,24 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_build(args, out) -> int:
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be at least 1", file=out)
+        return 2
     print(f"Generating world (seed={args.seed}, people={args.people}) ...", file=out)
     world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
     wiki = build_wiki(world)
     print(f"Harvesting from {len(wiki.pages)} pages ...", file=out)
-    kb, report = KnowledgeBaseBuilder(wiki, aliases=world.aliases).build()
+    if args.trace:
+        obs.reset()
+        obs.enable()
+    config = BuildConfig(mapreduce_shards=args.shards)
+    try:
+        kb, report = KnowledgeBaseBuilder(
+            wiki, aliases=world.aliases, config=config
+        ).build()
+    finally:
+        if args.trace:
+            obs.disable()
     count = save(kb, args.out)
     print(
         f"Accepted {report.accepted_facts} facts "
@@ -70,6 +95,11 @@ def _command_build(args, out) -> int:
         f"wrote {count} triples to {args.out}",
         file=out,
     )
+    if args.trace:
+        print("\n--- trace ---", file=out)
+        print(obs.render_trace(), file=out)
+        print("\n--- metrics ---", file=out)
+        print(obs.render_metrics(), file=out)
     return 0
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..kb import Entity, Relation, Term, TimeSpan, Triple, TripleStore
+from ..obs import core as _obs
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,22 +68,43 @@ def candidates_to_store(
     first_witness: dict[tuple, Candidate] = {}
     scope_of: dict[tuple, TimeSpan] = {}
     all_candidates = list(candidates)
-    for candidate in all_candidates:
-        first_witness.setdefault(candidate.key(), candidate)
-        if candidate.scope is not None and candidate.key() not in scope_of:
-            scope_of[candidate.key()] = candidate.scope
-    for key, confidence in merge_candidates(all_candidates).items():
-        if confidence < min_confidence:
-            continue
-        subject, relation, obj = key
-        store.add(
-            Triple(
-                subject,
-                relation,
-                obj,
-                confidence=min(confidence, 1.0),
-                source=first_witness[key].extractor,
-                scope=scope_of.get(key),
+    with _obs.span("extract.merge") as merging:
+        for candidate in all_candidates:
+            first_witness.setdefault(candidate.key(), candidate)
+            if candidate.scope is not None and candidate.key() not in scope_of:
+                scope_of[candidate.key()] = candidate.scope
+        dropped = 0
+        for key, confidence in merge_candidates(all_candidates).items():
+            if confidence < min_confidence:
+                dropped += 1
+                continue
+            subject, relation, obj = key
+            store.add(
+                Triple(
+                    subject,
+                    relation,
+                    obj,
+                    confidence=min(confidence, 1.0),
+                    source=first_witness[key].extractor,
+                    scope=scope_of.get(key),
+                )
             )
-        )
+        if _obs.ENABLED:
+            merging.add("candidates", len(all_candidates))
+            merging.add("facts", len(store))
+            merging.add("below_threshold", dropped)
+            _obs.count("extract.candidates", len(all_candidates))
+            _obs.count("extract.merged_facts", len(store))
+            for extractor_name, witnesses in _witness_counts(all_candidates).items():
+                _obs.count(f"extract.candidates.{extractor_name}", witnesses)
     return store
+
+
+def _witness_counts(candidates: list[Candidate]) -> dict[str, int]:
+    """How many candidates each extractor contributed."""
+    by_extractor: dict[str, int] = {}
+    for candidate in candidates:
+        by_extractor[candidate.extractor] = (
+            by_extractor.get(candidate.extractor, 0) + 1
+        )
+    return by_extractor

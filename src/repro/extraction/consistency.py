@@ -20,6 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from ..kb import Entity, Relation, Taxonomy, Triple, TripleStore
+from ..obs import core as _obs
 from ..reasoning.maxsat import WeightedMaxSat
 
 #: A fact variable: the (s, p, o) key.
@@ -62,31 +63,53 @@ class ConsistencyReasoner:
     ) -> tuple[TripleStore, ConsistencyReport]:
         """Return the accepted subset of ``candidates`` plus a report."""
         report = ConsistencyReport(candidates=len(candidates))
-        problem = WeightedMaxSat()
-        triples: dict[FactKey, Triple] = {}
-        for triple in candidates:
-            key = triple.spo()
-            triples[key] = triple
-            weight = max(triple.confidence, self.min_confidence_weight)
-            problem.add_soft_unit(key, True, weight)
+        with _obs.span("consistency.clean") as cleaning:
+            problem = WeightedMaxSat()
+            triples: dict[FactKey, Triple] = {}
+            for triple in candidates:
+                key = triple.spo()
+                triples[key] = triple
+                weight = max(triple.confidence, self.min_confidence_weight)
+                problem.add_soft_unit(key, True, weight)
 
-        if self.use_functionality:
-            report.functional_clauses = self._add_functionality(problem, triples)
-        if self.use_types:
-            report.type_clauses = self._add_types(problem, triples)
-        if self.use_disjointness:
-            report.disjoint_clauses = self._add_disjointness(problem, triples)
+            with _obs.span("consistency.ground"):
+                if self.use_functionality:
+                    report.functional_clauses = self._add_functionality(
+                        problem, triples
+                    )
+                if self.use_types:
+                    report.type_clauses = self._add_types(problem, triples)
+                if self.use_disjointness:
+                    report.disjoint_clauses = self._add_disjointness(
+                        problem, triples
+                    )
 
-        result = problem.solve(seed=seed)
-        report.soft_cost = result.soft_cost
-        report.hard_violations = result.hard_violations
-        accepted = TripleStore()
-        for key, triple in triples.items():
-            if result.assignment.get(key, False):
-                accepted.add(triple)
-                report.accepted += 1
-            else:
-                report.rejected += 1
+            with _obs.span("consistency.solve"):
+                result = problem.solve(seed=seed)
+            report.soft_cost = result.soft_cost
+            report.hard_violations = result.hard_violations
+            accepted = TripleStore()
+            for key, triple in triples.items():
+                if result.assignment.get(key, False):
+                    accepted.add(triple)
+                    report.accepted += 1
+                else:
+                    report.rejected += 1
+            if _obs.ENABLED:
+                cleaning.add("candidates", report.candidates)
+                cleaning.add("accepted", report.accepted)
+                cleaning.add("rejected", report.rejected)
+                cleaning.add("clauses.functional", report.functional_clauses)
+                cleaning.add("clauses.type", report.type_clauses)
+                cleaning.add("clauses.disjoint", report.disjoint_clauses)
+                _obs.count(
+                    "consistency.clauses.functional", report.functional_clauses
+                )
+                _obs.count("consistency.clauses.type", report.type_clauses)
+                _obs.count(
+                    "consistency.clauses.disjoint", report.disjoint_clauses
+                )
+                _obs.count("consistency.rejected", report.rejected)
         return accepted, report
 
     # --------------------------------------------------------- constraints

@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from .terms import Entity, Literal, Resource, Term
 from .triple import Triple
 from . import ns
+from ..obs import core as _obs
 
 
 class TripleStore:
@@ -40,9 +41,13 @@ class TripleStore:
         A duplicate (same s, p, o) replaces the stored witness only when the
         new confidence is strictly higher.
         """
+        if _obs.ENABLED:
+            _obs.count("kb.store.add")
         key = triple.spo()
         existing = self._by_spo.get(key)
         if existing is not None:
+            if _obs.ENABLED:
+                _obs.count("kb.store.add.duplicate")
             if triple.confidence > existing.confidence:
                 self._by_spo[key] = triple
             return False
@@ -73,6 +78,8 @@ class TripleStore:
 
     def remove(self, triple: Triple) -> bool:
         """Remove the fact with this triple's (s, p, o) key, if present."""
+        if _obs.ENABLED:
+            _obs.count("kb.store.remove")
         key = triple.spo()
         if key not in self._by_spo:
             return False
@@ -120,6 +127,8 @@ class TripleStore:
         obj: Optional[Term] = None,
     ) -> Iterator[Triple]:
         """Iterate over triples matching a pattern; None is a wildcard."""
+        if _obs.ENABLED:
+            _obs.count("kb.store.match")
         keys = self._candidate_keys(subject, predicate, obj)
         if keys is None:
             yield from self._by_spo.values()

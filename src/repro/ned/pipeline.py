@@ -17,6 +17,7 @@ from typing import Optional
 from ..kb import Entity
 from ..corpus.document import Document
 from ..corpus.wiki import Wiki
+from ..obs import core as _obs
 from .candidates import CandidateDictionary, dictionary_from_wiki
 from .context import EntityContextIndex
 from .coherence import CoherenceIndex
@@ -71,6 +72,8 @@ class NEDSystem:
                 )
                 score += self.config.similarity_weight * similarity
             scored.append((candidate.entity, score))
+        if _obs.ENABLED:
+            _obs.count("ned.candidates_scored", len(scored))
         return scored
 
     # --------------------------------------------------------------- solve
@@ -84,34 +87,49 @@ class NEDSystem:
         """Resolve each mention of one document; returns id -> entity."""
         if method not in METHODS:
             raise ValueError(f"unknown NED method: {method!r}")
-        context_words = self.context_index.context_of(context_text)
+        with _obs.span("ned.disambiguate") as tracing:
+            if _obs.ENABLED:
+                tracing.add("mentions", len(tasks))
+                _obs.count("ned.mentions", len(tasks))
+                _obs.count(f"ned.mentions.{method}", len(tasks))
+            context_words = self.context_index.context_of(context_text)
 
-        if method in ("prior", "local"):
-            result: dict[object, Optional[Entity]] = {}
+            if method in ("prior", "local"):
+                result: dict[object, Optional[Entity]] = {}
+                for task in tasks:
+                    scored = self._scored_candidates(
+                        task.surface, context_words, method
+                    )
+                    result[task.mention_id] = (
+                        max(scored, key=lambda pair: (pair[1], pair[0].id))[0]
+                        if scored
+                        else None
+                    )
+                return result
+
+            from .graph import DisambiguationGraph
+
+            graph = DisambiguationGraph(
+                coherence_weight=self.config.coherence_weight
+            )
+            all_candidates: set[Entity] = set()
             for task in tasks:
-                scored = self._scored_candidates(task.surface, context_words, method)
-                result[task.mention_id] = (
-                    max(scored, key=lambda pair: (pair[1], pair[0].id))[0]
-                    if scored
-                    else None
+                scored = self._scored_candidates(
+                    task.surface, context_words, "local"
                 )
-            return result
-
-        from .graph import DisambiguationGraph
-
-        graph = DisambiguationGraph(coherence_weight=self.config.coherence_weight)
-        all_candidates: set[Entity] = set()
-        for task in tasks:
-            scored = self._scored_candidates(task.surface, context_words, "local")
-            graph.add_mention(task.mention_id, task.surface, scored)
-            all_candidates |= {entity for entity, __ in scored}
-        ordered = sorted(all_candidates, key=lambda e: e.id)
-        for i, a in enumerate(ordered):
-            for b in ordered[i + 1:]:
-                relatedness = self.coherence_index.relatedness(a, b)
-                if relatedness > 0.0:
-                    graph.add_entity_edge(a, b, relatedness)
-        return graph.solve()
+                graph.add_mention(task.mention_id, task.surface, scored)
+                all_candidates |= {entity for entity, __ in scored}
+            ordered = sorted(all_candidates, key=lambda e: e.id)
+            coherence_edges = 0
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1:]:
+                    relatedness = self.coherence_index.relatedness(a, b)
+                    if relatedness > 0.0:
+                        graph.add_entity_edge(a, b, relatedness)
+                        coherence_edges += 1
+            if _obs.ENABLED:
+                tracing.add("coherence_edges", coherence_edges)
+            return graph.solve()
 
     def disambiguate_document(
         self, document: Document, method: str = "graph"

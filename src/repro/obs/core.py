@@ -1,0 +1,277 @@
+"""The observability state: the enabled flag, span stack, and registry.
+
+Everything lives at module level so hot call sites can gate on a single
+attribute load (``core.ENABLED``) — when the flag is False no span, dict,
+or float is ever allocated.  State is process-local and single-threaded by
+design, matching the rest of the toolkit (the map-reduce engine is an
+in-process simulator).
+
+The span stack is explicit rather than thread-local: ``span()`` pushes on
+``__enter__`` and pops on ``__exit__``, attaching each finished span to its
+parent (or to the finished-roots list when the stack empties).  Trace
+*structure* — names, nesting, counter values — is deterministic for a
+deterministic program; only the recorded wall times vary run to run, which
+is what the pipeline determinism test relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+#: The master switch.  Read directly (``core.ENABLED``) in hot paths;
+#: flipped only through :func:`enable` / :func:`disable` so the module
+#: attribute stays the single source of truth.
+ENABLED: bool = False
+
+# ----------------------------------------------------------------- registry
+
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+_histograms: dict[str, "Histogram"] = {}
+
+# The open-span stack and the finished top-level spans, oldest first.
+_stack: list["Span"] = []
+_roots: list["Span"] = []
+
+
+def enable() -> None:
+    """Turn instrumentation on (spans and metrics start recording)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; already-recorded data is kept."""
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (the flag is left as-is).
+
+    Call between pipeline runs so one run's telemetry does not bleed into
+    the next — the CLI does this before ``build --trace`` and the bench
+    harness before its instrumented run.
+    """
+    _counters.clear()
+    _gauges.clear()
+    _histograms.clear()
+    _stack.clear()
+    _roots.clear()
+
+
+# -------------------------------------------------------------------- spans
+
+
+class Span:
+    """One finished or in-flight region of the trace tree."""
+
+    __slots__ = ("name", "elapsed", "counters", "children", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed: float = 0.0
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self._t0: float = 0.0
+
+    def add(self, counter: str, n: float = 1) -> None:
+        """Increment one of this span's counters."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def structure(self) -> tuple:
+        """The timing-free shape: (name, counters, child structures).
+
+        Two runs of a deterministic program produce equal structures even
+        though their wall times differ.
+        """
+        return (
+            self.name,
+            tuple(sorted(self.counters.items())),
+            tuple(child.structure() for child in self.children),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, elapsed={self.elapsed:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanHandle:
+    """Context manager that opens a :class:`Span` on the global stack."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, name: str) -> None:
+        self._span = Span(name)
+
+    def __enter__(self) -> Span:
+        opened = self._span
+        _stack.append(opened)
+        opened._t0 = time.perf_counter()
+        return opened
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        opened = self._span
+        opened.elapsed = time.perf_counter() - opened._t0
+        # Tolerate reset() having been called while this span was open.
+        if _stack and _stack[-1] is opened:
+            _stack.pop()
+            if _stack:
+                _stack[-1].children.append(opened)
+            else:
+                _roots.append(opened)
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing handle returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, counter: str, n: float = 1) -> None:
+        pass
+
+
+#: The singleton returned by :func:`span` on the disabled path — the call
+#: allocates nothing.
+_NOOP = _NoopSpan()
+
+
+def span(name: str):
+    """A context manager tracing ``name``; a shared no-op when disabled."""
+    if not ENABLED:
+        return _NOOP
+    return _SpanHandle(name)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or None."""
+    return _stack[-1] if _stack else None
+
+
+def annotate(counter: str, n: float = 1) -> None:
+    """Increment a counter on the innermost open span (no-op otherwise)."""
+    if not ENABLED or not _stack:
+        return
+    _stack[-1].add(counter, n)
+
+
+def take_roots() -> list[Span]:
+    """The finished top-level spans recorded since the last reset."""
+    return list(_roots)
+
+
+# ------------------------------------------------------------------ metrics
+
+
+def count(name: str, n: float = 1) -> None:
+    """Increment a named global counter."""
+    if not ENABLED:
+        return
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a named gauge to its latest value."""
+    if not ENABLED:
+        return
+    _gauges[name] = value
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample into a named histogram."""
+    if not ENABLED:
+        return
+    histogram = _histograms.get(name)
+    if histogram is None:
+        histogram = _histograms[name] = Histogram(name)
+    histogram.observe(value)
+
+
+class Histogram:
+    """A sample-keeping histogram with percentile summaries.
+
+    Samples are kept raw (these are per-stage/per-shard series, thousands
+    at most, not per-request streams); percentiles are computed on demand
+    with the nearest-rank rule.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The nearest-rank p-th percentile (p in [0, 100])."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def summary(self) -> dict:
+        """The JSON-ready digest used by exports and rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+def counters() -> dict[str, float]:
+    """A snapshot of the global counters."""
+    return dict(_counters)
+
+
+def gauges() -> dict[str, float]:
+    """A snapshot of the gauges."""
+    return dict(_gauges)
+
+
+def histograms() -> dict[str, Histogram]:
+    """A snapshot of the histogram registry (live objects, treat read-only)."""
+    return dict(_histograms)

@@ -26,6 +26,7 @@ from ..extraction.patterns import PatternExtractor
 from ..extraction.resolution import NameResolver
 from ..extraction.temporal import attach_scopes, extract_year_attributes
 from ..nlp.pipeline import analyze
+from ..obs import core as _obs
 from ..taxonomy.integration import integrate
 from ..world import schema as ws
 
@@ -88,31 +89,43 @@ class KnowledgeBaseBuilder:
         """All fact candidates one page contributes (the map function)."""
         candidates: list[Candidate] = []
         if self.config.use_infobox:
-            infobox = InfoboxExtractor(self.resolver)
-            candidates.extend(infobox.extract_page(page))
+            with _obs.span("pipeline.extract.infobox") as tracing:
+                infobox = InfoboxExtractor(self.resolver)
+                extracted = infobox.extract_page(page)
+                tracing.add("candidates", len(extracted))
+                candidates.extend(extracted)
         if self.config.use_patterns or self.config.use_year_attributes:
-            patterns = PatternExtractor()
-            for sentence in page.document.sentences:
-                analysis = analyze(sentence.text, self._gazetteer)
-                if self.config.use_patterns:
-                    occurrences = list(
-                        sentence_occurrences(analysis, self.resolver)
-                    )
-                    candidates.extend(patterns.extract(occurrences))
-                if self.config.use_year_attributes:
-                    for triple in extract_year_attributes(
-                        page.entity, sentence.text
-                    ):
-                        candidates.append(
-                            Candidate(
-                                subject=triple.subject,
-                                relation=triple.predicate,
-                                object=triple.object,
-                                confidence=triple.confidence,
-                                extractor="year-attributes",
-                                evidence=sentence.text,
-                            )
+            with _obs.span("pipeline.extract.sentences") as tracing:
+                patterns = PatternExtractor()
+                pattern_found = 0
+                year_found = 0
+                for sentence in page.document.sentences:
+                    analysis = analyze(sentence.text, self._gazetteer)
+                    if self.config.use_patterns:
+                        occurrences = list(
+                            sentence_occurrences(analysis, self.resolver)
                         )
+                        extracted = patterns.extract(occurrences)
+                        pattern_found += len(extracted)
+                        candidates.extend(extracted)
+                    if self.config.use_year_attributes:
+                        for triple in extract_year_attributes(
+                            page.entity, sentence.text
+                        ):
+                            year_found += 1
+                            candidates.append(
+                                Candidate(
+                                    subject=triple.subject,
+                                    relation=triple.predicate,
+                                    object=triple.object,
+                                    confidence=triple.confidence,
+                                    extractor="year-attributes",
+                                    evidence=sentence.text,
+                                )
+                            )
+                tracing.add("sentences", len(page.document.sentences))
+                tracing.add("patterns", pattern_found)
+                tracing.add("year_attributes", year_found)
         return candidates
 
     def build(self) -> tuple[TripleStore, BuildReport]:
@@ -122,52 +135,87 @@ class KnowledgeBaseBuilder:
             len(p.document.sentences) for p in self.wiki.pages.values()
         )
 
-        kb = TripleStore()
-        kb.merge(ws.schema_store())
+        with _obs.span("pipeline.build") as building:
+            building.add("pages", report.pages)
+            building.add("sentences", report.sentences)
 
-        # 1. Classes: category integration (types + subclass hierarchy).
-        type_store, __ = integrate(self.wiki)
-        report.type_triples = len(type_store)
-        kb.merge(type_store)
+            kb = TripleStore()
+            kb.merge(ws.schema_store())
 
-        # 2. Facts: per-page extraction, serial or through map-reduce.
-        if self.config.mapreduce_shards:
-            candidates, stats = self._extract_mapreduce()
-            report.mapreduce = stats
-        else:
-            candidates = []
-            for title in sorted(self.wiki.pages):
-                candidates.extend(self._page_candidates(self.wiki.pages[title]))
-        for candidate in candidates:
-            if candidate.extractor == "infobox":
-                report.infobox_candidates += 1
-            elif candidate.extractor == "year-attributes":
-                report.year_candidates += 1
-            else:
-                report.pattern_candidates += 1
+            # 1. Classes: category integration (types + subclass hierarchy).
+            with _obs.span("pipeline.taxonomy") as tracing:
+                type_store, __ = integrate(self.wiki)
+                report.type_triples = len(type_store)
+                tracing.add("type_triples", report.type_triples)
+                kb.merge(type_store)
 
-        # 3. Temporal scoping from the evidence sentences.
-        if self.config.use_temporal_scoping:
-            candidates = attach_scopes(candidates)
+            # 2. Facts: per-page extraction, serial or through map-reduce.
+            with _obs.span("pipeline.extract") as tracing:
+                if self.config.mapreduce_shards:
+                    candidates, stats = self._extract_mapreduce()
+                    report.mapreduce = stats
+                else:
+                    candidates = []
+                    for title in sorted(self.wiki.pages):
+                        candidates.extend(
+                            self._page_candidates(self.wiki.pages[title])
+                        )
+                for candidate in candidates:
+                    if candidate.extractor == "infobox":
+                        report.infobox_candidates += 1
+                    elif candidate.extractor == "year-attributes":
+                        report.year_candidates += 1
+                    else:
+                        report.pattern_candidates += 1
+                tracing.add("candidates", len(candidates))
+                if _obs.ENABLED:
+                    _obs.count(
+                        "pipeline.candidates.infobox", report.infobox_candidates
+                    )
+                    _obs.count(
+                        "pipeline.candidates.patterns", report.pattern_candidates
+                    )
+                    _obs.count(
+                        "pipeline.candidates.year", report.year_candidates
+                    )
 
-        fact_store = candidates_to_store(candidates, self.config.min_confidence)
-        report.merged_facts = len(fact_store)
+            # 3. Temporal scoping from the evidence sentences.
+            if self.config.use_temporal_scoping:
+                with _obs.span("pipeline.temporal") as tracing:
+                    before = sum(1 for c in candidates if c.scope is not None)
+                    candidates = attach_scopes(candidates)
+                    scoped = sum(1 for c in candidates if c.scope is not None)
+                    tracing.add("scoped", scoped - before)
 
-        # 4. Consistency reasoning against the harvested + schema taxonomy.
-        if self.config.use_consistency:
-            taxonomy = Taxonomy(_taxonomy_view(kb, self.wiki))
-            reasoner = ConsistencyReasoner(taxonomy)
-            fact_store, report.consistency = reasoner.clean(fact_store)
-        report.accepted_facts = len(fact_store)
-        kb.merge(fact_store)
+            with _obs.span("pipeline.merge"):
+                fact_store = candidates_to_store(
+                    candidates, self.config.min_confidence
+                )
+                report.merged_facts = len(fact_store)
 
-        # 5. Multilingual labels.
-        if self.config.use_multilingual:
-            labels = harvest_labels(self.wiki)
-            report.label_triples = len(labels)
-            kb.merge(labels)
-        for title, page in self.wiki.pages.items():
-            kb.add_fact(page.entity, ns.PREF_LABEL, _literal(title))
+            # 4. Consistency reasoning against the harvested + schema
+            #    taxonomy.
+            if self.config.use_consistency:
+                with _obs.span("pipeline.consistency") as tracing:
+                    taxonomy = Taxonomy(_taxonomy_view(kb, self.wiki))
+                    reasoner = ConsistencyReasoner(taxonomy)
+                    fact_store, report.consistency = reasoner.clean(fact_store)
+                    tracing.add("accepted", report.consistency.accepted)
+                    tracing.add("rejected", report.consistency.rejected)
+            report.accepted_facts = len(fact_store)
+            kb.merge(fact_store)
+
+            # 5. Multilingual labels.
+            if self.config.use_multilingual:
+                with _obs.span("pipeline.multilingual") as tracing:
+                    labels = harvest_labels(self.wiki)
+                    report.label_triples = len(labels)
+                    tracing.add("labels", report.label_triples)
+                    kb.merge(labels)
+            with _obs.span("pipeline.labels"):
+                for title, page in self.wiki.pages.items():
+                    kb.add_fact(page.entity, ns.PREF_LABEL, _literal(title))
+            building.add("triples", len(kb))
         return kb, report
 
     def _extract_mapreduce(self) -> tuple[list[Candidate], JobStats]:

@@ -17,6 +17,8 @@ import random
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional
 
+from ..obs import core as _obs
+
 #: A literal: (variable, polarity). (x, True) means x; (x, False) means !x.
 Literal = tuple[Hashable, bool]
 
@@ -138,6 +140,11 @@ class WeightedMaxSat:
                 break
         assert best_assignment is not None
         hard, soft = self.cost_of(best_assignment)
+        if _obs.ENABLED:
+            _obs.count("maxsat.solve_calls")
+            _obs.count("maxsat.variables", len(self._variables))
+            _obs.count("maxsat.clauses", len(self._clauses))
+            _obs.count("maxsat.flips", total_flips)
         return MaxSatResult(best_assignment, soft, hard, total_flips)
 
     def solve_exact(self, max_variables: int = 24) -> MaxSatResult:

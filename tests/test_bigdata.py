@@ -58,6 +58,33 @@ class TestMapReduce:
         assert counts == {}
         assert stats.map_input_records == 0
 
+    def test_empty_input_stats_are_well_defined(self):
+        """Regression: a 0-record job must yield complete, finite JobStats."""
+        engine: MapReduce = MapReduce(shards=3)
+
+        def mapper(record):
+            yield record, 1
+
+        def reducer(key, values):
+            yield key, sum(values)
+
+        results, stats = engine.run([], mapper, reducer)
+        assert results == []
+        assert stats.shards == 3
+        assert stats.records_per_shard == [0, 0, 0]
+        assert stats.map_output_records == 0
+        assert stats.shuffled_records == 0
+        assert stats.shuffled_bytes == 0
+        assert stats.reduce_groups == 0
+        assert stats.skew == 1.0  # no division by zero on an empty job
+
+    def test_default_constructed_jobstats_skew(self):
+        from repro.bigdata.mapreduce import JobStats
+
+        assert JobStats().skew == 1.0
+        assert JobStats(records_per_shard=[0, 0]).skew == 1.0
+        assert JobStats(records_per_shard=[2, 6]).skew == 1.5
+
 
 class TestPrefixSpan:
     def test_gappy_sequences(self):

@@ -1,0 +1,292 @@
+"""Tests for the observability layer (repro.obs): spans, metrics, overhead."""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.kb import Entity, Relation, Triple, TripleStore
+from repro.obs.core import Histogram
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner.a"):
+                pass
+            with obs.span("inner.b"):
+                with obs.span("leaf"):
+                    pass
+        roots = obs.take_roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_elapsed_is_recorded_and_contains_children(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        outer = obs.take_roots()[0]
+        inner = outer.children[0]
+        assert outer.elapsed >= inner.elapsed >= 0.0
+
+    def test_span_counters(self):
+        obs.enable()
+        with obs.span("work") as tracing:
+            tracing.add("items", 3)
+            tracing.add("items", 2)
+            obs.annotate("annotated")
+        work = obs.take_roots()[0]
+        assert work.counters == {"items": 5, "annotated": 1}
+
+    def test_sibling_spans_stay_separate_until_rendered(self):
+        obs.enable()
+        for __ in range(3):
+            with obs.span("repeated"):
+                pass
+        assert len(obs.take_roots()) == 3
+        merged = obs.render_trace()
+        assert "repeated x3" in merged
+
+    def test_structure_ignores_timings(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b") as tracing:
+                tracing.add("n", 1)
+        first = [s.structure() for s in obs.take_roots()]
+        obs.reset()
+        with obs.span("a"):
+            with obs.span("b") as tracing:
+                tracing.add("n", 1)
+        second = [s.structure() for s in obs.take_roots()]
+        assert first == second
+
+    def test_exception_still_closes_span(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        roots = obs.take_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["failing"]
+        assert obs.current_span() is None
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        obs.enable()
+        obs.count("events")
+        obs.count("events", 4)
+        obs.gauge("level", 0.5)
+        obs.gauge("level", 0.75)
+        report = obs.report_json()
+        assert report["counters"] == {"events": 5}
+        assert report["gauges"] == {"level": 0.75}
+
+    def test_histogram_percentiles(self):
+        h = Histogram("t")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.p50 == 50.0
+        assert h.p95 == 95.0
+        assert h.max == 100.0
+        assert h.mean == pytest.approx(50.5)
+
+    def test_histogram_edge_cases(self):
+        h = Histogram("t")
+        assert h.p50 == 0.0 and h.p95 == 0.0 and h.max == 0.0 and h.mean == 0.0
+        h.observe(7.0)
+        assert h.p50 == 7.0 and h.p95 == 7.0 and h.max == 7.0
+
+    def test_observe_registers_histogram(self):
+        obs.enable()
+        obs.observe("latency", 1.0)
+        obs.observe("latency", 3.0)
+        digest = obs.report_json()["histograms"]["latency"]
+        assert digest["count"] == 2
+        assert digest["max"] == 3.0
+
+    def test_reset_clears_everything_between_runs(self):
+        obs.enable()
+        with obs.span("run1"):
+            obs.count("facts", 10)
+            obs.observe("h", 1.0)
+        obs.reset()
+        assert obs.take_roots() == []
+        report = obs.report_json()
+        assert report["counters"] == {}
+        assert report["histograms"] == {}
+        assert report["spans"] == []
+        # A second run records only its own telemetry.
+        with obs.span("run2"):
+            obs.count("facts", 3)
+        report = obs.report_json()
+        assert [s["name"] for s in report["spans"]] == ["run2"]
+        assert report["counters"] == {"facts": 3}
+
+
+class TestDisabledPath:
+    def test_disabled_records_nothing(self):
+        with obs.span("invisible"):
+            obs.count("c", 5)
+            obs.gauge("g", 1.0)
+            obs.observe("h", 1.0)
+            obs.annotate("a")
+        assert obs.take_roots() == []
+        report = obs.report_json()
+        assert report["spans"] == []
+        assert report["counters"] == {}
+        assert report["gauges"] == {}
+        assert report["histograms"] == {}
+
+    def test_disabled_span_is_a_shared_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_store_add_allocates_nothing_in_obs(self):
+        """With observability off, store.add never allocates in repro.obs."""
+        triples = [
+            Triple(Entity(f"e:{i}"), Relation("r:p"), Entity(f"e:{i + 1}"))
+            for i in range(200)
+        ]
+        store = TripleStore()
+        import repro.obs.core as core_module
+
+        tracemalloc.start()
+        try:
+            for triple in triples:
+                store.add(triple)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        obs_allocations = snapshot.filter_traces(
+            [tracemalloc.Filter(True, core_module.__file__)]
+        )
+        assert sum(s.size for s in obs_allocations.statistics("filename")) == 0
+
+    def test_enable_disable_roundtrip(self):
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        with obs.span("visible"):
+            pass
+        obs.disable()
+        assert not obs.enabled()
+        with obs.span("invisible"):
+            pass
+        assert [s.name for s in obs.take_roots()] == ["visible"]
+
+
+class TestRendering:
+    def test_render_trace_empty(self):
+        assert obs.render_trace() == "(no spans recorded)"
+
+    def test_render_metrics_empty(self):
+        assert obs.render_metrics() == "(no metrics recorded)"
+
+    def test_render_trace_merges_and_indents(self):
+        obs.enable()
+        with obs.span("root"):
+            for __ in range(2):
+                with obs.span("child") as tracing:
+                    tracing.add("n", 1)
+        text = obs.render_trace()
+        assert "root" in text
+        assert "child x2" in text
+        assert "[n=2]" in text
+        assert "└─" in text
+
+    def test_render_metrics_tables(self):
+        obs.enable()
+        obs.count("c.one", 2)
+        obs.gauge("g.one", 1.5)
+        obs.observe("h.one", 2.0)
+        text = obs.render_metrics()
+        assert "counter" in text and "c.one" in text
+        assert "gauge" in text and "g.one" in text
+        assert "histogram" in text and "h.one" in text
+
+    def test_stage_breakdown_paths(self):
+        obs.enable()
+        with obs.span("build"):
+            with obs.span("extract"):
+                pass
+            with obs.span("extract"):
+                pass
+        breakdown = obs.stage_breakdown()
+        stages = {entry["stage"]: entry for entry in breakdown}
+        assert stages["build"]["calls"] == 1
+        assert stages["build/extract"]["calls"] == 2
+
+    def test_report_json_is_serializable(self):
+        import json
+
+        obs.enable()
+        with obs.span("a") as tracing:
+            tracing.add("n", 1)
+            obs.count("c", 1)
+            obs.observe("h", 0.5)
+        json.dumps(obs.report_json())
+
+
+class TestInstrumentedComponents:
+    def test_store_counters(self):
+        obs.enable()
+        store = TripleStore()
+        t = Triple(Entity("e:a"), Relation("r:p"), Entity("e:b"))
+        store.add(t)
+        store.add(t)
+        list(store.match(subject=Entity("e:a")))
+        store.remove(t)
+        counters = obs.report_json()["counters"]
+        assert counters["kb.store.add"] == 2
+        assert counters["kb.store.add.duplicate"] == 1
+        assert counters["kb.store.match"] == 1
+        assert counters["kb.store.remove"] == 1
+
+    def test_mapreduce_publishes_into_registry(self):
+        from repro.bigdata import word_count
+
+        obs.enable()
+        __, stats = word_count(["a b a", "b c"], shards=2)
+        report = obs.report_json()
+        counters = report["counters"]
+        assert counters["mapreduce.jobs"] == 1
+        assert counters["mapreduce.map_input_records"] == stats.map_input_records
+        assert counters["mapreduce.shuffled_records"] == stats.shuffled_records
+        assert report["histograms"]["mapreduce.shard.records"]["count"] == 2
+        span_names = {entry["stage"] for entry in obs.stage_breakdown()}
+        assert "mapreduce.run" in span_names
+        assert "mapreduce.run/mapreduce.map" in span_names
+        assert "mapreduce.run/mapreduce.reduce" in span_names
+
+    def test_consistency_spans_and_counters(self, world):
+        from repro.extraction.consistency import ConsistencyReasoner
+        from repro.kb import Taxonomy
+
+        obs.enable()
+        reasoner = ConsistencyReasoner(Taxonomy(world.store))
+        candidates = TripleStore(
+            t for i, t in enumerate(world.facts) if i < 50
+        )
+        obs.reset()  # drop the counters the store construction recorded
+        accepted, report = reasoner.clean(candidates)
+        stages = {entry["stage"] for entry in obs.stage_breakdown()}
+        assert "consistency.clean" in stages
+        assert "consistency.clean/consistency.solve" in stages
+        counters = obs.report_json()["counters"]
+        assert counters["maxsat.solve_calls"] == 1

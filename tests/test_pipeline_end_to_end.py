@@ -129,3 +129,72 @@ class TestAblations:
         ).build()
         assert report.pattern_candidates == 0
         assert report.infobox_candidates > 0
+
+
+class TestBuildDeterminismUnderTracing:
+    """Instrumentation must not change behavior, and traces must be stable.
+
+    Two builds over the same synthetic Wiki seed produce identical triple
+    sets and identical span *structure* (names, nesting, counters — not
+    timings).  This guards against observability code paths perturbing the
+    pipeline.
+    """
+
+    @staticmethod
+    def _traced_build():
+        from repro import obs
+        from repro.corpus import build_wiki
+        from repro.world import WorldConfig, generate_world
+
+        world = generate_world(WorldConfig(seed=55, n_people=30))
+        wiki = build_wiki(world)
+        obs.reset()
+        obs.enable()
+        try:
+            kb, __ = KnowledgeBaseBuilder(wiki, aliases=world.aliases).build()
+            structure = tuple(s.structure() for s in obs.take_roots())
+        finally:
+            obs.disable()
+            obs.reset()
+        return kb, structure
+
+    def test_identical_triples_and_span_structure(self):
+        kb_first, structure_first = self._traced_build()
+        kb_second, structure_second = self._traced_build()
+        assert {t.spo() for t in kb_first} == {t.spo() for t in kb_second}
+        assert structure_first == structure_second
+
+    def test_tracing_does_not_change_the_kb(self):
+        from repro import obs
+        from repro.corpus import build_wiki
+        from repro.world import WorldConfig, generate_world
+
+        world = generate_world(WorldConfig(seed=55, n_people=30))
+        wiki = build_wiki(world)
+        obs.disable()
+        obs.reset()
+        kb_untraced, __ = KnowledgeBaseBuilder(
+            wiki, aliases=world.aliases
+        ).build()
+        kb_traced, structure = self._traced_build()
+        assert {t.spo() for t in kb_untraced} == {t.spo() for t in kb_traced}
+        # The traced run covered every enabled pipeline stage.
+        names = set()
+
+        def collect(node):
+            names.add(node[0])
+            for child in node[2]:
+                collect(child)
+
+        for root in structure:
+            collect(root)
+        assert {
+            "pipeline.build",
+            "pipeline.taxonomy",
+            "pipeline.extract",
+            "pipeline.temporal",
+            "pipeline.merge",
+            "pipeline.consistency",
+            "pipeline.multilingual",
+            "pipeline.labels",
+        } <= names

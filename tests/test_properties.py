@@ -190,6 +190,102 @@ class TestParserInvariants:
         assert (forward is None) == (backward is None)
 
 
+_confident_triples = st.builds(
+    Triple,
+    _entities,
+    _relations,
+    _entities,
+    st.floats(0.0, 1.0).map(lambda c: round(c, 3)),
+)
+_operations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), _confident_triples),
+    max_size=60,
+)
+
+
+class TestTripleStoreInvariants:
+    """After any add/remove sequence, every index agrees with ``_by_spo``."""
+
+    @staticmethod
+    def _assert_indexes_consistent(store: TripleStore) -> None:
+        keys = set(store._by_spo)
+        index_views = {
+            "_by_s": store._by_s,
+            "_by_p": store._by_p,
+            "_by_o": store._by_o,
+            "_by_sp": store._by_sp,
+            "_by_po": store._by_po,
+        }
+        # 1. Every index entry points at a live key; no empty buckets linger.
+        for name, index in index_views.items():
+            for bucket_key, bucket in index.items():
+                assert bucket, f"{name}[{bucket_key!r}] is an empty bucket"
+                assert bucket <= keys, f"{name} holds dead keys"
+        # 2. Every live key is present in all five indexes, in the right
+        #    bucket.
+        for s, p, o in keys:
+            assert (s, p, o) in store._by_s[s]
+            assert (s, p, o) in store._by_p[p]
+            assert (s, p, o) in store._by_o[o]
+            assert (s, p, o) in store._by_sp[(s, p)]
+            assert (s, p, o) in store._by_po[(p, o)]
+        # 3. Index cardinalities add up: each index partitions the key set.
+        for name, index in index_views.items():
+            total = sum(len(bucket) for bucket in index.values())
+            assert total == len(keys), f"{name} cardinality mismatch"
+
+    @settings(max_examples=80, deadline=None)
+    @given(_operations)
+    def test_indexes_agree_after_any_operation_sequence(self, operations):
+        store = TripleStore()
+        oracle: dict[tuple, Triple] = {}
+        for action, triple in operations:
+            if action == "add":
+                store.add(triple)
+                existing = oracle.get(triple.spo())
+                if existing is None or triple.confidence > existing.confidence:
+                    oracle[triple.spo()] = triple
+            else:
+                store.remove(triple)
+                oracle.pop(triple.spo(), None)
+        self._assert_indexes_consistent(store)
+        assert set(store._by_spo) == set(oracle)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_operations)
+    def test_higher_confidence_witness_wins(self, operations):
+        store = TripleStore()
+        oracle: dict[tuple, Triple] = {}
+        for action, triple in operations:
+            if action == "add":
+                store.add(triple)
+                existing = oracle.get(triple.spo())
+                if existing is None or triple.confidence > existing.confidence:
+                    oracle[triple.spo()] = triple
+            else:
+                store.remove(triple)
+                oracle.pop(triple.spo(), None)
+        for key, expected in oracle.items():
+            stored = store.get(*key)
+            assert stored is not None
+            assert stored.confidence == expected.confidence
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_confident_triples, max_size=40))
+    def test_match_agrees_with_scan_after_load(self, triples):
+        store = TripleStore(triples)
+        everything = list(store)
+        for s, p, o in {t.spo() for t in everything}:
+            assert store.contains_fact(s, p, o)
+            assert {t.spo() for t in store.match(subject=s)} == {
+                t.spo() for t in everything if t.subject == s
+            }
+            assert {t.spo() for t in store.match(predicate=p, obj=o)} == {
+                t.spo() for t in everything
+                if t.predicate == p and t.object == o
+            }
+
+
 class TestWorldDeterminism:
     def test_same_seed_same_everything(self):
         from repro.corpus import CorpusConfig, build_wiki, synthesize
