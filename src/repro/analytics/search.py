@@ -60,7 +60,7 @@ class EntitySearch:
                 self._profiles[subject].update(_words(obj.value))
         self._names = names
         for profile in self._profiles.values():
-            for word in set(profile):
+            for word in set(profile):  # det: allow-unordered -- counter increments commute
                 self._document_frequency[word] += 1
 
     def search(

@@ -16,7 +16,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Generic, Iterable, Optional, TypeVar
 
-from ..ml.features import stable_hash
+from ..determinism.stable import stable_hash
 from ..obs import core as _obs
 
 I = TypeVar("I")   # input record

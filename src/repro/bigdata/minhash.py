@@ -14,7 +14,7 @@ from typing import Hashable, Iterable, Sequence
 
 from functools import lru_cache
 
-from ..ml.features import stable_hash
+from ..determinism.stable import stable_hash
 
 _MERSENNE = (1 << 61) - 1
 
@@ -46,7 +46,7 @@ class MinHasher:
 
     def signature(self, items: Iterable[Hashable]) -> tuple[int, ...]:
         """The MinHash signature of a set of items."""
-        hashes = [stable_hash(repr(item)) for item in set(items)]
+        hashes = [stable_hash(repr(item)) for item in set(items)]  # det: allow-unordered -- feeds min() only
         if not hashes:
             return tuple([_MERSENNE] * self.num_hashes)
         signature = []

@@ -1,14 +1,18 @@
-"""The command-line interface: build, inspect, query, and ask.
+"""The command-line interface: build, inspect, query, ask, and verify.
 
-Four subcommands expose the end-to-end system without writing Python::
+Five subcommands expose the end-to-end system without writing Python::
 
     python -m repro build --seed 7 --people 120 --out kb.nt
     python -m repro stats --kb kb.nt
     python -m repro query --kb kb.nt --subject world:Viktor_Adler
     python -m repro ask --kb kb.nt "Where was Viktor Adler born?"
+    python -m repro check-determinism --runs 3
 
 ``build`` generates a synthetic world + encyclopedia and runs the full
-harvesting pipeline; the other commands operate on any saved KB file.
+harvesting pipeline; ``stats``/``query``/``ask`` operate on any saved KB
+file; ``check-determinism`` rebuilds the KB in fresh subprocesses under
+distinct ``PYTHONHASHSEED`` values and verifies the canonical
+serializations are byte-identical.
 """
 
 from __future__ import annotations
@@ -65,6 +69,28 @@ def _build_parser() -> argparse.ArgumentParser:
     ask = commands.add_parser("ask", help="answer a natural-language question")
     ask.add_argument("--kb", required=True)
     ask.add_argument("question", help='e.g. "Where was Viktor Adler born?"')
+
+    determinism = commands.add_parser(
+        "check-determinism",
+        help="verify the build is byte-identical across processes",
+    )
+    determinism.add_argument(
+        "--runs", type=int, default=3,
+        help="number of fresh-subprocess builds (distinct PYTHONHASHSEED each)",
+    )
+    determinism.add_argument("--seed", type=int, default=7)
+    determinism.add_argument(
+        "--people", type=int, default=40,
+        help="world size per run (small default keeps the check fast)",
+    )
+    determinism.add_argument(
+        "--shards", type=int, default=None,
+        help="also exercise the map-reduce extraction path",
+    )
+    determinism.add_argument(
+        "--skip-lint", action="store_true",
+        help="only run the subprocess comparison, not the iteration lint",
+    )
 
     return parser
 
@@ -151,6 +177,42 @@ def _command_ask(args, out) -> int:
     return 0
 
 
+def _command_check_determinism(args, out) -> int:
+    from .determinism import check_determinism, lint_paths
+
+    if args.runs < 2:
+        print("error: --runs must be at least 2", file=out)
+        return 2
+    status = 0
+    if not args.skip_lint:
+        package_root = __path_of_package()
+        findings = lint_paths([package_root])
+        if findings:
+            for finding in findings:
+                print(finding.render(), file=out)
+            print(f"lint: {len(findings)} unordered-iteration finding(s)", file=out)
+            status = 1
+        else:
+            print("lint: clean", file=out)
+    print(
+        f"Building {args.runs}x (seed={args.seed}, people={args.people}"
+        + (f", shards={args.shards}" if args.shards else "")
+        + ") under distinct PYTHONHASHSEED values ...",
+        file=out,
+    )
+    report = check_determinism(
+        runs=args.runs, seed=args.seed, people=args.people, shards=args.shards
+    )
+    print(report.describe(), file=out)
+    return status if report.ok else 1
+
+
+def __path_of_package() -> str:
+    import os
+
+    return os.path.dirname(os.path.abspath(__file__))
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     if out is None:
@@ -161,6 +223,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "stats": _command_stats,
         "query": _command_query,
         "ask": _command_ask,
+        "check-determinism": _command_check_determinism,
     }
     return handlers[args.command](args, out)
 

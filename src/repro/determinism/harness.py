@@ -1,0 +1,203 @@
+"""The cross-process determinism harness.
+
+The KB pipeline's contract is that ``repro build --seed S`` produces the
+same knowledge base in *every* process.  The one thing a single-process
+test cannot catch is Python's per-process hash randomization leaking into
+iteration order, so this harness runs the build N times in fresh
+subprocesses, each under a distinct ``PYTHONHASHSEED``, canonically
+serializes every resulting KB (sorted triples with confidence, provenance,
+and temporal scope — :func:`repro.determinism.stable.canonical_kb_lines`),
+and byte-compares the serializations.  On divergence it reports the first
+differing triple together with the pipeline stage that produced it, so the
+leak can be bisected straight to a subsystem.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .stable import canonical_kb_lines
+
+#: Triple provenance (the ``src=`` annotation) -> producing pipeline stage,
+#: matching the ``repro.obs`` span names of the build pipeline.
+_SOURCE_TO_STAGE = {
+    "infobox": "pipeline.extract.infobox",
+    "surface-patterns": "pipeline.extract.sentences",
+    "year-attributes": "pipeline.extract.sentences",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Divergence:
+    """The first point where two runs' canonical serializations differ."""
+
+    run_a: int                  # PYTHONHASHSEED of the reference run
+    run_b: int                  # PYTHONHASHSEED of the diverging run
+    line_a: Optional[str]       # triple present at the position in run A
+    line_b: Optional[str]       # triple present at the position in run B
+    stage: str                  # best-effort producing pipeline stage
+
+    def describe(self) -> str:
+        parts = [
+            f"runs PYTHONHASHSEED={self.run_a} and PYTHONHASHSEED={self.run_b} "
+            f"diverge (stage: {self.stage})"
+        ]
+        if self.line_a is not None:
+            parts.append(f"  only/first in run {self.run_a}: {self.line_a}")
+        if self.line_b is not None:
+            parts.append(f"  only/first in run {self.run_b}: {self.line_b}")
+        return "\n".join(parts)
+
+
+@dataclass(slots=True)
+class DeterminismReport:
+    """Outcome of a multi-process determinism check."""
+
+    ok: bool
+    runs: int
+    hash_seeds: list[int] = field(default_factory=list)
+    triples: int = 0
+    divergence: Optional[Divergence] = None
+    build_args: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"deterministic: {self.runs} subprocess builds "
+                f"(PYTHONHASHSEED={self.hash_seeds}) produced byte-identical "
+                f"canonical KBs ({self.triples} triples)"
+            )
+        assert self.divergence is not None
+        return "NOT deterministic:\n" + self.divergence.describe()
+
+
+def stage_of_line(line: Optional[str]) -> str:
+    """Best-effort producing stage of one canonical triple line.
+
+    Extraction triples carry their extractor in the ``src=`` annotation;
+    taxonomy and label triples are recognized by predicate.  This is the
+    provenance-based bisection over the PR-1 ``repro.obs`` stage breakdown.
+    """
+    if line is None:
+        return "unknown"
+    source = None
+    if " # " in line:
+        for item in line.rsplit(" # ", 1)[1].split():
+            key, __, value = item.partition("=")
+            if key == "src":
+                source = value
+    if source in _SOURCE_TO_STAGE:
+        return _SOURCE_TO_STAGE[source]
+    if "<<rdf:type>>" in line or "<<rdfs:subClassOf>>" in line:
+        return "pipeline.taxonomy"
+    if "<<rdfs:label>>" in line:
+        return "pipeline.multilingual"
+    if "<<skos:prefLabel>>" in line:
+        return "pipeline.labels"
+    if source is not None:
+        # Label triples harvested from pages use the page title as source.
+        return "pipeline.multilingual"
+    return "pipeline (schema or unattributed)"
+
+
+def first_divergence(
+    lines_a: list[str], lines_b: list[str], run_a: int, run_b: int
+) -> Divergence:
+    """Locate the first differing canonical line between two runs."""
+    for a, b in zip(lines_a, lines_b):
+        if a != b:
+            return Divergence(run_a, run_b, a, b, stage_of_line(min(a, b)))
+    # One serialization is a strict prefix of the other.
+    if len(lines_a) > len(lines_b):
+        extra = lines_a[len(lines_b)]
+        return Divergence(run_a, run_b, extra, None, stage_of_line(extra))
+    extra = lines_b[len(lines_a)]
+    return Divergence(run_a, run_b, None, extra, stage_of_line(extra))
+
+
+def _build_once(
+    hash_seed: int,
+    out_path: str,
+    seed: int,
+    people: int,
+    shards: Optional[int],
+    timeout: float,
+) -> list[str]:
+    """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
+    from ..kb.rdfio import load
+
+    command = [
+        sys.executable, "-m", "repro", "build",
+        "--seed", str(seed), "--people", str(people), "--out", out_path,
+    ]
+    if shards is not None:
+        command += ["--shards", str(shards)]
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    # The subprocess must resolve the same ``repro`` package as this one.
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, timeout=timeout
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"build under PYTHONHASHSEED={hash_seed} failed "
+            f"(exit {completed.returncode}):\n{completed.stderr}"
+        )
+    return canonical_kb_lines(load(out_path))
+
+
+def check_determinism(
+    runs: int = 3,
+    seed: int = 7,
+    people: int = 40,
+    shards: Optional[int] = None,
+    hash_seeds: Optional[Sequence[int]] = None,
+    timeout: float = 600.0,
+) -> DeterminismReport:
+    """Build the KB ``runs`` times under distinct hash seeds and compare.
+
+    Returns a report; ``report.ok`` is True iff every run's canonical
+    serialization is byte-identical to the first run's.
+    """
+    if runs < 2:
+        raise ValueError("a determinism check needs at least 2 runs")
+    seeds = list(hash_seeds) if hash_seeds is not None else list(range(runs))
+    if len(seeds) != runs:
+        raise ValueError("hash_seeds must provide one value per run")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("hash_seeds must be distinct")
+
+    build_args = ["--seed", str(seed), "--people", str(people)]
+    if shards is not None:
+        build_args += ["--shards", str(shards)]
+    report = DeterminismReport(
+        ok=True, runs=runs, hash_seeds=seeds, build_args=build_args
+    )
+    reference: Optional[list[str]] = None
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        for index, hash_seed in enumerate(seeds):
+            out_path = os.path.join(tmp, f"kb_{hash_seed}.nt")
+            lines = _build_once(
+                hash_seed, out_path, seed, people, shards, timeout
+            )
+            if reference is None:
+                reference = lines
+                report.triples = len(lines)
+                continue
+            if lines != reference:
+                report.ok = False
+                report.divergence = first_divergence(
+                    reference, lines, seeds[0], hash_seed
+                )
+                return report
+    return report

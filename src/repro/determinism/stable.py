@@ -1,0 +1,90 @@
+"""Hash-seed-independent hashing and canonical iteration helpers.
+
+Python salts ``hash()`` per process (``PYTHONHASHSEED``), so anything that
+reaches KB output, RNG consumption, or shard partitioning must never depend
+on builtin hashes or on ``set``/``frozenset`` iteration order.  This module
+is the single home of the replacements:
+
+* :func:`stable_hash` — a deterministic 64-bit hash (blake2b), the only
+  hash allowed for partitioning, feature hashing, and sharding;
+* :func:`stable_str_key` — a canonical string sort key for heterogeneous
+  values (entities, relations, tuples of them);
+* :func:`sorted_items` / :func:`sorted_set` — canonical-iteration wrappers
+  that make the ordering decision explicit at the call site;
+* :func:`canonical_kb_lines` / :func:`canonical_kb_text` — the canonical
+  serialization of a triple store (sorted triple lines including
+  confidence, source provenance, and temporal scope) that the determinism
+  harness byte-compares across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Iterable, Mapping, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+T = TypeVar("T")
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic 64-bit hash, independent of ``PYTHONHASHSEED``.
+
+    Strings hash their UTF-8 bytes; any other value hashes its ``repr``.
+    Use this — never builtin ``hash()`` — for anything that decides output
+    content, iteration order, or shard assignment.
+    """
+    text = value if isinstance(value, str) else repr(value)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stable_str_key(value: Any) -> str:
+    """A canonical string sort key for heterogeneous values.
+
+    Strings sort as themselves; everything else sorts by ``repr``, which is
+    stable for the toolkit's value types (entities, relations, literals,
+    tuples thereof) because none of them embed memory addresses.
+    """
+    return value if isinstance(value, str) else repr(value)
+
+
+def sorted_items(
+    mapping: Mapping[K, V], key: Optional[Callable[[K], Any]] = None
+) -> list[tuple[K, V]]:
+    """The mapping's items sorted by canonical key order.
+
+    Use when a dict's *content* order matters (it was filled from unordered
+    sources) and the iteration feeds output or an RNG.
+    """
+    key = key or stable_str_key
+    return sorted(mapping.items(), key=lambda kv: key(kv[0]))
+
+
+def sorted_set(
+    values: Iterable[T], key: Optional[Callable[[T], Any]] = None
+) -> list[T]:
+    """A set (or any iterable) as a canonically sorted list.
+
+    The explicit way to iterate a ``set``/``frozenset`` deterministically;
+    the unordered-iteration lint recognizes this wrapper as safe.
+    """
+    return sorted(values, key=key or stable_str_key)
+
+
+def canonical_kb_lines(store: Iterable) -> list[str]:
+    """The canonical line serialization of a triple store.
+
+    One line per triple in the rdfio line format (subject, predicate,
+    object, confidence, source, scope), sorted lexicographically — the
+    byte-comparable form two builds of the same KB must agree on.
+    """
+    from ..kb.rdfio import triple_to_line
+
+    return sorted(triple_to_line(triple) for triple in store)
+
+
+def canonical_kb_text(store: Iterable) -> str:
+    """The canonical serialization as one newline-terminated string."""
+    lines = canonical_kb_lines(store)
+    return "\n".join(lines) + ("\n" if lines else "")

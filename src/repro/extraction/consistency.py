@@ -65,10 +65,14 @@ class ConsistencyReasoner:
         report = ConsistencyReport(candidates=len(candidates))
         with _obs.span("consistency.clean") as cleaning:
             problem = WeightedMaxSat()
-            triples: dict[FactKey, Triple] = {}
-            for triple in candidates:
-                key = triple.spo()
-                triples[key] = triple
+            # Ground in canonical (s, p, o) order so clause indexes — and
+            # therefore the WalkSAT trajectory — are the same no matter how
+            # the candidate store was assembled.
+            triples: dict[FactKey, Triple] = {
+                triple.spo(): triple for triple in candidates
+            }
+            triples = {key: triples[key] for key in sorted(triples, key=repr)}
+            for key, triple in triples.items():
                 weight = max(triple.confidence, self.min_confidence_weight)
                 problem.add_soft_unit(key, True, weight)
 

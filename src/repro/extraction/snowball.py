@@ -104,7 +104,7 @@ class SnowballExtractor:
     ) -> list[LearnedPattern]:
         """Score every (middle, direction) context against the known pairs."""
         known_objects: dict[Entity, set[Entity]] = defaultdict(set)
-        for subject, obj in known:
+        for subject, obj in sorted(known, key=repr):
             known_objects[subject].add(obj)
         stats: dict[tuple[tuple[str, ...], bool], list[int]] = defaultdict(lambda: [0, 0])
         for occurrence in occurrences:

@@ -106,7 +106,7 @@ class Taxonomy:
         if not transitive:
             return direct
         full = set(direct)
-        for cls in direct:
+        for cls in direct:  # det: allow-unordered -- set union commutes
             full |= self.superclasses(cls)
         return full
 
@@ -146,7 +146,7 @@ class Taxonomy:
         """True if some declared-disjoint pair subsumes (c1, c2)."""
         ancestors1 = self.superclasses(c1, include_self=True)
         ancestors2 = self.superclasses(c2, include_self=True)
-        for pair in self._disjoint_classes:
+        for pair in self._disjoint_classes:  # det: allow-unordered -- symmetric membership test
             a, b = tuple(pair) if len(pair) == 2 else (next(iter(pair)),) * 2
             if (a in ancestors1 and b in ancestors2) or (b in ancestors1 and a in ancestors2):
                 return True

@@ -5,6 +5,11 @@ indexes (SP, PO) so every triple-pattern shape resolves to a dictionary
 lookup rather than a scan.  Triples are deduplicated on their (s, p, o) key;
 when the same fact is added twice, the higher-confidence witness wins.
 
+Index buckets are insertion-ordered dicts used as ordered sets (value is
+always None), NOT builtin sets: ``match`` results must iterate in an order
+that does not depend on the per-process ``PYTHONHASHSEED``, because callers
+feed that order into seeded RNGs (corpus synthesis) and into the KB itself.
+
 This is the substrate everything else in the toolkit writes into: the
 synthetic-world generator, every extractor, the consistency reasoner, and the
 NED and linkage components all read and write :class:`TripleStore` instances.
@@ -25,12 +30,14 @@ class TripleStore:
     """An in-memory collection of :class:`~repro.kb.triple.Triple` objects."""
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        # Buckets are dict[key, None] (insertion-ordered sets): iteration
+        # order must be hash-seed independent — see the module docstring.
         self._by_spo: dict[tuple[Resource, Resource, Term], Triple] = {}
-        self._by_s: dict[Resource, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
-        self._by_p: dict[Resource, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
-        self._by_o: dict[Term, set[tuple[Resource, Resource, Term]]] = defaultdict(set)
-        self._by_sp: dict[tuple[Resource, Resource], set[tuple[Resource, Resource, Term]]] = defaultdict(set)
-        self._by_po: dict[tuple[Resource, Term], set[tuple[Resource, Resource, Term]]] = defaultdict(set)
+        self._by_s: dict[Resource, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
+        self._by_p: dict[Resource, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
+        self._by_o: dict[Term, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
+        self._by_sp: dict[tuple[Resource, Resource], dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
+        self._by_po: dict[tuple[Resource, Term], dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
         self.add_all(triples)
 
     # ------------------------------------------------------------------ write
@@ -53,11 +60,11 @@ class TripleStore:
             return False
         self._by_spo[key] = triple
         s, p, o = key
-        self._by_s[s].add(key)
-        self._by_p[p].add(key)
-        self._by_o[o].add(key)
-        self._by_sp[(s, p)].add(key)
-        self._by_po[(p, o)].add(key)
+        self._by_s[s][key] = None
+        self._by_p[p][key] = None
+        self._by_o[o][key] = None
+        self._by_sp[(s, p)][key] = None
+        self._by_po[(p, o)][key] = None
         return True
 
     def add_fact(
@@ -92,7 +99,7 @@ class TripleStore:
             (self._by_sp, (s, p)),
             (self._by_po, (p, o)),
         ):
-            index[index_key].discard(key)
+            index[index_key].pop(key, None)
             if not index[index_key]:
                 del index[index_key]
         return True

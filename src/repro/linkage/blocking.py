@@ -40,6 +40,15 @@ class BlockingResult:
             return 0.0
         return 1.0 - len(self.pairs) / self.total_possible
 
+    def sorted_pairs(self) -> list[Pair]:
+        """The candidate pairs in canonical (id, id) order.
+
+        ``pairs`` is a set; anything that *iterates* the candidates — pair
+        scoring, clustering, sampling — must go through this accessor so
+        the downstream order never depends on ``PYTHONHASHSEED``.
+        """
+        return sorted(self.pairs, key=lambda p: (p[0].id, p[1].id))
+
 
 def default_keys(record: EntityRecord) -> list[str]:
     """The default blocking keys: lowercased name tokens and a 3-prefix."""

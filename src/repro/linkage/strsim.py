@@ -120,7 +120,7 @@ class TfIdfCosine:
         """Learn document frequencies from a corpus of names."""
         for name in names:
             self._documents += 1
-            for token in set(name.lower().split()):
+            for token in set(name.lower().split()):  # det: allow-unordered -- counter increments commute
                 self._document_frequency[token] += 1
         return self
 

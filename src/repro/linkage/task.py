@@ -69,7 +69,7 @@ def make_linkage_task(
         kept = {e for e in kept if rng.random() < entity_subset}
 
     remap: dict[Entity, Entity] = {
-        e: Entity("b:" + e.local_name) for e in kept
+        e: Entity("b:" + e.local_name) for e in sorted(kept, key=lambda e: e.id)
     }
 
     store_a = TripleStore()

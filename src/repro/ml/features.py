@@ -9,16 +9,15 @@ feature space is unbounded (web-scale text).
 
 from __future__ import annotations
 
-import hashlib
 from typing import Iterable, Mapping
 
 import numpy as np
 
+# Canonical home is the determinism package; re-exported here because the
+# feature hasher predates it and callers import it from both places.
+from ..determinism.stable import stable_hash
 
-def stable_hash(text: str) -> int:
-    """A deterministic 64-bit hash (Python's builtin hash is salted)."""
-    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little")
+__all__ = ["FeatureHasher", "stable_hash"]
 
 
 class FeatureHasher:

@@ -48,7 +48,7 @@ class EntityContextIndex:
                 bag.update(_words(value))
             self._profiles[page.entity] = bag
             self._documents += 1
-            for word in set(bag):
+            for word in set(bag):  # det: allow-unordered -- counter increments commute
                 self._document_frequency[word] += 1
 
     def _idf(self, word: str) -> float:

@@ -258,7 +258,9 @@ class _SearchState:
     def _key(self) -> tuple[float, float]:
         hard = 0
         soft = 0.0
-        for index in self.unsatisfied:
+        # Sorted so the float accumulation order (and its rounding) is the
+        # same in every process regardless of set history.
+        for index in sorted(self.unsatisfied):
             clause = self.clauses[index]
             if clause.is_hard:
                 hard += 1
@@ -311,8 +313,14 @@ class _SearchState:
             live = self.unsatisfied - dead
             if not live:
                 break
-            hard_unsat = [i for i in live if self.clauses[i].is_hard]
-            pool = hard_unsat if hard_unsat else sorted(live)
+            # Candidate pools are sorted so the rng-indexed pick (and hence
+            # the whole search trajectory) never depends on set iteration
+            # order; clause indexes sort by (weight desc, index) so heavier
+            # clauses are repaired first on equal rng draws.
+            hard_unsat = sorted(i for i in live if self.clauses[i].is_hard)
+            pool = hard_unsat if hard_unsat else sorted(
+                live, key=lambda i: (-self.clauses[i].weight, i)
+            )
             clause = self.clauses[pool[rng.randrange(len(pool))]]
             flippable = [v for v, __ in clause.literals if v not in self.forced]
             if not flippable:

@@ -115,7 +115,7 @@ class ProbabilisticTaxonomy:
         for instance in instance_list:
             candidates |= self._concepts_of[instance]
         raw: dict[str, float] = {}
-        for concept in candidates:
+        for concept in sorted(candidates):
             score = self._concept_totals[concept] / grand_total
             for instance in instance_list:
                 likelihood = self.typicality(instance, concept)

@@ -71,14 +71,17 @@ class SetExpander:
             return []
         # A context is reliable in proportion to how many distinct seeds use
         # it: listing constructs shared by several seeds beat one-off noise.
+        # Canonical context order: score accumulation below is float
+        # arithmetic, whose rounding must not depend on set iteration order.
+        context_order = sorted(seed_contexts)
         reliability = {
             context: sum(1 for s in seed_set if context in self._contexts_of.get(s, ()))
             / len(seed_set)
-            for context in seed_contexts
+            for context in context_order
         }
         scores: dict[str, float] = defaultdict(float)
         shared: dict[str, int] = defaultdict(int)
-        for context in seed_contexts:
+        for context in context_order:
             weight = reliability[context]
             for name in self._mentions_in.get(context, ()):
                 if name in seed_set:

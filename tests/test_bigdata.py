@@ -43,6 +43,43 @@ class TestMapReduce:
         second, __ = word_count(["z y x w v"], shards=4)
         assert list(first.items()) == list(second.items())
 
+    def test_shard_assignment_is_pinned(self):
+        # Shard routing must be identical in every process (stable_hash,
+        # never builtin hash), so the key->shard mapping is a contract.
+        # These values were computed once and must never drift.
+        from repro.determinism.stable import stable_hash
+
+        expected_mod4 = {
+            "alpha": 2, "beta": 3, "gamma": 2, "delta": 1, "epsilon": 2,
+        }
+        expected_mod7 = {
+            "alpha": 4, "beta": 3, "gamma": 0, "delta": 0, "epsilon": 1,
+        }
+        for key, shard in expected_mod4.items():
+            assert stable_hash(repr(key)) % 4 == shard
+        for key, shard in expected_mod7.items():
+            assert stable_hash(repr(key)) % 7 == shard
+
+    def test_shard_routing_matches_stable_hash(self):
+        # The engine must route a key to stable_hash(repr(key)) % shards —
+        # the exact rule the pinned mapping above freezes.
+        from repro.determinism.stable import stable_hash
+
+        engine: MapReduce = MapReduce(shards=4)
+
+        def mapper(word):
+            yield word, 1
+
+        def reducer(word, counts):
+            yield word, sum(counts)
+
+        keys = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        __, stats = engine.run(keys, mapper, reducer)
+        expected_per_shard = [0, 0, 0, 0]
+        for key in keys:
+            expected_per_shard[stable_hash(repr(key)) % 4] += 1
+        assert stats.records_per_shard == expected_per_shard
+
     def test_records_per_shard_accounting(self):
         __, stats = word_count(["a b c d e f g h"], shards=4)
         assert len(stats.records_per_shard) == 4

@@ -220,7 +220,7 @@ class TestTripleStoreInvariants:
         for name, index in index_views.items():
             for bucket_key, bucket in index.items():
                 assert bucket, f"{name}[{bucket_key!r}] is an empty bucket"
-                assert bucket <= keys, f"{name} holds dead keys"
+                assert set(bucket) <= keys, f"{name} holds dead keys"
         # 2. Every live key is present in all five indexes, in the right
         #    bucket.
         for s, p, o in keys:

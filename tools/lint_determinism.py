@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Repo entry point for the unordered-iteration determinism lint.
+
+Usage (from the repository root)::
+
+    python tools/lint_determinism.py             # lints src/repro
+    python tools/lint_determinism.py src tests   # explicit paths
+
+Exit code 1 if any non-allowlisted hash-order-dependent iteration is
+found.  See :mod:`repro.determinism.lint` for the rules and the inline
+``# det: allow-unordered`` pragma.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.determinism.lint import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    arguments = sys.argv[1:] or [os.path.join(_REPO_ROOT, "src", "repro")]
+    sys.exit(main(arguments))
