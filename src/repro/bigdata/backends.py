@@ -1,0 +1,212 @@
+"""Pluggable execution backends: serial, thread pool, process pool.
+
+The map-reduce engine and the KB pipeline fan per-record work out through
+one small interface — :meth:`ExecutionBackend.map` runs a function over a
+task list and returns results in task order, whatever executes them:
+
+* :class:`SerialBackend` — in-process, in-order (today's behavior);
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor`` (shared memory, GIL);
+* :class:`ProcessBackend` — a real ``multiprocessing.Pool`` with a
+  per-worker initializer (build the resolver/gazetteer once per process,
+  not once per task) and picklable task payloads.
+
+Worker telemetry is never lost: ``repro.obs`` state is process- and
+thread-local by design, so after every task the worker captures its own
+spans/counters (:func:`repro.obs.core.snapshot`) and ships them back with
+the result; the parent folds them into its registry under a
+``worker[<name>]`` span (:func:`repro.obs.core.merge_snapshot`), which is
+the per-worker breakdown ``build --trace`` renders.
+
+Determinism contract: results are returned (and snapshots merged) in task
+order, regardless of completion order, so a correct caller sees the same
+output from every backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, TypeVar, Union
+
+from ..obs import core as _obs
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The selectable backend names (plus "auto": serial unless workers > 1).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, near-equal
+    batches (deterministically; no empty batches)."""
+    items = list(items)
+    if not items:
+        return []
+    chunks = max(1, min(chunks, len(items)))
+    size, remainder = divmod(len(items), chunks)
+    batches: list[list[T]] = []
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < remainder else 0)
+        batches.append(items[start:stop])
+        start = stop
+    return batches
+
+
+class ExecutionBackend:
+    """Run a function over tasks; results come back in task order."""
+
+    name: str = "?"
+    workers: int = 1
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Sequence[T],
+        *,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: tuple = (),
+    ) -> list[R]:
+        """Execute ``fn`` on every task; ``initializer(*initargs)`` runs
+        once per worker before any task (and once in-process for the
+        serial backend)."""
+        raise NotImplementedError
+
+
+def _collect(outcomes) -> list:
+    """Order (index, result, snapshot) outcomes and merge telemetry.
+
+    Snapshots merge in task order — deterministic however the pool
+    scheduled the work — labeled by the worker that produced them.
+    """
+    results = []
+    for __, result, snap in sorted(outcomes, key=lambda outcome: outcome[0]):
+        if snap is not None:
+            _obs.merge_snapshot(snap, label=f"worker[{snap['worker']}]")
+        results.append(result)
+    return results
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the degenerate one-worker pool."""
+
+    name = "serial"
+
+    def map(self, fn, tasks, *, initializer=None, initargs=()):
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """A thread pool: shared memory, per-thread telemetry capture."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+
+    def map(self, fn, tasks, *, initializer=None, initargs=()):
+        from concurrent.futures import ThreadPoolExecutor
+
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        capture = _obs.ENABLED
+
+        def run_one(indexed):
+            index, task = indexed
+            result = fn(task)
+            snap = _obs.snapshot(reset=True) if capture else None
+            return index, result, snap
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-worker",
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            outcomes = list(pool.map(run_one, enumerate(tasks)))
+        return _collect(outcomes)
+
+
+# Worker-process globals, installed by the pool initializer: the task
+# function arrives once per worker (not once per task).
+_PROCESS_FN: Optional[Callable] = None
+
+
+def _process_worker_init(fn, capture, initializer, initargs) -> None:
+    global _PROCESS_FN
+    _PROCESS_FN = fn
+    # Clear anything a forked child inherited mid-trace from the parent.
+    _obs.reset()
+    if capture:
+        _obs.enable()
+    else:
+        _obs.disable()
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _process_run_task(indexed):
+    index, task = indexed
+    result = _PROCESS_FN(task)
+    snap = _obs.snapshot(reset=True) if _obs.ENABLED else None
+    return index, result, snap
+
+
+class ProcessBackend(ExecutionBackend):
+    """A ``multiprocessing.Pool``: real parallelism, picklable payloads.
+
+    ``fn``, ``initializer``, and task payloads must be picklable
+    (module-level functions, dataclass values) so the backend also works
+    under the ``spawn`` start method.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        import os
+
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def map(self, fn, tasks, *, initializer=None, initargs=()):
+        import multiprocessing
+
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with multiprocessing.Pool(
+            processes=self.workers,
+            initializer=_process_worker_init,
+            initargs=(fn, _obs.ENABLED, initializer, initargs),
+        ) as pool:
+            outcomes = pool.map(_process_run_task, list(enumerate(tasks)), chunksize=1)
+        return _collect(outcomes)
+
+
+def get_backend(
+    name: Union[str, ExecutionBackend, None] = "auto", workers: int = 0
+) -> ExecutionBackend:
+    """Resolve a backend spec to an instance.
+
+    ``"auto"`` (or ``None``) means serial for ``workers <= 1`` and a
+    process pool otherwise — the CLI's ``--workers N`` default. An
+    :class:`ExecutionBackend` instance passes through unchanged.
+    """
+    if isinstance(name, ExecutionBackend):
+        return name
+    if name is None or name == "auto":
+        name = "serial" if workers <= 1 else "process"
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers if workers > 1 else 2)
+    if name == "process":
+        return ProcessBackend(workers if workers > 1 else None)
+    raise ValueError(
+        f"unknown backend {name!r} (expected one of {BACKEND_NAMES} or 'auto')"
+    )

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from . import obs
 from .analytics.qa import TemplateQA
+from .bigdata.backends import BACKEND_NAMES
 from .corpus import build_wiki
 from .extraction.resolution import NameResolver
 from .kb import Entity, Literal, Relation, load, ns, save
@@ -54,6 +55,20 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="run extraction through map-reduce with this many shards",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan per-page extraction out over this many workers "
+        "(0 or 1 = in-process)",
+    )
+    build.add_argument(
+        "--backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend for --workers "
+        "(auto = process pool when workers > 1)",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
@@ -91,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--skip-lint", action="store_true",
         help="only run the subprocess comparison, not the iteration lint",
     )
+    determinism.add_argument(
+        "--cross-mode", action="store_true",
+        help="also verify serial, sharded, threaded, and process-parallel "
+        "builds agree byte for byte",
+    )
 
     return parser
 
@@ -99,14 +119,24 @@ def _command_build(args, out) -> int:
     if args.shards is not None and args.shards < 1:
         print("error: --shards must be at least 1", file=out)
         return 2
+    if args.workers < 0:
+        print("error: --workers must be non-negative", file=out)
+        return 2
     print(f"Generating world (seed={args.seed}, people={args.people}) ...", file=out)
     world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
     wiki = build_wiki(world)
-    print(f"Harvesting from {len(wiki.pages)} pages ...", file=out)
+    workers_note = (
+        f" with {args.workers} {args.backend} workers" if args.workers > 1 else ""
+    )
+    print(f"Harvesting from {len(wiki.pages)} pages{workers_note} ...", file=out)
     if args.trace:
         obs.reset()
         obs.enable()
-    config = BuildConfig(mapreduce_shards=args.shards)
+    config = BuildConfig(
+        mapreduce_shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+    )
     try:
         kb, report = KnowledgeBaseBuilder(
             wiki, aliases=world.aliases, config=config
@@ -204,7 +234,18 @@ def _command_check_determinism(args, out) -> int:
         runs=args.runs, seed=args.seed, people=args.people, shards=args.shards
     )
     print(report.describe(), file=out)
-    return status if report.ok else 1
+    if not report.ok:
+        return 1
+    if args.cross_mode:
+        from .determinism import CROSS_MODES, check_cross_mode
+
+        labels = ", ".join(mode.label for mode in CROSS_MODES)
+        print(f"Cross-mode: building once per mode ({labels}) ...", file=out)
+        cross = check_cross_mode(seed=args.seed, people=args.people)
+        print(cross.describe(), file=out)
+        if not cross.ok:
+            return 1
+    return status
 
 
 def __path_of_package() -> str:

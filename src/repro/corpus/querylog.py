@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..kb import Entity
 from ..world import World
@@ -96,8 +97,12 @@ def _misspell(text: str, rng: random.Random) -> str:
     return text[:index] + text[index + 1] + text[index] + text[index + 2:]
 
 
-def generate_query_log(world: World, config: QueryLogConfig = QueryLogConfig()) -> QueryLog:
+def generate_query_log(
+    world: World, config: Optional[QueryLogConfig] = None
+) -> QueryLog:
     """Render an attribute-query log from the world (deterministic)."""
+    if config is None:
+        config = QueryLogConfig()
     rng = random.Random(config.seed)
     log = QueryLog()
     class_members = {

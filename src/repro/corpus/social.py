@@ -85,8 +85,12 @@ class SocialStream:
     start_year: int = 0
 
 
-def generate_stream(world: World, config: SocialConfig = SocialConfig()) -> SocialStream:
+def generate_stream(
+    world: World, config: Optional[SocialConfig] = None
+) -> SocialStream:
     """Generate a timestamped post stream about the world's product families."""
+    if config is None:
+        config = SocialConfig()
     rng = random.Random(config.seed)
     families: dict[str, list[Entity]] = {}
     for product in world.products:

@@ -225,8 +225,12 @@ def class_sentences(world: World, rng: random.Random, per_class: int = 3) -> lis
     return sentences
 
 
-def synthesize(world: World, config: CorpusConfig = CorpusConfig()) -> list[Document]:
+def synthesize(
+    world: World, config: Optional[CorpusConfig] = None
+) -> list[Document]:
     """Render the world into an annotated corpus of documents."""
+    if config is None:
+        config = CorpusConfig()
     rng = random.Random(config.seed)
     sentences_by_subject: dict[Entity, list[Sentence]] = {}
 

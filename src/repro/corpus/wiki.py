@@ -109,8 +109,10 @@ _PRODUCT_INFOBOX = {
 }
 
 
-def build_wiki(world: World, config: WikiConfig = WikiConfig()) -> Wiki:
+def build_wiki(world: World, config: Optional[WikiConfig] = None) -> Wiki:
     """Generate the synthetic encyclopedia for a world."""
+    if config is None:
+        config = WikiConfig()
     rng = random.Random(config.seed)
     wiki = Wiki()
     for entity in world.all_entities():

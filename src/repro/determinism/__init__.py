@@ -13,8 +13,12 @@ three tools that keep that contract honest:
 """
 
 from .harness import (
+    CROSS_MODES,
+    BuildMode,
+    CrossModeReport,
     DeterminismReport,
     Divergence,
+    check_cross_mode,
     check_determinism,
     first_divergence,
     stage_of_line,
@@ -30,11 +34,15 @@ from .stable import (
 )
 
 __all__ = [
+    "CROSS_MODES",
+    "BuildMode",
+    "CrossModeReport",
     "DeterminismReport",
     "Divergence",
     "Finding",
     "canonical_kb_lines",
     "canonical_kb_text",
+    "check_cross_mode",
     "check_determinism",
     "first_divergence",
     "lint_file",

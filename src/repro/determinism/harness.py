@@ -10,6 +10,12 @@ and temporal scope — :func:`repro.determinism.stable.canonical_kb_lines`),
 and byte-compares the serializations.  On divergence it reports the first
 differing triple together with the pipeline stage that produced it, so the
 leak can be bisected straight to a subsystem.
+
+The cross-mode check (:func:`check_cross_mode`) extends the same contract
+across *execution strategies*: serial, sharded map-reduce, thread-pool,
+and process-pool builds of the same world must also agree byte for byte.
+Each mode still runs in a fresh subprocess under its own
+``PYTHONHASHSEED``, so a pass certifies both properties at once.
 """
 
 from __future__ import annotations
@@ -127,6 +133,8 @@ def _build_once(
     people: int,
     shards: Optional[int],
     timeout: float,
+    workers: int = 0,
+    backend: Optional[str] = None,
 ) -> list[str]:
     """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
     from ..kb.rdfio import load
@@ -137,6 +145,10 @@ def _build_once(
     ]
     if shards is not None:
         command += ["--shards", str(shards)]
+    if workers:
+        command += ["--workers", str(workers)]
+    if backend is not None:
+        command += ["--backend", backend]
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
     # The subprocess must resolve the same ``repro`` package as this one.
@@ -198,6 +210,89 @@ def check_determinism(
                 report.ok = False
                 report.divergence = first_divergence(
                     reference, lines, seeds[0], hash_seed
+                )
+                return report
+    return report
+
+
+# ------------------------------------------------------ cross-mode checking
+
+
+@dataclass(frozen=True, slots=True)
+class BuildMode:
+    """One execution strategy of the same logical build."""
+
+    label: str
+    shards: Optional[int] = None
+    workers: int = 0
+    backend: Optional[str] = None
+
+
+#: The default mode matrix: every execution strategy the pipeline offers.
+CROSS_MODES: tuple[BuildMode, ...] = (
+    BuildMode("serial"),
+    BuildMode("shards4", shards=4),
+    BuildMode("thread2", workers=2, backend="thread"),
+    BuildMode("process2", workers=2, backend="process"),
+)
+
+
+@dataclass(slots=True)
+class CrossModeReport:
+    """Outcome of a cross-execution-mode determinism check."""
+
+    ok: bool
+    modes: list[str] = field(default_factory=list)
+    triples: int = 0
+    diverging_mode: Optional[str] = None
+    divergence: Optional[Divergence] = None
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"cross-mode deterministic: {len(self.modes)} execution modes "
+                f"({', '.join(self.modes)}) produced byte-identical canonical "
+                f"KBs ({self.triples} triples)"
+            )
+        assert self.divergence is not None
+        return (
+            f"NOT cross-mode deterministic (mode {self.diverging_mode} "
+            f"differs from {self.modes[0]}):\n" + self.divergence.describe()
+        )
+
+
+def check_cross_mode(
+    seed: int = 7,
+    people: int = 40,
+    modes: Sequence[BuildMode] = CROSS_MODES,
+    timeout: float = 600.0,
+) -> CrossModeReport:
+    """Build the same world under every execution mode and byte-compare.
+
+    Each mode runs in a fresh subprocess under a distinct
+    ``PYTHONHASHSEED`` (the mode's index), so this subsumes a 1-run-per-
+    mode hash-seed check on top of the serial/sharded/parallel agreement.
+    """
+    if len(modes) < 2:
+        raise ValueError("a cross-mode check needs at least 2 modes")
+    report = CrossModeReport(ok=True, modes=[mode.label for mode in modes])
+    reference: Optional[list[str]] = None
+    with tempfile.TemporaryDirectory(prefix="repro-crossmode-") as tmp:
+        for index, mode in enumerate(modes):
+            out_path = os.path.join(tmp, f"kb_{mode.label}.nt")
+            lines = _build_once(
+                index, out_path, seed, people, mode.shards, timeout,
+                workers=mode.workers, backend=mode.backend,
+            )
+            if reference is None:
+                reference = lines
+                report.triples = len(lines)
+                continue
+            if lines != reference:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.divergence = first_divergence(
+                    reference, lines, 0, index
                 )
                 return report
     return report

@@ -12,7 +12,12 @@ This lint walks the source tree and flags:
 * ``DET003`` — ``list()``/``tuple()``/``enumerate()``/``zip()`` directly
   materializing a set-valued expression;
 * ``DET004`` — a call to builtin ``hash()`` (use
-  :func:`repro.determinism.stable.stable_hash` instead).
+  :func:`repro.determinism.stable.stable_hash` instead);
+* ``DET005`` — a parameter default constructed at ``def`` time
+  (``config: BuildConfig = BuildConfig()``): the instance is built once at
+  import and shared by every call, so later mutation — or a config class
+  gaining mutable fields — silently couples callers.  Use a ``None``
+  sentinel and construct inside the body.
 
 Set-valuedness is inferred per scope: set literals and comprehensions,
 ``set()``/``frozenset()`` calls, set-operator expressions, ``set``-annotated
@@ -263,6 +268,22 @@ class _FileLinter(ast.NodeVisitor):
         self.scope.attrs = saved_attrs
 
     def _visit_function(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id[:1].isupper()
+            ):
+                self._flag(
+                    default,
+                    "DET005",
+                    f"parameter default {default.func.id}() is constructed "
+                    "once at def time and shared across calls; use a None "
+                    "sentinel and construct in the function body",
+                )
         outer = self.scope
         self.scope = _Scope(parent=outer)
         for arg in list(node.args.args) + list(node.args.kwonlyargs):

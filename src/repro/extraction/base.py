@@ -46,13 +46,35 @@ class Candidate:
 
 
 def merge_candidates(candidates: Iterable[Candidate]) -> dict[tuple, float]:
-    """Noisy-or combination of candidate confidences per fact key."""
-    combined: dict[tuple, float] = {}
+    """Noisy-or combination of candidate confidences per fact key.
+
+    The per-key confidences are folded in sorted order, so every permutation
+    of the same candidate multiset yields bit-identical floats — float
+    multiplication is commutative but not associative, and serial, sharded,
+    and worker-pool extraction deliver candidates in different orders.
+    """
+    grouped: dict[tuple, list[float]] = {}
     for candidate in candidates:
-        key = candidate.key()
-        previous = combined.get(key, 0.0)
-        combined[key] = 1.0 - (1.0 - previous) * (1.0 - candidate.confidence)
+        grouped.setdefault(candidate.key(), []).append(candidate.confidence)
+    combined: dict[tuple, float] = {}
+    for key, confidences in grouped.items():
+        miss = 1.0
+        for confidence in sorted(confidences):
+            miss *= 1.0 - confidence
+        combined[key] = 1.0 - miss
     return combined
+
+
+def _witness_rank(candidate: Candidate) -> tuple:
+    """Sort key electing a fact's provenance witness: highest confidence
+    first, ties broken by (extractor, evidence) lexicographically."""
+    return (-candidate.confidence, candidate.extractor, candidate.evidence)
+
+
+def _scope_rank(candidate: Candidate) -> tuple:
+    """Like :func:`_witness_rank`, with the scope as a last tie-breaker so
+    equal-provenance witnesses with different scopes still elect one."""
+    return _witness_rank(candidate) + (str(candidate.scope),)
 
 
 def candidates_to_store(
@@ -61,32 +83,46 @@ def candidates_to_store(
     """A store of noisy-or-merged candidates above a confidence threshold.
 
     Multiple witnesses of the same fact (several sentences, several
-    extractors) raise the merged confidence; the first witness supplies the
-    provenance string.
+    extractors) raise the merged confidence.  Provenance and temporal scope
+    are elected deterministically and order-independently — the
+    highest-confidence witness wins, ties broken by (extractor, evidence)
+    lexicographically — and triples are added in canonical key order, so
+    serial, sharded, and worker-pool builds produce byte-identical stores
+    regardless of candidate arrival order.
     """
+    from ..determinism.stable import stable_str_key
+
     store = TripleStore()
-    first_witness: dict[tuple, Candidate] = {}
-    scope_of: dict[tuple, TimeSpan] = {}
+    witness_of: dict[tuple, Candidate] = {}
+    scope_of: dict[tuple, Candidate] = {}
     all_candidates = list(candidates)
     with _obs.span("extract.merge") as merging:
         for candidate in all_candidates:
-            first_witness.setdefault(candidate.key(), candidate)
-            if candidate.scope is not None and candidate.key() not in scope_of:
-                scope_of[candidate.key()] = candidate.scope
+            key = candidate.key()
+            best = witness_of.get(key)
+            if best is None or _witness_rank(candidate) < _witness_rank(best):
+                witness_of[key] = candidate
+            if candidate.scope is not None:
+                scoped = scope_of.get(key)
+                if scoped is None or _scope_rank(candidate) < _scope_rank(scoped):
+                    scope_of[key] = candidate
         dropped = 0
-        for key, confidence in merge_candidates(all_candidates).items():
+        merged = merge_candidates(all_candidates)
+        for key in sorted(merged, key=stable_str_key):
+            confidence = merged[key]
             if confidence < min_confidence:
                 dropped += 1
                 continue
             subject, relation, obj = key
+            scoped = scope_of.get(key)
             store.add(
                 Triple(
                     subject,
                     relation,
                     obj,
                     confidence=min(confidence, 1.0),
-                    source=first_witness[key].extractor,
-                    scope=scope_of.get(key),
+                    source=witness_of[key].extractor,
+                    scope=scoped.scope if scoped is not None else None,
                 )
             )
         if _obs.ENABLED:

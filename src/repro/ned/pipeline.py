@@ -50,9 +50,9 @@ class NEDSystem:
         self,
         wiki: Wiki,
         aliases: Optional[dict[Entity, list[str]]] = None,
-        config: NEDConfig = NEDConfig(),
+        config: Optional[NEDConfig] = None,
     ) -> None:
-        self.config = config
+        self.config = config if config is not None else NEDConfig()
         self.dictionary: CandidateDictionary = dictionary_from_wiki(wiki, aliases)
         self.context_index = EntityContextIndex(wiki)
         self.coherence_index = CoherenceIndex(wiki)

@@ -52,10 +52,13 @@ from .core import (
     enable,
     enabled,
     gauge,
+    merge_snapshot,
     observe,
     reset,
+    snapshot,
     span,
     take_roots,
+    worker_label,
 )
 from .render import (
     render_metrics,
@@ -75,10 +78,13 @@ __all__ = [
     "enable",
     "enabled",
     "gauge",
+    "merge_snapshot",
     "observe",
     "reset",
+    "snapshot",
     "span",
     "take_roots",
+    "worker_label",
     "render_metrics",
     "render_trace",
     "report_json",

@@ -2,21 +2,26 @@
 
 Everything lives at module level so hot call sites can gate on a single
 attribute load (``core.ENABLED``) — when the flag is False no span, dict,
-or float is ever allocated.  State is process-local and single-threaded by
-design, matching the rest of the toolkit (the map-reduce engine is an
-in-process simulator).
+or float is ever allocated.  State is process-local and *per-thread*: each
+thread records spans and metrics into its own registry, so worker threads
+of the parallel execution backends never race on a shared span stack.
+Worker telemetry — from pool threads and pool processes alike — is folded
+back into the parent explicitly via :func:`snapshot` (captured in-worker)
+and :func:`merge_snapshot` (applied in the parent), which is how
+``build --trace`` keeps a per-worker breakdown.
 
-The span stack is explicit rather than thread-local: ``span()`` pushes on
-``__enter__`` and pops on ``__exit__``, attaching each finished span to its
-parent (or to the finished-roots list when the stack empties).  Trace
-*structure* — names, nesting, counter values — is deterministic for a
-deterministic program; only the recorded wall times vary run to run, which
-is what the pipeline determinism test relies on.
+The span stack is explicit: ``span()`` pushes on ``__enter__`` and pops on
+``__exit__``, attaching each finished span to its parent (or to the
+finished-roots list when the stack empties).  Trace *structure* — names,
+nesting, counter values — is deterministic for a deterministic program;
+only the recorded wall times vary run to run, which is what the pipeline
+determinism test relies on.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Optional
 
@@ -27,13 +32,44 @@ ENABLED: bool = False
 
 # ----------------------------------------------------------------- registry
 
-_counters: dict[str, float] = {}
-_gauges: dict[str, float] = {}
-_histograms: dict[str, "Histogram"] = {}
 
-# The open-span stack and the finished top-level spans, oldest first.
-_stack: list["Span"] = []
-_roots: list["Span"] = []
+class _State:
+    """One thread's registry: counters, gauges, histograms, span stack."""
+
+    __slots__ = ("counters", "gauges", "histograms", "stack", "roots")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, "Histogram"] = {}
+        # The open-span stack and the finished top-level spans, oldest first.
+        self.stack: list["Span"] = []
+        self.roots: list["Span"] = []
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.stack.clear()
+        self.roots.clear()
+
+
+#: The main thread's registry — the one ``take_roots``/``counters`` etc.
+#: read in ordinary single-threaded use.
+_MAIN_STATE = _State()
+
+_TLS = threading.local()
+
+
+def _state() -> _State:
+    """The calling thread's registry (the module singleton on the main
+    thread, a thread-local instance on any other)."""
+    if threading.current_thread() is threading.main_thread():
+        return _MAIN_STATE
+    state = getattr(_TLS, "state", None)
+    if state is None:
+        state = _TLS.state = _State()
+    return state
 
 
 def enable() -> None:
@@ -54,17 +90,14 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans and metrics (the flag is left as-is).
+    """Drop the calling thread's recorded spans and metrics (flag kept).
 
     Call between pipeline runs so one run's telemetry does not bleed into
     the next — the CLI does this before ``build --trace`` and the bench
-    harness before its instrumented run.
+    harness before its instrumented run.  Worker initializers call it too,
+    clearing any state a forked child inherited from its parent.
     """
-    _counters.clear()
-    _gauges.clear()
-    _histograms.clear()
-    _stack.clear()
-    _roots.clear()
+    _state().clear()
 
 
 # -------------------------------------------------------------------- spans
@@ -98,6 +131,24 @@ class Span:
             tuple(child.structure() for child in self.children),
         )
 
+    def to_dict(self) -> dict:
+        """A picklable/JSON-able export of this span subtree."""
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed,
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span subtree exported by :meth:`to_dict`."""
+        span = cls(payload["name"])
+        span.elapsed = payload["elapsed_s"]
+        span.counters = dict(payload["counters"])
+        span.children = [cls.from_dict(child) for child in payload["children"]]
+        return span
+
     def __repr__(self) -> str:
         return (
             f"Span({self.name!r}, elapsed={self.elapsed:.6f}, "
@@ -115,20 +166,21 @@ class _SpanHandle:
 
     def __enter__(self) -> Span:
         opened = self._span
-        _stack.append(opened)
+        _state().stack.append(opened)
         opened._t0 = time.perf_counter()
         return opened
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         opened = self._span
         opened.elapsed = time.perf_counter() - opened._t0
+        stack = _state().stack
         # Tolerate reset() having been called while this span was open.
-        if _stack and _stack[-1] is opened:
-            _stack.pop()
-            if _stack:
-                _stack[-1].children.append(opened)
+        if stack and stack[-1] is opened:
+            stack.pop()
+            if stack:
+                stack[-1].children.append(opened)
             else:
-                _roots.append(opened)
+                _state().roots.append(opened)
         return False
 
 
@@ -160,46 +212,127 @@ def span(name: str):
 
 
 def current_span() -> Optional[Span]:
-    """The innermost open span, or None."""
-    return _stack[-1] if _stack else None
+    """The innermost open span of the calling thread, or None."""
+    stack = _state().stack
+    return stack[-1] if stack else None
 
 
 def annotate(counter: str, n: float = 1) -> None:
     """Increment a counter on the innermost open span (no-op otherwise)."""
-    if not ENABLED or not _stack:
+    if not ENABLED:
         return
-    _stack[-1].add(counter, n)
+    stack = _state().stack
+    if stack:
+        stack[-1].add(counter, n)
 
 
 def take_roots() -> list[Span]:
-    """The finished top-level spans recorded since the last reset."""
-    return list(_roots)
+    """The calling thread's finished top-level spans since the last reset."""
+    return list(_state().roots)
+
+
+# ----------------------------------------------------- worker telemetry
+
+
+def worker_label() -> str:
+    """A stable-ish name for the executing worker, for trace grouping.
+
+    Pool processes report their process name (``ForkPoolWorker-1``), pool
+    threads their thread name; the parent's main thread reports ``main``.
+    """
+    import multiprocessing
+
+    process = multiprocessing.current_process()
+    if process.name != "MainProcess":
+        return process.name
+    thread = threading.current_thread()
+    if thread is not threading.main_thread():
+        return thread.name
+    return "main"
+
+
+def snapshot(reset: bool = False) -> dict:
+    """A picklable export of the calling thread's recorded telemetry.
+
+    Execution-backend workers call this after each task (with
+    ``reset=True``) and ship the payload back with the task result; the
+    parent folds it in with :func:`merge_snapshot`.  Keys: ``worker`` (the
+    :func:`worker_label`), ``counters``, ``gauges``, ``histograms`` (raw
+    sample lists), and ``spans`` (finished root spans as dicts).
+    """
+    state = _state()
+    payload = {
+        "worker": worker_label(),
+        "counters": dict(state.counters),
+        "gauges": dict(state.gauges),
+        "histograms": {
+            name: list(histogram.values)
+            for name, histogram in state.histograms.items()
+        },
+        "spans": [span.to_dict() for span in state.roots],
+    }
+    if reset:
+        state.clear()
+    return payload
+
+
+def merge_snapshot(payload: dict, label: Optional[str] = None) -> None:
+    """Fold a worker :func:`snapshot` into the calling thread's registry.
+
+    Counters add, gauges last-write-wins, histogram samples extend.  The
+    snapshot's spans are re-attached under the currently open span (or as
+    new roots), wrapped in a ``label`` span when one is given — the
+    per-worker grouping ``build --trace`` renders.
+    """
+    if not ENABLED:
+        return
+    state = _state()
+    for name, value in payload["counters"].items():
+        state.counters[name] = state.counters.get(name, 0) + value
+    state.gauges.update(payload["gauges"])
+    for name, values in payload["histograms"].items():
+        histogram = state.histograms.get(name)
+        if histogram is None:
+            histogram = state.histograms[name] = Histogram(name)
+        histogram.values.extend(values)
+    spans = [Span.from_dict(span) for span in payload["spans"]]
+    if label is not None and spans:
+        wrapper = Span(label)
+        wrapper.children = spans
+        wrapper.elapsed = sum(span.elapsed for span in spans)
+        spans = [wrapper]
+    if state.stack:
+        state.stack[-1].children.extend(spans)
+    else:
+        state.roots.extend(spans)
 
 
 # ------------------------------------------------------------------ metrics
 
 
 def count(name: str, n: float = 1) -> None:
-    """Increment a named global counter."""
+    """Increment a named counter in the calling thread's registry."""
     if not ENABLED:
         return
-    _counters[name] = _counters.get(name, 0) + n
+    counters = _state().counters
+    counters[name] = counters.get(name, 0) + n
 
 
 def gauge(name: str, value: float) -> None:
     """Set a named gauge to its latest value."""
     if not ENABLED:
         return
-    _gauges[name] = value
+    _state().gauges[name] = value
 
 
 def observe(name: str, value: float) -> None:
     """Record one sample into a named histogram."""
     if not ENABLED:
         return
-    histogram = _histograms.get(name)
+    histograms = _state().histograms
+    histogram = histograms.get(name)
     if histogram is None:
-        histogram = _histograms[name] = Histogram(name)
+        histogram = histograms[name] = Histogram(name)
     histogram.observe(value)
 
 
@@ -263,15 +396,15 @@ class Histogram:
 
 
 def counters() -> dict[str, float]:
-    """A snapshot of the global counters."""
-    return dict(_counters)
+    """A snapshot of the calling thread's counters."""
+    return dict(_state().counters)
 
 
 def gauges() -> dict[str, float]:
-    """A snapshot of the gauges."""
-    return dict(_gauges)
+    """A snapshot of the calling thread's gauges."""
+    return dict(_state().gauges)
 
 
 def histograms() -> dict[str, Histogram]:
     """A snapshot of the histogram registry (live objects, treat read-only)."""
-    return dict(_histograms)
+    return dict(_state().histograms)

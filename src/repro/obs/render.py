@@ -170,15 +170,6 @@ def render_metrics() -> str:
 # ------------------------------------------------------------------ export
 
 
-def _span_to_dict(node: Span) -> dict:
-    return {
-        "name": node.name,
-        "elapsed_s": node.elapsed,
-        "counters": dict(node.counters),
-        "children": [_span_to_dict(child) for child in node.children],
-    }
-
-
 def report_json() -> dict:
     """Everything recorded since the last reset, as plain JSON-able data.
 
@@ -187,7 +178,7 @@ def report_json() -> dict:
     and ``histograms`` (digests, not raw samples).
     """
     return {
-        "spans": [_span_to_dict(root) for root in core.take_roots()],
+        "spans": [root.to_dict() for root in core.take_roots()],
         "stages": stage_breakdown(),
         "counters": core.counters(),
         "gauges": core.gauges(),

@@ -6,16 +6,24 @@ facts, temporal tagging supplies scopes, interlanguage links supply
 multilingual labels, and MaxSat consistency reasoning cleans the result.
 The same extraction work can run through the in-process map-reduce engine
 (one page per input record), which is how the scaling experiment E11
-measures per-shard work and shuffle volume.
+measures per-shard work and shuffle volume.  Per-page extraction can also
+fan out across an execution backend (``BuildConfig.workers`` /
+``BuildConfig.backend``): worker threads or worker processes each build
+the name resolver and gazetteer once in their initializer, extract page
+batches, and ship their telemetry back to the parent, and because batch
+results are concatenated in input order the resulting KB is byte-identical
+to a serial build.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Optional
 
 from ..kb import Entity, Taxonomy, Triple, TripleStore, ns
 from ..corpus.wiki import Wiki, WikiPage
+from ..bigdata.backends import ExecutionBackend, chunked, get_backend
 from ..bigdata.mapreduce import JobStats, MapReduce
 from ..extraction.base import Candidate, candidates_to_store
 from ..extraction.consistency import ConsistencyReasoner, ConsistencyReport
@@ -42,7 +50,9 @@ class BuildConfig:
     use_consistency: bool = True
     use_multilingual: bool = True
     min_confidence: float = 0.5
-    mapreduce_shards: Optional[int] = None  # None = serial execution
+    mapreduce_shards: Optional[int] = None  # None = direct extraction
+    workers: int = 0                        # <= 1 = in-process execution
+    backend: str = "auto"                   # serial | thread | process | auto
 
 
 @dataclass(slots=True)
@@ -60,52 +70,68 @@ class BuildReport:
     label_triples: int = 0
     consistency: Optional[ConsistencyReport] = None
     mapreduce: Optional[JobStats] = None
+    backend: str = "serial"
+    workers: int = 1
 
 
-class KnowledgeBaseBuilder:
-    """Build a KB from an encyclopedia."""
+def _build_resolver(
+    wiki: Wiki, aliases: Optional[dict[Entity, list[str]]]
+) -> NameResolver:
+    """The shared resolver construction: page titles plus alias forms.
 
-    def __init__(
-        self,
-        wiki: Wiki,
-        aliases: Optional[dict[Entity, list[str]]] = None,
-        config: BuildConfig = BuildConfig(),
-    ) -> None:
-        self.wiki = wiki
+    Every alias form resolves except the one that *is* the page title
+    (already registered with full weight) — comparing against the title,
+    not positionally, so a single-element alias list still contributes.
+    """
+    resolver = NameResolver()
+    for title, page in wiki.pages.items():
+        resolver.add(title, page.entity, count=5)
+    if aliases:
+        for entity, forms in aliases.items():
+            title = wiki.by_entity.get(entity)
+            if title is None:
+                continue
+            for form in forms:
+                if form != title:
+                    resolver.add(form, entity)
+    return resolver
+
+
+class PageExtractor:
+    """The per-page fact extraction context.
+
+    Holds the extractor instances (infobox, patterns) alongside the
+    resolver and gazetteer so they are constructed once per worker, not
+    once per page — this is the unit the execution backends instantiate in
+    their worker initializer.
+    """
+
+    def __init__(self, resolver: NameResolver, config: BuildConfig) -> None:
+        self.resolver = resolver
         self.config = config
-        self.resolver = NameResolver()
-        for title, page in wiki.pages.items():
-            self.resolver.add(title, page.entity, count=5)
-        if aliases:
-            for entity, forms in aliases.items():
-                if entity in wiki.by_entity:
-                    for form in forms[1:]:
-                        self.resolver.add(form, entity)
-        self._gazetteer = self.resolver.to_gazetteer()
+        self.gazetteer = resolver.to_gazetteer()
+        self.infobox = InfoboxExtractor(resolver)
+        self.patterns = PatternExtractor()
 
-    # -------------------------------------------------------------- stages
-
-    def _page_candidates(self, page: WikiPage) -> list[Candidate]:
+    def extract(self, page: WikiPage) -> list[Candidate]:
         """All fact candidates one page contributes (the map function)."""
         candidates: list[Candidate] = []
         if self.config.use_infobox:
             with _obs.span("pipeline.extract.infobox") as tracing:
-                infobox = InfoboxExtractor(self.resolver)
-                extracted = infobox.extract_page(page)
+                extracted = self.infobox.extract_page(page)
                 tracing.add("candidates", len(extracted))
                 candidates.extend(extracted)
         if self.config.use_patterns or self.config.use_year_attributes:
             with _obs.span("pipeline.extract.sentences") as tracing:
-                patterns = PatternExtractor()
                 pattern_found = 0
                 year_found = 0
                 for sentence in page.document.sentences:
-                    analysis = analyze(sentence.text, self._gazetteer)
+                    analysis = analyze(sentence.text, self.gazetteer)
                     if self.config.use_patterns:
                         occurrences = list(
                             sentence_occurrences(analysis, self.resolver)
                         )
-                        extracted = patterns.extract(occurrences)
+                        extracted = self.patterns.extract(occurrences)
                         pattern_found += len(extracted)
                         candidates.extend(extracted)
                     if self.config.use_year_attributes:
@@ -128,6 +154,69 @@ class KnowledgeBaseBuilder:
                 tracing.add("year_attributes", year_found)
         return candidates
 
+
+# Worker-side extraction context.  ``threading.local`` covers every backend
+# uniformly: pool threads each see their own slot, and a pool process's
+# main thread sees a fresh one after fork/spawn.
+_WORKER = threading.local()
+
+
+def _extraction_worker_init(
+    wiki: Wiki, aliases: Optional[dict[Entity, list[str]]], config: BuildConfig
+) -> None:
+    """Build one worker's resolver/gazetteer/extractors (runs once per
+    worker, before any page batch)."""
+    _WORKER.wiki = wiki
+    _WORKER.extractor = PageExtractor(_build_resolver(wiki, aliases), config)
+
+
+def _extract_batch(titles: list[str]) -> list[Candidate]:
+    """Extract one batch of pages inside a worker (titles in input order)."""
+    extractor: PageExtractor = _WORKER.extractor
+    wiki: Wiki = _WORKER.wiki
+    candidates: list[Candidate] = []
+    for title in titles:
+        candidates.extend(extractor.extract(wiki.pages[title]))
+    return candidates
+
+
+def _mapreduce_map_page(title: str) -> list[tuple[str, Candidate]]:
+    """Map one page title to keyed candidates (runs inside a worker)."""
+    extractor: PageExtractor = _WORKER.extractor
+    wiki: Wiki = _WORKER.wiki
+    return [
+        (repr(candidate.key()), candidate)
+        for candidate in extractor.extract(wiki.pages[title])
+    ]
+
+
+def _identity_reduce(key: str, values: list[Candidate]):
+    """Pass candidates through; the real merge happens downstream."""
+    yield from values
+
+
+class KnowledgeBaseBuilder:
+    """Build a KB from an encyclopedia."""
+
+    def __init__(
+        self,
+        wiki: Wiki,
+        aliases: Optional[dict[Entity, list[str]]] = None,
+        config: Optional[BuildConfig] = None,
+    ) -> None:
+        self.wiki = wiki
+        self.aliases = aliases
+        self.config = config if config is not None else BuildConfig()
+        self.resolver = _build_resolver(wiki, aliases)
+        self._extractor = PageExtractor(self.resolver, self.config)
+        self._gazetteer = self._extractor.gazetteer
+
+    # -------------------------------------------------------------- stages
+
+    def _page_candidates(self, page: WikiPage) -> list[Candidate]:
+        """All fact candidates one page contributes (the map function)."""
+        return self._extractor.extract(page)
+
     def build(self) -> tuple[TripleStore, BuildReport]:
         """Run the full pipeline; returns (knowledge base, report)."""
         report = BuildReport(pages=len(self.wiki.pages))
@@ -149,17 +238,18 @@ class KnowledgeBaseBuilder:
                 tracing.add("type_triples", report.type_triples)
                 kb.merge(type_store)
 
-            # 2. Facts: per-page extraction, serial or through map-reduce.
+            # 2. Facts: per-page extraction — direct or through map-reduce,
+            #    either way fanned out across the configured backend.
+            backend = get_backend(self.config.backend, self.config.workers)
+            report.backend = backend.name
+            report.workers = backend.workers
             with _obs.span("pipeline.extract") as tracing:
+                tracing.add("workers", backend.workers)
                 if self.config.mapreduce_shards:
-                    candidates, stats = self._extract_mapreduce()
+                    candidates, stats = self._extract_mapreduce(backend)
                     report.mapreduce = stats
                 else:
-                    candidates = []
-                    for title in sorted(self.wiki.pages):
-                        candidates.extend(
-                            self._page_candidates(self.wiki.pages[title])
-                        )
+                    candidates = self._extract_pages(backend)
                 for candidate in candidates:
                     if candidate.extractor == "infobox":
                         report.infobox_candidates += 1
@@ -218,18 +308,40 @@ class KnowledgeBaseBuilder:
             building.add("triples", len(kb))
         return kb, report
 
-    def _extract_mapreduce(self) -> tuple[list[Candidate], JobStats]:
+    def _extract_pages(self, backend: ExecutionBackend) -> list[Candidate]:
+        """Per-page extraction over the backend, in page-title order.
+
+        Batches are contiguous title ranges and results concatenate in
+        batch order, so every backend yields the same candidate list.
+        """
+        titles = sorted(self.wiki.pages)
+        if backend.workers <= 1:
+            candidates: list[Candidate] = []
+            for title in titles:
+                candidates.extend(self._page_candidates(self.wiki.pages[title]))
+            return candidates
+        batches = backend.map(
+            _extract_batch,
+            chunked(titles, backend.workers * 4),
+            initializer=_extraction_worker_init,
+            initargs=(self.wiki, self.aliases, self.config),
+        )
+        return [candidate for batch in batches for candidate in batch]
+
+    def _extract_mapreduce(
+        self, backend: ExecutionBackend
+    ) -> tuple[list[Candidate], JobStats]:
         """Run per-page extraction as a map-reduce job."""
-        engine: MapReduce = MapReduce(shards=self.config.mapreduce_shards)
-
-        def mapper(title: str):
-            for candidate in self._page_candidates(self.wiki.pages[title]):
-                yield repr(candidate.key()), candidate
-
-        def reducer(key: str, values: list[Candidate]):
-            yield from values
-
-        candidates, stats = engine.run(sorted(self.wiki.pages), mapper, reducer)
+        engine: MapReduce = MapReduce(
+            shards=self.config.mapreduce_shards, backend=backend
+        )
+        candidates, stats = engine.run(
+            sorted(self.wiki.pages),
+            _mapreduce_map_page,
+            _identity_reduce,
+            initializer=_extraction_worker_init,
+            initargs=(self.wiki, self.aliases, self.config),
+        )
         return candidates, stats
 
 

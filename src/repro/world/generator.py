@@ -188,8 +188,10 @@ def _add_fact(
     world.facts.add(triple)
 
 
-def generate_world(config: WorldConfig = WorldConfig()) -> World:
+def generate_world(config: Optional[WorldConfig] = None) -> World:
     """Generate a complete world from the configuration (deterministic)."""
+    if config is None:
+        config = WorldConfig()
     rng = random.Random(config.seed)
     pool = NamePool(config.seed + 1, config.ambiguity)
     world = World(config=config)

@@ -123,6 +123,116 @@ class TestMapReduce:
         assert JobStats(records_per_shard=[2, 6]).skew == 1.5
 
 
+# ------------------------------------------------------- execution backends
+
+# Module-level so the process backend can resolve them by reference.
+def _square(x):
+    return x * x
+
+
+def _wc_mapper(doc):
+    for word in doc.split():
+        yield word, 1
+
+
+def _wc_reducer(word, counts):
+    yield word, sum(counts)
+
+
+def _traced_mapper(doc):
+    from repro import obs
+
+    with obs.span("test.map") as tracing:
+        pairs = [(word, 1) for word in doc.split()]
+        tracing.add("pairs", len(pairs))
+    return pairs
+
+
+class TestExecutionBackends:
+    DOCS = ["a b a c", "b c d", "d d a", "e", "a b c d e f"]
+
+    def _backends(self):
+        from repro.bigdata.backends import (
+            ProcessBackend,
+            SerialBackend,
+            ThreadBackend,
+        )
+
+        return [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+
+    def test_chunked_partitions_in_order(self):
+        from repro.bigdata.backends import chunked
+
+        assert chunked([], 4) == []
+        assert chunked([1, 2], 5) == [[1], [2]]
+        batches = chunked(list(range(10)), 3)
+        assert batches == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert [x for batch in batches for x in batch] == list(range(10))
+
+    def test_map_returns_results_in_task_order(self):
+        tasks = list(range(20))
+        expected = [x * x for x in tasks]
+        for backend in self._backends():
+            assert backend.map(_square, tasks) == expected
+
+    def test_get_backend_resolution(self):
+        from repro.bigdata.backends import (
+            ProcessBackend,
+            SerialBackend,
+            ThreadBackend,
+            get_backend,
+        )
+
+        assert isinstance(get_backend("auto", workers=0), SerialBackend)
+        assert isinstance(get_backend("auto", workers=1), SerialBackend)
+        auto4 = get_backend("auto", workers=4)
+        assert isinstance(auto4, ProcessBackend)
+        assert auto4.workers == 4
+        assert isinstance(get_backend("thread", workers=3), ThreadBackend)
+        passthrough = ThreadBackend(2)
+        assert get_backend(passthrough) is passthrough
+        with pytest.raises(ValueError):
+            get_backend("cluster")
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_mapreduce_identical_across_backends(self):
+        serial_engine: MapReduce = MapReduce(shards=3)
+        reference, ref_stats = serial_engine.run(
+            self.DOCS, _wc_mapper, _wc_reducer
+        )
+        for backend in self._backends():
+            engine: MapReduce = MapReduce(shards=3, backend=backend)
+            results, stats = engine.run(self.DOCS, _wc_mapper, _wc_reducer)
+            assert results == reference
+            assert stats == ref_stats
+
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    def test_worker_telemetry_merged_into_parent(self, backend_name):
+        from repro import obs
+        from repro.bigdata.backends import get_backend
+
+        obs.reset()
+        obs.enable()
+        try:
+            engine: MapReduce = MapReduce(
+                shards=2, backend=get_backend(backend_name, workers=2)
+            )
+            engine.run(self.DOCS, _traced_mapper, _wc_reducer)
+            stages = obs.stage_breakdown()
+        finally:
+            obs.disable()
+            obs.reset()
+        worker_stages = [s for s in stages if "worker[" in s["stage"]]
+        assert worker_stages, "worker spans did not reach the parent trace"
+        total_pairs = sum(
+            s["counters"].get("pairs", 0)
+            for s in stages
+            if s["stage"].endswith("test.map")
+        )
+        assert total_pairs == sum(len(doc.split()) for doc in self.DOCS)
+
+
 class TestPrefixSpan:
     def test_gappy_sequences(self):
         database = [("a", "b", "c"), ("a", "c"), ("a", "b")]

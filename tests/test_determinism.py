@@ -178,6 +178,26 @@ class TestLint:
         )
         assert [f.code for f in findings] == ["DET001"]
 
+    def test_def_time_constructed_default_flagged(self, tmp_path):
+        findings = self._lint(
+            """
+            def build(world, config: BuildConfig = BuildConfig()):
+                return config
+            """,
+            tmp_path,
+        )
+        assert [f.code for f in findings] == ["DET005"]
+
+    def test_def_time_default_in_kwonly_args_flagged(self, tmp_path):
+        findings = self._lint(
+            """
+            def build(world, *, config=WikiConfig(), verbose=False):
+                return config
+            """,
+            tmp_path,
+        )
+        assert [f.code for f in findings] == ["DET005"]
+
     # ---------------------------------------------------- false positives
 
     def test_sorted_set_is_clean(self, tmp_path):
@@ -240,6 +260,37 @@ class TestLint:
             tmp_path,
         ) == []
 
+    def test_none_sentinel_default_is_clean(self, tmp_path):
+        assert self._lint(
+            """
+            def build(world, config=None):
+                if config is None:
+                    config = BuildConfig()
+                return config
+            """,
+            tmp_path,
+        ) == []
+
+    def test_plain_immutable_defaults_are_clean(self, tmp_path):
+        assert self._lint(
+            """
+            def f(x=0, label="kb", flags=(), scale=1.5, mode=None):
+                return x
+            """,
+            tmp_path,
+        ) == []
+
+    def test_lowercase_call_default_not_flagged(self, tmp_path):
+        # Factory-function defaults (tuple(), frozenset()) return fresh or
+        # immutable values; DET005 targets CamelCase constructor calls.
+        assert self._lint(
+            """
+            def f(items=tuple(), names=frozenset()):
+                return items, names
+            """,
+            tmp_path,
+        ) == []
+
     def test_rebound_name_is_not_set_like(self, tmp_path):
         assert self._lint(
             """
@@ -261,6 +312,40 @@ class TestLint:
             "src", "repro",
         )
         assert lint_paths([package_root]) == []
+
+
+class TestCrossModeReporting:
+    def test_default_mode_matrix_covers_every_strategy(self):
+        from repro.determinism import CROSS_MODES
+
+        labels = [mode.label for mode in CROSS_MODES]
+        assert labels == ["serial", "shards4", "thread2", "process2"]
+        by_label = {mode.label: mode for mode in CROSS_MODES}
+        assert by_label["shards4"].shards == 4
+        assert by_label["thread2"].backend == "thread"
+        assert by_label["process2"].workers == 2
+
+    def test_report_describe_ok_and_divergent(self):
+        from repro.determinism import CrossModeReport, Divergence
+
+        ok = CrossModeReport(ok=True, modes=["serial", "shards4"], triples=10)
+        assert "cross-mode deterministic" in ok.describe()
+        assert "serial, shards4" in ok.describe()
+        bad = CrossModeReport(
+            ok=False,
+            modes=["serial", "thread2"],
+            diverging_mode="thread2",
+            divergence=Divergence(0, 1, "line a", "line b", "stage"),
+        )
+        text = bad.describe()
+        assert "NOT cross-mode deterministic" in text
+        assert "thread2" in text
+
+    def test_too_few_modes_rejected(self):
+        from repro.determinism import BuildMode, check_cross_mode
+
+        with pytest.raises(ValueError):
+            check_cross_mode(modes=[BuildMode("serial")])
 
 
 class TestHarnessReporting:
