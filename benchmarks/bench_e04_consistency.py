@@ -9,6 +9,9 @@ contributing rejections.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.corpus import CorpusConfig, synthesize
@@ -22,6 +25,7 @@ from repro.extraction import (
     resolver_from_aliases,
 )
 from repro.kb import Entity, Taxonomy
+from repro.reasoning import decompose, solve_decomposed
 
 
 @pytest.fixture(scope="module")
@@ -103,3 +107,91 @@ def test_e04_consistency_cleaning(benchmark, bench_world, noisy_store):
     __, full_report = results["full MaxSat"]
     __, nf_report = results["no functionality"]
     assert nf_report.rejected < full_report.rejected
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_decomposed_parallel_maxsat(benchmark, bench_world, noisy_store):
+    """Component decomposition ablation: monolithic vs decomposed MaxSat.
+
+    The consistency instance shatters into many small components
+    (functionality groups by (s, relation), disjointness by (s, o)), so
+    the decomposed solver reaches the same (hard, soft) key while doing
+    far less search — and the components parallelize across backends.
+    Records the component-count distribution and parallel speedups into
+    ``--benchmark-json`` via ``extra_info``.
+    """
+    store, __ = noisy_store
+    taxonomy = Taxonomy(bench_world.store)
+    reasoner = ConsistencyReasoner(taxonomy)
+    problem, ___, ____ = reasoner.ground(store)
+    decomposition = decompose(problem)
+    sizes = decomposition.component_sizes()
+
+    start = time.perf_counter()
+    monolithic = problem.solve(seed=0)
+    monolithic_s = time.perf_counter() - start
+
+    def decomposed_with(backend: str, workers: int) -> tuple[float, object]:
+        fresh_problem, ___, ____ = reasoner.ground(store)
+        begin = time.perf_counter()
+        result = solve_decomposed(
+            fresh_problem, seed=0, backend=backend, workers=workers
+        )
+        return time.perf_counter() - begin, result
+
+    serial_s, serial_result = decomposed_with("serial", 0)
+    timings = {"monolithic": monolithic_s, "decomposed-serial": serial_s}
+    rows = [
+        ["monolithic", 1, round(monolithic_s, 4), "-"],
+        [
+            "decomposed serial", 1, round(serial_s, 4),
+            round(monolithic_s / serial_s, 2) if serial_s else float("inf"),
+        ],
+    ]
+    for backend, workers in (("thread", 2), ("process", 2)):
+        elapsed, result = decomposed_with(backend, workers)
+        assert result.assignment == serial_result.assignment, backend
+        assert result.soft_cost == serial_result.soft_cost, backend
+        timings[f"decomposed-{backend}{workers}"] = elapsed
+        rows.append(
+            [
+                f"decomposed {backend} x{workers}", workers,
+                round(elapsed, 4),
+                round(monolithic_s / elapsed, 2) if elapsed else float("inf"),
+            ]
+        )
+
+    print_table(
+        "E4b: component-decomposed MaxSat "
+        f"({len(sizes)} components, largest {max(sizes, default=0)} vars, "
+        f"{len(decomposition.trivial)} closed-form vars)",
+        ["solver", "workers", "seconds", "speedup vs monolithic"],
+        rows,
+    )
+
+    benchmark.extra_info["components"] = len(sizes)
+    benchmark.extra_info["largest_component"] = max(sizes, default=0)
+    benchmark.extra_info["trivial_vars"] = len(decomposition.trivial)
+    benchmark.extra_info["component_size_distribution"] = {
+        str(size): sizes.count(size) for size in sorted(set(sizes))
+    }
+    benchmark.extra_info["timings_s"] = {
+        label: round(value, 6) for label, value in timings.items()
+    }
+    benchmark.extra_info["speedup_vs_monolithic"] = {
+        label: round(monolithic_s / value, 3) if value else None
+        for label, value in timings.items()
+        if label != "monolithic"
+    }
+
+    benchmark(lambda: decomposed_with("serial", 0))
+
+    # Same solution quality as the monolithic solver ...
+    assert serial_result.hard_violations == monolithic.hard_violations
+    assert serial_result.soft_cost == pytest.approx(
+        monolithic.soft_cost, abs=1e-6
+    )
+    # ... while never slower serially, and faster with >= 2 real cores.
+    assert serial_s <= monolithic_s * 1.10
+    if (os.cpu_count() or 1) >= 2:
+        assert timings["decomposed-process2"] < monolithic_s

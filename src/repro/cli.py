@@ -70,6 +70,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend for --workers "
         "(auto = process pool when workers > 1)",
     )
+    build.add_argument(
+        "--reasoner-workers",
+        type=int,
+        default=0,
+        help="fan consistency-reasoning MaxSat components out over this "
+        "many workers (0 or 1 = in-process)",
+    )
+    build.add_argument(
+        "--reasoner-backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="execution backend for --reasoner-workers "
+        "(auto = process pool when reasoner workers > 1)",
+    )
 
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
     stats.add_argument("--kb", required=True)
@@ -109,7 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     determinism.add_argument(
         "--cross-mode", action="store_true",
         help="also verify serial, sharded, threaded, and process-parallel "
-        "builds agree byte for byte",
+        "builds (extraction and reasoner workers) agree byte for byte",
     )
 
     return parser
@@ -121,6 +135,9 @@ def _command_build(args, out) -> int:
         return 2
     if args.workers < 0:
         print("error: --workers must be non-negative", file=out)
+        return 2
+    if args.reasoner_workers < 0:
+        print("error: --reasoner-workers must be non-negative", file=out)
         return 2
     print(f"Generating world (seed={args.seed}, people={args.people}) ...", file=out)
     world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
@@ -136,6 +153,8 @@ def _command_build(args, out) -> int:
         mapreduce_shards=args.shards,
         workers=args.workers,
         backend=args.backend,
+        reasoner_workers=args.reasoner_workers,
+        reasoner_backend=args.reasoner_backend,
     )
     try:
         kb, report = KnowledgeBaseBuilder(

@@ -13,7 +13,9 @@ leak can be bisected straight to a subsystem.
 
 The cross-mode check (:func:`check_cross_mode`) extends the same contract
 across *execution strategies*: serial, sharded map-reduce, thread-pool,
-and process-pool builds of the same world must also agree byte for byte.
+and process-pool builds of the same world — for the extraction stage and
+for the component-decomposed consistency reasoner alike — must also agree
+byte for byte.
 Each mode still runs in a fresh subprocess under its own
 ``PYTHONHASHSEED``, so a pass certifies both properties at once.
 """
@@ -135,6 +137,8 @@ def _build_once(
     timeout: float,
     workers: int = 0,
     backend: Optional[str] = None,
+    reasoner_workers: int = 0,
+    reasoner_backend: Optional[str] = None,
 ) -> list[str]:
     """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
     from ..kb.rdfio import load
@@ -149,6 +153,10 @@ def _build_once(
         command += ["--workers", str(workers)]
     if backend is not None:
         command += ["--backend", backend]
+    if reasoner_workers:
+        command += ["--reasoner-workers", str(reasoner_workers)]
+    if reasoner_backend is not None:
+        command += ["--reasoner-backend", reasoner_backend]
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
     # The subprocess must resolve the same ``repro`` package as this one.
@@ -226,14 +234,19 @@ class BuildMode:
     shards: Optional[int] = None
     workers: int = 0
     backend: Optional[str] = None
+    reasoner_workers: int = 0
+    reasoner_backend: Optional[str] = None
 
 
-#: The default mode matrix: every execution strategy the pipeline offers.
+#: The default mode matrix: every execution strategy the pipeline offers,
+#: including the component-decomposed parallel consistency reasoner.
 CROSS_MODES: tuple[BuildMode, ...] = (
     BuildMode("serial"),
     BuildMode("shards4", shards=4),
     BuildMode("thread2", workers=2, backend="thread"),
     BuildMode("process2", workers=2, backend="process"),
+    BuildMode("reasoner-thread2", reasoner_workers=2, reasoner_backend="thread"),
+    BuildMode("reasoner-process2", reasoner_workers=2, reasoner_backend="process"),
 )
 
 
@@ -283,6 +296,8 @@ def check_cross_mode(
             lines = _build_once(
                 index, out_path, seed, people, mode.shards, timeout,
                 workers=mode.workers, backend=mode.backend,
+                reasoner_workers=mode.reasoner_workers,
+                reasoner_backend=mode.reasoner_backend,
             )
             if reference is None:
                 reference = lines

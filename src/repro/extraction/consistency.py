@@ -12,15 +12,25 @@ ablation:
   taxonomy);
 * **relation disjointness** — declared mutually-exclusive relation pairs
   cannot share an (s, o) pair.
+
+Solving is component-decomposed (:mod:`repro.reasoning.decompose`): the
+clause graph shatters along the constraint locality into many small
+independent components, which ``workers``/``backend`` fan out over the
+execution backends — the cleaned KB is byte-identical for every worker
+count because component seeds and the merge order derive from component
+content only.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Union
 
+from ..bigdata.backends import ExecutionBackend
 from ..kb import Entity, Relation, Taxonomy, Triple, TripleStore
 from ..obs import core as _obs
+from ..reasoning.decompose import decompose, solve_decomposed
 from ..reasoning.maxsat import WeightedMaxSat
 
 #: A fact variable: the (s, p, o) key.
@@ -39,6 +49,9 @@ class ConsistencyReport:
     disjoint_clauses: int = 0
     soft_cost: float = 0.0
     hard_violations: int = 0
+    components: int = 0
+    largest_component: int = 0
+    trivial_vars: int = 0
 
 
 class ConsistencyReasoner:
@@ -51,45 +64,74 @@ class ConsistencyReasoner:
         use_types: bool = True,
         use_disjointness: bool = True,
         min_confidence_weight: float = 0.05,
+        workers: int = 0,
+        backend: Union[str, ExecutionBackend, None] = "auto",
     ) -> None:
         self.taxonomy = taxonomy
         self.use_functionality = use_functionality
         self.use_types = use_types
         self.use_disjointness = use_disjointness
         self.min_confidence_weight = min_confidence_weight
+        self.workers = workers
+        self.backend = backend
+
+    def ground(
+        self, candidates: TripleStore
+    ) -> tuple[WeightedMaxSat, dict[FactKey, Triple], ConsistencyReport]:
+        """Ground ``candidates`` into a weighted MaxSat instance.
+
+        Returns the instance, the canonical key -> triple map, and a
+        report carrying the per-family clause counts.  Grounding happens
+        in canonical (s, p, o) order so clause indexes — and therefore the
+        WalkSAT trajectory — are the same no matter how the candidate
+        store was assembled.
+        """
+        report = ConsistencyReport(candidates=len(candidates))
+        problem = WeightedMaxSat()
+        triples: dict[FactKey, Triple] = {
+            triple.spo(): triple for triple in candidates
+        }
+        triples = {key: triples[key] for key in sorted(triples, key=repr)}
+        for key, triple in triples.items():
+            weight = max(triple.confidence, self.min_confidence_weight)
+            problem.add_soft_unit(key, True, weight)
+
+        with _obs.span("consistency.ground"):
+            if self.use_functionality:
+                report.functional_clauses = self._add_functionality(
+                    problem, triples
+                )
+            if self.use_types:
+                report.type_clauses = self._add_types(problem, triples)
+            if self.use_disjointness:
+                report.disjoint_clauses = self._add_disjointness(
+                    problem, triples
+                )
+        return problem, triples, report
 
     def clean(
         self, candidates: TripleStore, seed: int = 0
     ) -> tuple[TripleStore, ConsistencyReport]:
         """Return the accepted subset of ``candidates`` plus a report."""
-        report = ConsistencyReport(candidates=len(candidates))
         with _obs.span("consistency.clean") as cleaning:
-            problem = WeightedMaxSat()
-            # Ground in canonical (s, p, o) order so clause indexes — and
-            # therefore the WalkSAT trajectory — are the same no matter how
-            # the candidate store was assembled.
-            triples: dict[FactKey, Triple] = {
-                triple.spo(): triple for triple in candidates
-            }
-            triples = {key: triples[key] for key in sorted(triples, key=repr)}
-            for key, triple in triples.items():
-                weight = max(triple.confidence, self.min_confidence_weight)
-                problem.add_soft_unit(key, True, weight)
+            problem, triples, report = self.ground(candidates)
 
-            with _obs.span("consistency.ground"):
-                if self.use_functionality:
-                    report.functional_clauses = self._add_functionality(
-                        problem, triples
-                    )
-                if self.use_types:
-                    report.type_clauses = self._add_types(problem, triples)
-                if self.use_disjointness:
-                    report.disjoint_clauses = self._add_disjointness(
-                        problem, triples
-                    )
-
-            with _obs.span("consistency.solve"):
-                result = problem.solve(seed=seed)
+            with _obs.span("consistency.solve") as solving:
+                with _obs.span("maxsat.decompose"):
+                    decomposition = decompose(problem)
+                report.components = len(decomposition.components)
+                report.largest_component = decomposition.largest_component
+                report.trivial_vars = len(decomposition.trivial)
+                result = solve_decomposed(
+                    problem,
+                    seed=seed,
+                    decomposition=decomposition,
+                    backend=self.backend,
+                    workers=self.workers,
+                )
+                solving.add("components", report.components)
+                solving.add("largest_component", report.largest_component)
+                solving.add("trivial_vars", report.trivial_vars)
             report.soft_cost = result.soft_cost
             report.hard_violations = result.hard_violations
             accepted = TripleStore()
@@ -177,22 +219,30 @@ class ConsistencyReasoner:
         )
 
     def _add_disjointness(self, problem: WeightedMaxSat, triples) -> int:
-        """!(x & y) for declared-disjoint relations on the same (s, o)."""
+        """!(x & y) for declared-disjoint relations on the same (s, o).
+
+        Only facts whose relation appears in some declared-disjoint pair
+        can ever yield a clause, so groups are restricted to those
+        relations up front instead of expanding O(n^2) candidate pairs per
+        (s, o) group and discarding almost all of them.
+        """
+        eligible = self.taxonomy.relations_with_disjointness()
+        if not eligible:
+            return 0
         clauses = 0
         by_pair: dict[tuple, list[FactKey]] = defaultdict(list)
         for key in triples:
             subject, relation, obj = key
-            by_pair[(subject, obj)].append(key)
+            if isinstance(relation, Relation) and relation in eligible:
+                by_pair[(subject, obj)].append(key)
         for group in by_pair.values():
+            if len(group) < 2:
+                continue
             group.sort(key=repr)
             for i in range(len(group)):
                 for j in range(i + 1, len(group)):
                     r1, r2 = group[i][1], group[j][1]
-                    if (
-                        isinstance(r1, Relation)
-                        and isinstance(r2, Relation)
-                        and self.taxonomy.are_disjoint_relations(r1, r2)
-                    ):
+                    if self.taxonomy.are_disjoint_relations(r1, r2):
                         problem.add_hard([(group[i], False), (group[j], False)])
                         clauses += 1
         return clauses

@@ -142,6 +142,18 @@ class Taxonomy:
         """True if the two relations were declared mutually exclusive."""
         return frozenset((r1, r2)) in self._disjoint_relations
 
+    def relations_with_disjointness(self) -> frozenset[Relation]:
+        """Every relation that appears in some declared-disjoint pair.
+
+        The consistency reasoner's pre-filter: facts of any other relation
+        can never participate in a disjointness clause, so their (s, o)
+        groups need no pairwise expansion.
+        """
+        members: set[Relation] = set()
+        for pair in self._disjoint_relations:  # det: allow-unordered -- commutative union
+            members |= pair
+        return frozenset(members)
+
     def are_disjoint_classes(self, c1: Entity, c2: Entity) -> bool:
         """True if some declared-disjoint pair subsumes (c1, c2)."""
         ancestors1 = self.superclasses(c1, include_self=True)

@@ -134,9 +134,16 @@ class TripleStore:
         obj: Optional[Term] = None,
     ) -> Iterator[Triple]:
         """Iterate over triples matching a pattern; None is a wildcard."""
+        shape, keys = self._plan(subject, predicate, obj)
         if _obs.ENABLED:
+            scanned = len(self._by_spo) if keys is None else len(keys)
             _obs.count("kb.store.match")
-        keys = self._candidate_keys(subject, predicate, obj)
+            _obs.count(f"kb.store.match.shape.{shape}")
+            _obs.observe("kb.store.match.scanned", scanned)
+            # Per-query annotation on the innermost open span: which index
+            # shape served the query and how large the scanned bucket was.
+            _obs.annotate(f"store.match.{shape}")
+            _obs.annotate(f"store.match.{shape}.scanned", scanned)
         if keys is None:
             yield from self._by_spo.values()
             return
@@ -152,36 +159,38 @@ class TripleStore:
         obj: Optional[Term] = None,
     ) -> int:
         """Number of triples matching the pattern (cheap for indexed shapes)."""
-        keys = self._candidate_keys(subject, predicate, obj)
+        __, keys = self._plan(subject, predicate, obj)
         if keys is None:
             return len(self._by_spo)
         return len(keys)
 
-    def _candidate_keys(self, s, p, o):
-        """The smallest index bucket covering the pattern, or None for a scan.
+    def _plan(self, s, p, o):
+        """(index shape, candidate keys) for a pattern; keys None = scan.
 
-        Patterns binding S and O but not P have no composite index; the
-        smaller of the S and O buckets is filtered by the other position.
+        The shape names the index that serves the query: ``spo`` (exact),
+        ``sp``/``po`` (composite), ``s``/``p``/``o`` (single position),
+        ``s+o`` (no composite index; the smaller of the S and O buckets is
+        filtered by the other position), or ``scan`` (no binding).
         """
         if s is not None and p is not None and o is not None:
-            return [(s, p, o)] if (s, p, o) in self._by_spo else []
+            return "spo", ([(s, p, o)] if (s, p, o) in self._by_spo else [])
         if s is not None and p is not None:
-            return self._by_sp.get((s, p), ())
+            return "sp", self._by_sp.get((s, p), ())
         if p is not None and o is not None:
-            return self._by_po.get((p, o), ())
+            return "po", self._by_po.get((p, o), ())
         if s is not None and o is not None:
             s_keys = self._by_s.get(s, ())
             o_keys = self._by_o.get(o, ())
             small, position = (s_keys, 2) if len(s_keys) <= len(o_keys) else (o_keys, 0)
             target = o if position == 2 else s
-            return [k for k in small if k[position] == target]
+            return "s+o", [k for k in small if k[position] == target]
         if s is not None:
-            return self._by_s.get(s, ())
+            return "s", self._by_s.get(s, ())
         if p is not None:
-            return self._by_p.get(p, ())
+            return "p", self._by_p.get(p, ())
         if o is not None:
-            return self._by_o.get(o, ())
-        return None
+            return "o", self._by_o.get(o, ())
+        return "scan", None
 
     # ----------------------------------------------------------- conveniences
 

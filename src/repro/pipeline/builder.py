@@ -12,7 +12,11 @@ fan out across an execution backend (``BuildConfig.workers`` /
 the name resolver and gazetteer once in their initializer, extract page
 batches, and ship their telemetry back to the parent, and because batch
 results are concatenated in input order the resulting KB is byte-identical
-to a serial build.
+to a serial build.  Consistency reasoning parallelizes the same way
+(``BuildConfig.reasoner_workers`` / ``reasoner_backend``): the MaxSat
+instance decomposes into connected components that fan out over the same
+backends, with content-derived component seeds keeping the cleaned KB
+byte-identical at every worker count.
 """
 
 from __future__ import annotations
@@ -53,6 +57,8 @@ class BuildConfig:
     mapreduce_shards: Optional[int] = None  # None = direct extraction
     workers: int = 0                        # <= 1 = in-process execution
     backend: str = "auto"                   # serial | thread | process | auto
+    reasoner_workers: int = 0               # <= 1 = in-process MaxSat solving
+    reasoner_backend: str = "auto"          # backend for consistency reasoning
 
 
 @dataclass(slots=True)
@@ -288,10 +294,15 @@ class KnowledgeBaseBuilder:
             if self.config.use_consistency:
                 with _obs.span("pipeline.consistency") as tracing:
                     taxonomy = Taxonomy(_taxonomy_view(kb, self.wiki))
-                    reasoner = ConsistencyReasoner(taxonomy)
+                    reasoner = ConsistencyReasoner(
+                        taxonomy,
+                        workers=self.config.reasoner_workers,
+                        backend=self.config.reasoner_backend,
+                    )
                     fact_store, report.consistency = reasoner.clean(fact_store)
                     tracing.add("accepted", report.consistency.accepted)
                     tracing.add("rejected", report.consistency.rejected)
+                    tracing.add("components", report.consistency.components)
             report.accepted_facts = len(fact_store)
             kb.merge(fact_store)
 

@@ -9,6 +9,7 @@ from .factorgraph import (
     is_true,
     not_both,
 )
+from .decompose import Component, Decomposition, decompose, solve_decomposed
 from .maxsat import HARD, Clause, MaxSatResult, WeightedMaxSat
 from .rules import Atom, GroundRule, Rule, apply_rules, ground_rule, ground_rules
 from .mln import MarkovLogicNetwork, confidence_to_weight
@@ -25,8 +26,12 @@ __all__ = [
     "not_both",
     "HARD",
     "Clause",
+    "Component",
+    "Decomposition",
     "MaxSatResult",
     "WeightedMaxSat",
+    "decompose",
+    "solve_decomposed",
     "Atom",
     "GroundRule",
     "Rule",

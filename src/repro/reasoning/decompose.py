@@ -1,0 +1,268 @@
+"""Component decomposition for weighted MaxSat (parallel consistency).
+
+The consistency constraints the reasoner grounds are *local*: functionality
+couples facts sharing a ``(subject, relation)``, disjointness couples facts
+sharing a ``(subject, object)``, and type clauses are unit.  The resulting
+variable-clause graph therefore shatters into many small connected
+components, and the global optimum is exactly the union of per-component
+optima — so the components can be solved independently, in parallel, with
+no loss of quality.
+
+This module finds the components (union-find over variables co-occurring
+in a clause) and solves them:
+
+* variables touched only by their own soft unit clause(s) of one polarity
+  are decided **closed-form** (assign the satisfying polarity; no search);
+* every remaining component becomes its own :class:`~.maxsat.WeightedMaxSat`
+  sub-instance with a seed derived via :func:`repro.determinism.stable_hash`
+  of the component's canonical key — *not* of its position in any worker's
+  batch — and a flip budget scaled to the component size;
+* component batches fan out over a :mod:`repro.bigdata.backends` executor
+  (serial, thread, or process), and the per-component ``(hard, soft)``
+  costs and assignments merge in sorted-canonical-key order.
+
+Because the seed and budget of a component depend only on its content, and
+the merge order depends only on the canonical keys, the result is
+byte-identical no matter which backend ran the components or how many
+workers it used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Union
+
+from ..bigdata.backends import ExecutionBackend, chunked, get_backend
+from ..determinism.stable import stable_hash, stable_str_key
+from ..obs import core as _obs
+from .maxsat import MaxSatResult, WeightedMaxSat
+
+#: Flip budget floor per component: even a tiny conflicted component gets
+#: enough flips to escape a bad restart basin.
+MIN_COMPONENT_FLIPS = 500
+
+#: Flip budget per component clause (the size-scaled part).
+FLIPS_PER_CLAUSE = 200
+
+
+@dataclass(slots=True)
+class Component:
+    """One connected component of the variable-clause graph."""
+
+    key: str                        # canonical key: smallest variable key
+    variables: list[Hashable]       # in canonical (stable_str_key) order
+    clause_indexes: list[int]       # ascending indexes into the instance
+
+    def seed(self, base_seed: int) -> int:
+        """The component's solver seed: a stable hash of (base seed, key).
+
+        Depends only on the component's content, never on scheduling, so
+        every worker count replays the identical search trajectory.
+        """
+        return stable_hash((base_seed, self.key))
+
+    def flip_budget(self, max_flips: int) -> int:
+        """The component's WalkSAT budget, scaled to its clause count."""
+        scaled = max(MIN_COMPONENT_FLIPS, FLIPS_PER_CLAUSE * len(self.clause_indexes))
+        return min(max_flips, scaled)
+
+
+@dataclass(slots=True)
+class Decomposition:
+    """The shattered instance: closed-form variables plus components."""
+
+    trivial: dict[Hashable, bool] = field(default_factory=dict)
+    components: list[Component] = field(default_factory=list)
+
+    @property
+    def largest_component(self) -> int:
+        """Variable count of the largest component (0 when none)."""
+        return max((len(c.variables) for c in self.components), default=0)
+
+    def component_sizes(self) -> list[int]:
+        """Variable counts per component, descending (for diagnostics)."""
+        return sorted((len(c.variables) for c in self.components), reverse=True)
+
+
+def decompose(problem: WeightedMaxSat) -> Decomposition:
+    """Split ``problem`` into closed-form variables and components.
+
+    A variable whose every clause is a soft unit clause on itself with one
+    polarity is decided closed-form (the satisfying polarity; zero cost,
+    zero search).  Remaining variables are grouped by union-find over
+    clause co-occurrence; each clause lands in exactly one component.
+    """
+    clauses = problem.clauses
+    membership: dict[Hashable, list[int]] = {}
+    for index, clause in enumerate(clauses):
+        for variable, __ in clause.literals:
+            membership.setdefault(variable, []).append(index)
+
+    trivial: dict[Hashable, bool] = {}
+    for variable, indexes in membership.items():
+        polarity: Optional[bool] = None
+        closed_form = True
+        for index in indexes:
+            clause = clauses[index]
+            if clause.is_hard or len(clause.literals) != 1:
+                closed_form = False
+                break
+            unit_polarity = clause.literals[0][1]
+            if polarity is None:
+                polarity = unit_polarity
+            elif polarity != unit_polarity:
+                closed_form = False
+                break
+        if closed_form and polarity is not None:
+            trivial[variable] = polarity
+
+    # Union-find over the non-trivial variables of each clause.
+    parent: dict[Hashable, Hashable] = {}
+
+    def find(variable: Hashable) -> Hashable:
+        root = variable
+        while parent[root] != root:
+            root = parent[root]
+        while parent[variable] != root:     # path compression
+            parent[variable], variable = root, parent[variable]
+        return root
+
+    for clause in clauses:
+        live = [v for v, __ in clause.literals if v not in trivial]
+        for variable in live:
+            parent.setdefault(variable, variable)
+        for variable in live[1:]:
+            parent[find(variable)] = find(live[0])
+
+    clause_groups: dict[Hashable, list[int]] = {}
+    for index, clause in enumerate(clauses):
+        anchor = next(
+            (v for v, __ in clause.literals if v not in trivial), None
+        )
+        if anchor is None:
+            continue        # a trivial variable's own unit clause
+        clause_groups.setdefault(find(anchor), []).append(index)
+
+    variable_groups: dict[Hashable, list[Hashable]] = {}
+    for variable in membership:
+        if variable not in trivial:
+            variable_groups.setdefault(find(variable), []).append(variable)
+
+    components = []
+    for root, variables in variable_groups.items():
+        variables.sort(key=stable_str_key)
+        components.append(
+            Component(
+                key=stable_str_key(variables[0]),
+                variables=variables,
+                clause_indexes=clause_groups.get(root, []),
+            )
+        )
+    components.sort(key=lambda component: component.key)
+    return Decomposition(trivial=trivial, components=components)
+
+
+# ------------------------------------------------------- component solving
+
+#: One component's picklable work order: (canonical key, clause payloads,
+#: seed, max_flips, restarts, noise).
+_ComponentTask = tuple
+
+#: One component's picklable outcome: (key, assignment, soft, hard, flips).
+_ComponentOutcome = tuple
+
+
+def _solve_component_batch(batch: list[_ComponentTask]) -> list[_ComponentOutcome]:
+    """Solve one batch of components (runs inside a backend worker)."""
+    outcomes: list[_ComponentOutcome] = []
+    with _obs.span("maxsat.component_batch") as tracing:
+        clause_total = 0
+        for key, clause_payload, seed, max_flips, restarts, noise in batch:
+            sub = WeightedMaxSat()
+            for literals, weight in clause_payload:
+                sub.add_clause(literals, weight)
+            clause_total += len(clause_payload)
+            result = sub.solve(
+                seed=seed, max_flips=max_flips, restarts=restarts, noise=noise
+            )
+            outcomes.append(
+                (
+                    key,
+                    dict(result.assignment),
+                    result.soft_cost,
+                    result.hard_violations,
+                    result.flips,
+                )
+            )
+        tracing.add("components", len(batch))
+        tracing.add("clauses", clause_total)
+    return outcomes
+
+
+def solve_decomposed(
+    problem: WeightedMaxSat,
+    seed: int = 0,
+    max_flips: int = 20_000,
+    restarts: int = 3,
+    noise: float = 0.1,
+    decomposition: Optional[Decomposition] = None,
+    backend: Union[str, ExecutionBackend, None] = "auto",
+    workers: int = 0,
+) -> MaxSatResult:
+    """Solve ``problem`` component by component; optionally in parallel.
+
+    Semantically equivalent to :meth:`WeightedMaxSat.solve` — the optimum
+    of a disconnected instance is the union of component optima — and
+    byte-identical across worker counts and backends: component seeds and
+    flip budgets derive from component content, and costs/assignments
+    merge in sorted-canonical-key order.
+    """
+    if decomposition is None:
+        with _obs.span("maxsat.decompose"):
+            decomposition = decompose(problem)
+    components = decomposition.components
+    if _obs.ENABLED:
+        _obs.count("maxsat.components", len(components))
+        _obs.count("maxsat.trivial_vars", len(decomposition.trivial))
+        _obs.gauge("maxsat.largest_component", decomposition.largest_component)
+
+    clauses = problem.clauses
+    tasks: list[_ComponentTask] = [
+        (
+            component.key,
+            [
+                (clauses[index].literals, clauses[index].weight)
+                for index in component.clause_indexes
+            ],
+            component.seed(seed),
+            component.flip_budget(max_flips),
+            restarts,
+            noise,
+        )
+        for component in components
+    ]
+
+    executor = get_backend(backend, workers)
+    if executor.workers <= 1 or len(tasks) <= 1:
+        batches = [_solve_component_batch(tasks)] if tasks else []
+    else:
+        batches = executor.map(
+            _solve_component_batch, chunked(tasks, executor.workers * 4)
+        )
+
+    assignment: dict[Hashable, bool] = {}
+    soft_cost = 0.0
+    hard_violations = 0
+    flips = 0
+    # Components arrive already in sorted-key order (tasks were built from
+    # the sorted component list and backends preserve task order), so this
+    # float accumulation order is canonical for every backend.
+    for batch in batches:
+        for __, component_assignment, soft, hard, component_flips in batch:
+            assignment.update(component_assignment)
+            soft_cost += soft
+            hard_violations += hard
+            flips += component_flips
+    for variable in sorted(decomposition.trivial, key=stable_str_key):
+        assignment[variable] = decomposition.trivial[variable]
+    return MaxSatResult(assignment, soft_cost, hard_violations, flips)

@@ -14,6 +14,7 @@ problems the experiments ground.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional
 
@@ -70,13 +71,16 @@ class WeightedMaxSat:
     def __init__(self) -> None:
         self._clauses: list[Clause] = []
         self._variables: set[Hashable] = set()
+        self._sorted_variables: Optional[list[Hashable]] = None
 
     def add_clause(self, literals: Iterable[Literal], weight: float) -> None:
         """Add a weighted clause (use ``HARD`` for mandatory constraints)."""
         clause = Clause(tuple(literals), weight)
         self._clauses.append(clause)
         for variable, __ in clause.literals:
-            self._variables.add(variable)
+            if variable not in self._variables:
+                self._variables.add(variable)
+                self._sorted_variables = None
 
     def add_hard(self, literals: Iterable[Literal]) -> None:
         """Add a mandatory clause."""
@@ -88,11 +92,15 @@ class WeightedMaxSat:
 
     @property
     def clauses(self) -> list[Clause]:
-        return list(self._clauses)
+        """The clause list itself (treat as read-only; solve hot path)."""
+        return self._clauses
 
     @property
     def variables(self) -> list[Hashable]:
-        return sorted(self._variables, key=repr)
+        """The variables in canonical (repr) order, cached between adds."""
+        if self._sorted_variables is None:
+            self._sorted_variables = sorted(self._variables, key=repr)
+        return self._sorted_variables
 
     def cost_of(self, assignment: dict[Hashable, bool]) -> tuple[int, float]:
         """(hard violations, soft cost) of a full assignment."""
@@ -207,28 +215,53 @@ class WeightedMaxSat:
         return MaxSatResult(best_assignment, soft, int(hard), flips=0)
 
     def _unit_propagate(self) -> dict[Hashable, bool]:
-        """Fixpoint of hard unit clauses."""
+        """Fixpoint of hard unit clauses, queue-driven.
+
+        Instead of rescanning every clause until a full pass changes
+        nothing (O(passes x clauses) on grounding-heavy instances), a
+        variable->hard-clause index limits re-examination to the clauses
+        that contain a newly forced variable.  The fixpoint is the same:
+        unit propagation is confluent, and both the initial sweep and the
+        queue drain visit clauses in ascending index order.
+        """
         forced: dict[Hashable, bool] = {}
-        changed = True
-        while changed:
-            changed = False
-            for clause in self._clauses:
-                if not clause.is_hard:
-                    continue
-                unassigned: list[Literal] = []
-                satisfied = False
-                for variable, polarity in clause.literals:
-                    if variable in forced:
-                        if forced[variable] == polarity:
-                            satisfied = True
-                            break
-                    else:
-                        unassigned.append((variable, polarity))
-                if satisfied or len(unassigned) != 1:
-                    continue
-                variable, polarity = unassigned[0]
-                forced[variable] = polarity
-                changed = True
+        hard_indexes = [
+            index for index, clause in enumerate(self._clauses) if clause.is_hard
+        ]
+        if not hard_indexes:
+            return forced
+        hard_clauses_of: dict[Hashable, list[int]] = {}
+        for index in hard_indexes:
+            for variable, __ in self._clauses[index].literals:
+                hard_clauses_of.setdefault(variable, []).append(index)
+        pending = deque(hard_indexes)
+        queued = set(hard_indexes)
+        while pending:
+            index = pending.popleft()
+            queued.discard(index)
+            clause = self._clauses[index]
+            unit: Optional[Literal] = None
+            open_literals = 0
+            satisfied = False
+            for variable, polarity in clause.literals:
+                value = forced.get(variable)
+                if value is None:
+                    open_literals += 1
+                    if open_literals > 1:
+                        break
+                    unit = (variable, polarity)
+                elif value == polarity:
+                    satisfied = True
+                    break
+            if satisfied or open_literals != 1:
+                continue
+            assert unit is not None
+            variable, polarity = unit
+            forced[variable] = polarity
+            for affected in hard_clauses_of.get(variable, ()):
+                if affected != index and affected not in queued:
+                    pending.append(affected)
+                    queued.add(affected)
         return forced
 
 

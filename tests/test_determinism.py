@@ -319,11 +319,18 @@ class TestCrossModeReporting:
         from repro.determinism import CROSS_MODES
 
         labels = [mode.label for mode in CROSS_MODES]
-        assert labels == ["serial", "shards4", "thread2", "process2"]
+        assert labels == [
+            "serial", "shards4", "thread2", "process2",
+            "reasoner-thread2", "reasoner-process2",
+        ]
         by_label = {mode.label: mode for mode in CROSS_MODES}
         assert by_label["shards4"].shards == 4
         assert by_label["thread2"].backend == "thread"
         assert by_label["process2"].workers == 2
+        assert by_label["reasoner-thread2"].reasoner_backend == "thread"
+        assert by_label["reasoner-thread2"].reasoner_workers == 2
+        assert by_label["reasoner-process2"].reasoner_backend == "process"
+        assert by_label["reasoner-process2"].reasoner_workers == 2
 
     def test_report_describe_ok_and_divergent(self):
         from repro.determinism import CrossModeReport, Divergence

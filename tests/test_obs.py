@@ -258,6 +258,31 @@ class TestInstrumentedComponents:
         assert counters["kb.store.match"] == 1
         assert counters["kb.store.remove"] == 1
 
+    def test_match_traces_index_shape_and_bucket_size(self):
+        obs.enable()
+        store = TripleStore()
+        s, p = Entity("e:a"), Relation("r:p")
+        for i in range(3):
+            store.add(Triple(s, p, Entity(f"e:o{i}")))
+        with obs.span("query") as tracing:
+            list(store.match(subject=s, predicate=p))          # sp composite
+            list(store.match(predicate=p))                     # p single
+            list(store.match(subject=s, obj=Entity("e:o0")))   # s+o filtered
+            list(store.match())                                # full scan
+        counters = obs.report_json()["counters"]
+        assert counters["kb.store.match.shape.sp"] == 1
+        assert counters["kb.store.match.shape.p"] == 1
+        assert counters["kb.store.match.shape.s+o"] == 1
+        assert counters["kb.store.match.shape.scan"] == 1
+        # The innermost open span carries the per-query annotations.
+        assert tracing.counters["store.match.sp"] == 1
+        assert tracing.counters["store.match.sp.scanned"] == 3
+        assert tracing.counters["store.match.p.scanned"] == 3
+        assert tracing.counters["store.match.s+o.scanned"] == 1
+        assert tracing.counters["store.match.scan.scanned"] == 3
+        histogram = obs.report_json()["histograms"]["kb.store.match.scanned"]
+        assert histogram["count"] == 4
+
     def test_mapreduce_publishes_into_registry(self):
         from repro.bigdata import word_count
 
@@ -288,5 +313,12 @@ class TestInstrumentedComponents:
         stages = {entry["stage"] for entry in obs.stage_breakdown()}
         assert "consistency.clean" in stages
         assert "consistency.clean/consistency.solve" in stages
+        assert (
+            "consistency.clean/consistency.solve/maxsat.decompose" in stages
+        )
         counters = obs.report_json()["counters"]
-        assert counters["maxsat.solve_calls"] == 1
+        # Component-decomposed solving: one solve call per component, and
+        # the decomposition counters account for every candidate variable.
+        assert counters["maxsat.components"] == report.components
+        assert counters["maxsat.trivial_vars"] == report.trivial_vars
+        assert counters.get("maxsat.solve_calls", 0) == report.components
