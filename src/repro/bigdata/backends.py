@@ -10,20 +10,43 @@ task list and returns results in task order, whatever executes them:
   per-worker initializer (build the resolver/gazetteer once per process,
   not once per task) and picklable task payloads.
 
+Pooled backends are **persistent**: the pool is created lazily on the
+first ``map`` call and reused by every later call until :meth:`close`
+(or the context manager exit), so one build pays one pool spinup for the
+extraction stage, the map-reduce map phases, and every consistency
+``clean()`` — not one per stage.  Because the pool outlives a single
+``map``, the per-call ``initializer`` is delivered per call: worker
+threads run it once per (thread, call), worker processes install it via a
+barrier-synchronized broadcast that hands exactly one setup task to each
+process before any real task is dispatched.
+
+Scheduling is selectable per call.  ``schedule="static"`` dispatches
+tasks in index order (the contiguous-chunk behavior callers relied on);
+``schedule="steal"`` feeds workers from the shared pool queue
+largest-estimated-cost-first (``cost_key``), so a straggler task starts
+first instead of landing on an already-loaded worker — the map-reduce
+answer to skewed page batches and lopsided reasoner components.  Either
+way :func:`_collect` reassembles results in task-index order, so a
+correct caller sees byte-identical output from every schedule, backend,
+and worker count.
+
 Worker telemetry is never lost: ``repro.obs`` state is process- and
 thread-local by design, so after every task the worker captures its own
 spans/counters (:func:`repro.obs.core.snapshot`) and ships them back with
-the result; the parent folds them into its registry under a
+the result; the parent groups the snapshots by worker and folds each
+worker's combined telemetry into its registry under one
 ``worker[<name>]`` span (:func:`repro.obs.core.merge_snapshot`), which is
-the per-worker breakdown ``build --trace`` renders.
-
-Determinism contract: results are returned (and snapshots merged) in task
-order, regardless of completion order, so a correct caller sees the same
-output from every backend.
+the per-worker breakdown ``build --trace`` renders.  The parent also
+records ``backend.tasks_dispatched``, per-worker task/busy-time
+histograms (``backend.worker.tasks`` / ``backend.worker.busy_s``), and
+pool lifecycle counters (``backend.pool.spinups`` /
+``backend.pool.reuses``).
 """
 
 from __future__ import annotations
 
+import pickle
+import threading
 from typing import Callable, Optional, Sequence, TypeVar, Union
 
 from ..obs import core as _obs
@@ -33,6 +56,13 @@ R = TypeVar("R")
 
 #: The selectable backend names (plus "auto": serial unless workers > 1).
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: The selectable dispatch schedules.
+SCHEDULE_NAMES = ("static", "steal")
+
+#: How long a process worker waits for its setup-broadcast peers before
+#: declaring the pool wedged (a worker died mid-broadcast).
+_BROADCAST_TIMEOUT_S = 300.0
 
 
 def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
@@ -52,11 +82,37 @@ def chunked(items: Sequence[T], chunks: int) -> list[list[T]]:
     return batches
 
 
+def _dispatch_order(
+    tasks: Sequence[T],
+    schedule: str,
+    cost_key: Optional[Callable[[T], float]],
+) -> list[tuple[int, T]]:
+    """The (index, task) dispatch sequence for one ``map`` call.
+
+    Static scheduling keeps task-index order.  Stealing orders the shared
+    queue largest-estimated-cost-first so the most expensive task is
+    claimed by the first free worker; ties break on the task index, which
+    keeps the dispatch order — and therefore any in-worker side effects —
+    deterministic for a given cost key.
+    """
+    if schedule not in SCHEDULE_NAMES:
+        raise ValueError(
+            f"unknown schedule {schedule!r} (expected one of {SCHEDULE_NAMES})"
+        )
+    indexed = list(enumerate(tasks))
+    if schedule == "steal" and cost_key is not None:
+        indexed.sort(key=lambda pair: (-cost_key(pair[1]), pair[0]))
+    return indexed
+
+
 class ExecutionBackend:
     """Run a function over tasks; results come back in task order."""
 
     name: str = "?"
     workers: int = 1
+    #: Pool lifecycle counters (stay 0 for unpooled backends).
+    spinups: int = 0
+    reuses: int = 0
 
     def map(
         self,
@@ -65,24 +121,85 @@ class ExecutionBackend:
         *,
         initializer: Optional[Callable[..., None]] = None,
         initargs: tuple = (),
+        schedule: str = "static",
+        cost_key: Optional[Callable[[T], float]] = None,
     ) -> list[R]:
-        """Execute ``fn`` on every task; ``initializer(*initargs)`` runs
-        once per worker before any task (and once in-process for the
-        serial backend)."""
+        """Execute ``fn`` on every task; results in task order.
+
+        ``initializer(*initargs)`` runs once per worker per call before
+        that worker's first task (and once in-process for the serial
+        backend).  No backend runs the initializer for an empty task
+        list.  ``schedule`` picks the dispatch order ("static" =
+        task-index order, "steal" = largest ``cost_key`` first from the
+        shared queue); the returned list is index-ordered either way.
+        """
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled workers; the next ``map`` re-creates them."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def _combine_snapshots(worker: str, snaps: list[dict]) -> dict:
+    """Fold one worker's per-task snapshots into a single snapshot.
+
+    Counters add, gauges last-write-wins, histogram samples extend, spans
+    concatenate — all in task order, matching what per-snapshot merging
+    would have produced, but yielding exactly one ``worker[...]`` wrapper
+    when the combined snapshot is merged.
+    """
+    combined: dict = {
+        "worker": worker,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+    for snap in snaps:
+        for name, value in snap["counters"].items():
+            combined["counters"][name] = combined["counters"].get(name, 0) + value
+        combined["gauges"].update(snap["gauges"])
+        for name, values in snap["histograms"].items():
+            combined["histograms"].setdefault(name, []).extend(values)
+        combined["spans"].extend(snap["spans"])
+    return combined
 
 
 def _collect(outcomes) -> list:
     """Order (index, result, snapshot) outcomes and merge telemetry.
 
-    Snapshots merge in task order — deterministic however the pool
-    scheduled the work — labeled by the worker that produced them.
+    Results return in task-index order — deterministic however the pool
+    scheduled the work.  Snapshots are grouped by the worker that
+    produced them (first-seen in task order) and merged as **one**
+    ``worker[<name>]`` wrapper per worker, so a worker that ran 50 tasks
+    contributes one wrapper span, not 50 siblings; per-worker task counts
+    and busy time feed the utilization histograms.
     """
     results = []
+    snaps_by_worker: dict[str, list[dict]] = {}
     for __, result, snap in sorted(outcomes, key=lambda outcome: outcome[0]):
         if snap is not None:
-            _obs.merge_snapshot(snap, label=f"worker[{snap['worker']}]")
+            snaps_by_worker.setdefault(snap["worker"], []).append(snap)
         results.append(result)
+    for worker, snaps in snaps_by_worker.items():
+        _obs.merge_snapshot(
+            _combine_snapshots(worker, snaps), label=f"worker[{worker}]"
+        )
+        _obs.observe("backend.worker.tasks", len(snaps))
+        _obs.observe(
+            "backend.worker.busy_s",
+            sum(
+                span["elapsed_s"]
+                for snap in snaps
+                for span in snap["spans"]
+            ),
+        )
     return results
 
 
@@ -91,14 +208,22 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def map(self, fn, tasks, *, initializer=None, initargs=()):
+    def map(self, fn, tasks, *, initializer=None, initargs=(),
+            schedule="static", cost_key=None):
+        order = _dispatch_order(tasks, schedule, cost_key)
+        if not order:
+            return []
+        if _obs.ENABLED:
+            _obs.count("backend.tasks_dispatched", len(order))
         if initializer is not None:
             initializer(*initargs)
-        return [fn(task) for task in tasks]
+        outcomes = [(index, fn(task)) for index, task in order]
+        outcomes.sort(key=lambda outcome: outcome[0])
+        return [result for __, result in outcomes]
 
 
 class ThreadBackend(ExecutionBackend):
-    """A thread pool: shared memory, per-thread telemetry capture."""
+    """A persistent thread pool: shared memory, per-thread telemetry."""
 
     name = "thread"
 
@@ -106,40 +231,94 @@ class ThreadBackend(ExecutionBackend):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.spinups = 0
+        self.reuses = 0
+        self._pool = None
 
-    def map(self, fn, tasks, *, initializer=None, initargs=()):
+    def _ensure_pool(self):
         from concurrent.futures import ThreadPoolExecutor
 
-        tasks = list(tasks)
-        if not tasks:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-worker"
+            )
+            self.spinups += 1
+            if _obs.ENABLED:
+                _obs.count("backend.pool.spinups")
+        else:
+            self.reuses += 1
+            if _obs.ENABLED:
+                _obs.count("backend.pool.reuses")
+        return self._pool
+
+    def map(self, fn, tasks, *, initializer=None, initargs=(),
+            schedule="static", cost_key=None):
+        order = _dispatch_order(tasks, schedule, cost_key)
+        if not order:
             return []
+        if _obs.ENABLED:
+            _obs.count("backend.tasks_dispatched", len(order))
         capture = _obs.ENABLED
+        # Per-call worker initialization: the pool outlives this call, so
+        # each worker thread runs the initializer lazily, once per call.
+        call_state = threading.local()
 
         def run_one(indexed):
             index, task = indexed
+            if initializer is not None and not getattr(call_state, "ready", False):
+                initializer(*initargs)
+                call_state.ready = True
             result = fn(task)
             snap = _obs.snapshot(reset=True) if capture else None
             return index, result, snap
 
-        with ThreadPoolExecutor(
-            max_workers=self.workers,
-            thread_name_prefix="repro-worker",
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            outcomes = list(pool.map(run_one, enumerate(tasks)))
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_one, pair) for pair in order]
+        outcomes = [future.result() for future in futures]
         return _collect(outcomes)
 
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
-# Worker-process globals, installed by the pool initializer: the task
-# function arrives once per worker (not once per task).
-_PROCESS_FN: Optional[Callable] = None
+    def __del__(self):
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
 
 
-def _process_worker_init(fn, capture, initializer, initargs) -> None:
-    global _PROCESS_FN
-    _PROCESS_FN = fn
+# Worker-process globals, installed by the pool bootstrap (at worker
+# creation) and the per-call broadcast (before a call's first task).
+_POOL_BARRIER = None
+_POOL_CALL_ID: Optional[int] = None
+_POOL_FN: Optional[Callable] = None
+
+
+def _pool_worker_bootstrap(barrier) -> None:
+    """Runs once per worker process at pool creation."""
+    global _POOL_BARRIER
+    _POOL_BARRIER = barrier
     # Clear anything a forked child inherited mid-trace from the parent.
+    _obs.reset()
+    _obs.disable()
+
+
+def _pool_install_call(payload) -> None:
+    """Install one call's (fn, initializer, capture flag) in this worker.
+
+    Exactly ``workers`` of these are dispatched per ``map`` call; the
+    barrier keeps every worker parked on its setup task until all workers
+    hold one, so no worker can grab two and no worker can miss the call's
+    initializer.
+    """
+    global _POOL_CALL_ID, _POOL_FN
+    call_id, setup = payload
+    _POOL_BARRIER.wait(timeout=_BROADCAST_TIMEOUT_S)
+    fn, initializer, initargs, capture = pickle.loads(setup)
     _obs.reset()
     if capture:
         _obs.enable()
@@ -147,21 +326,31 @@ def _process_worker_init(fn, capture, initializer, initargs) -> None:
         _obs.disable()
     if initializer is not None:
         initializer(*initargs)
+    _POOL_CALL_ID, _POOL_FN = call_id, fn
 
 
-def _process_run_task(indexed):
-    index, task = indexed
-    result = _PROCESS_FN(task)
+def _pool_run_task(payload):
+    call_id, index, task = payload
+    if call_id != _POOL_CALL_ID:
+        raise RuntimeError(
+            f"worker missed the setup broadcast for call {call_id} "
+            f"(has {_POOL_CALL_ID})"
+        )
+    result = _POOL_FN(task)
     snap = _obs.snapshot(reset=True) if _obs.ENABLED else None
     return index, result, snap
 
 
 class ProcessBackend(ExecutionBackend):
-    """A ``multiprocessing.Pool``: real parallelism, picklable payloads.
+    """A persistent ``multiprocessing.Pool``: real parallelism, picklable
+    payloads.
 
     ``fn``, ``initializer``, and task payloads must be picklable
     (module-level functions, dataclass values) so the backend also works
-    under the ``spawn`` start method.
+    under the ``spawn`` start method.  The pool is created on the first
+    ``map`` and reused until :meth:`close`; each call broadcasts its
+    function and initializer to every worker through a barrier before
+    dispatching tasks.
     """
 
     name = "process"
@@ -172,20 +361,68 @@ class ProcessBackend(ExecutionBackend):
         self.workers = workers if workers else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        self.spinups = 0
+        self.reuses = 0
+        self._pool = None
+        self._barrier = None
+        self._call_id = 0
 
-    def map(self, fn, tasks, *, initializer=None, initargs=()):
+    def _ensure_pool(self):
         import multiprocessing
 
-        tasks = list(tasks)
-        if not tasks:
+        if self._pool is None:
+            context = multiprocessing.get_context()
+            self._barrier = context.Barrier(self.workers)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_pool_worker_bootstrap,
+                initargs=(self._barrier,),
+            )
+            self.spinups += 1
+            if _obs.ENABLED:
+                _obs.count("backend.pool.spinups")
+        else:
+            self.reuses += 1
+            if _obs.ENABLED:
+                _obs.count("backend.pool.reuses")
+        return self._pool
+
+    def map(self, fn, tasks, *, initializer=None, initargs=(),
+            schedule="static", cost_key=None):
+        order = _dispatch_order(tasks, schedule, cost_key)
+        if not order:
             return []
-        with multiprocessing.Pool(
-            processes=self.workers,
-            initializer=_process_worker_init,
-            initargs=(fn, _obs.ENABLED, initializer, initargs),
-        ) as pool:
-            outcomes = pool.map(_process_run_task, list(enumerate(tasks)), chunksize=1)
+        if _obs.ENABLED:
+            _obs.count("backend.tasks_dispatched", len(order))
+        pool = self._ensure_pool()
+        self._call_id += 1
+        setup = pickle.dumps((fn, initializer, initargs, _obs.ENABLED))
+        pool.map(
+            _pool_install_call,
+            [(self._call_id, setup)] * self.workers,
+            chunksize=1,
+        )
+        payloads = [(self._call_id, index, task) for index, task in order]
+        if schedule == "steal":
+            outcomes = list(pool.imap_unordered(_pool_run_task, payloads, chunksize=1))
+        else:
+            outcomes = pool.map(_pool_run_task, payloads, chunksize=1)
         return _collect(outcomes)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._barrier = None
+
+    def __del__(self):
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+            except Exception:
+                pass
 
 
 def get_backend(
@@ -194,19 +431,24 @@ def get_backend(
     """Resolve a backend spec to an instance.
 
     ``"auto"`` (or ``None``) means serial for ``workers <= 1`` and a
-    process pool otherwise — the CLI's ``--workers N`` default. An
+    process pool otherwise — the CLI's ``--workers N`` default.  An
+    explicit worker count of N >= 1 is honored exactly (``workers=1``
+    builds a one-worker pool); the backend's own default (2 threads, one
+    process per CPU) applies only when ``workers == 0``.  An
     :class:`ExecutionBackend` instance passes through unchanged.
     """
     if isinstance(name, ExecutionBackend):
         return name
+    if workers < 0:
+        raise ValueError("workers must be non-negative (0 = backend default)")
     if name is None or name == "auto":
         name = "serial" if workers <= 1 else "process"
     if name == "serial":
         return SerialBackend()
     if name == "thread":
-        return ThreadBackend(workers if workers > 1 else 2)
+        return ThreadBackend(workers if workers else 2)
     if name == "process":
-        return ProcessBackend(workers if workers > 1 else None)
+        return ProcessBackend(workers if workers else None)
     raise ValueError(
         f"unknown backend {name!r} (expected one of {BACKEND_NAMES} or 'auto')"
     )

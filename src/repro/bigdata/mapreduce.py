@@ -12,7 +12,10 @@ The map phase runs through a pluggable :mod:`~repro.bigdata.backends`
 executor: serial (the default), a thread pool, or a real process pool.
 Chunked inputs keep worker dispatch coarse; shuffle and reduce stay in the
 parent, and because chunk results come back in input order the job output
-is byte-identical across backends.  With the process backend, the mapper
+is byte-identical across backends — and across dispatch schedules: with
+``schedule="steal"`` workers pull the largest remaining chunk from the
+shared queue first, which tightens the makespan on skewed inputs without
+changing a single output byte.  With the process backend, the mapper
 (and the optional ``initializer``) must be picklable module-level
 functions.
 """
@@ -129,12 +132,16 @@ class MapReduce(Generic[I, K, V, R]):
     """A map-reduce executor with deterministic sharding and backends."""
 
     def __init__(
-        self, shards: int = 4, backend: Optional[ExecutionBackend] = None
+        self,
+        shards: int = 4,
+        backend: Optional[ExecutionBackend] = None,
+        schedule: str = "static",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         self.shards = shards
         self.backend = backend
+        self.schedule = schedule
 
     def run(
         self,
@@ -170,6 +177,8 @@ class MapReduce(Generic[I, K, V, R]):
                         chunked(list(inputs), self.backend.workers * 4),
                         initializer=_mapreduce_worker_init,
                         initargs=(mapper, initializer, initargs),
+                        schedule=self.schedule,
+                        cost_key=len,
                     )
                     pair_stream = (
                         (records, pairs) for records, pairs in mapped

@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 
 from . import obs
 from .analytics.qa import TemplateQA
-from .bigdata.backends import BACKEND_NAMES
+from .bigdata.backends import BACKEND_NAMES, SCHEDULE_NAMES
 from .corpus import build_wiki
 from .extraction.resolution import NameResolver
 from .kb import Entity, Literal, Relation, load, ns, save
@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="execution backend for --reasoner-workers "
         "(auto = process pool when reasoner workers > 1)",
+    )
+    build.add_argument(
+        "--schedule",
+        choices=SCHEDULE_NAMES,
+        default="static",
+        help="worker dispatch: 'static' hands out task batches in index "
+        "order; 'steal' feeds workers from a shared queue largest-"
+        "estimated-cost-first (same KB bytes either way)",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
@@ -143,7 +151,10 @@ def _command_build(args, out) -> int:
     world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
     wiki = build_wiki(world)
     workers_note = (
-        f" with {args.workers} {args.backend} workers" if args.workers > 1 else ""
+        f" with {args.workers} {args.backend} workers"
+        + (" (work-stealing)" if args.schedule == "steal" else "")
+        if args.workers > 1
+        else ""
     )
     print(f"Harvesting from {len(wiki.pages)} pages{workers_note} ...", file=out)
     if args.trace:
@@ -155,6 +166,7 @@ def _command_build(args, out) -> int:
         backend=args.backend,
         reasoner_workers=args.reasoner_workers,
         reasoner_backend=args.reasoner_backend,
+        schedule=args.schedule,
     )
     try:
         kb, report = KnowledgeBaseBuilder(

@@ -139,6 +139,7 @@ def _build_once(
     backend: Optional[str] = None,
     reasoner_workers: int = 0,
     reasoner_backend: Optional[str] = None,
+    schedule: Optional[str] = None,
 ) -> list[str]:
     """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
     from ..kb.rdfio import load
@@ -157,6 +158,8 @@ def _build_once(
         command += ["--reasoner-workers", str(reasoner_workers)]
     if reasoner_backend is not None:
         command += ["--reasoner-backend", reasoner_backend]
+    if schedule is not None:
+        command += ["--schedule", schedule]
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
     # The subprocess must resolve the same ``repro`` package as this one.
@@ -236,10 +239,13 @@ class BuildMode:
     backend: Optional[str] = None
     reasoner_workers: int = 0
     reasoner_backend: Optional[str] = None
+    schedule: Optional[str] = None
 
 
 #: The default mode matrix: every execution strategy the pipeline offers,
-#: including the component-decomposed parallel consistency reasoner.
+#: including the component-decomposed parallel consistency reasoner and
+#: the work-stealing dispatch schedule (which the steal modes exercise
+#: for extraction and reasoning at once, over one shared worker pool).
 CROSS_MODES: tuple[BuildMode, ...] = (
     BuildMode("serial"),
     BuildMode("shards4", shards=4),
@@ -247,6 +253,18 @@ CROSS_MODES: tuple[BuildMode, ...] = (
     BuildMode("process2", workers=2, backend="process"),
     BuildMode("reasoner-thread2", reasoner_workers=2, reasoner_backend="thread"),
     BuildMode("reasoner-process2", reasoner_workers=2, reasoner_backend="process"),
+    BuildMode(
+        "steal-thread2",
+        workers=2, backend="thread",
+        reasoner_workers=2, reasoner_backend="thread",
+        schedule="steal",
+    ),
+    BuildMode(
+        "steal-process2",
+        workers=2, backend="process",
+        reasoner_workers=2, reasoner_backend="process",
+        schedule="steal",
+    ),
 )
 
 
@@ -298,6 +316,7 @@ def check_cross_mode(
                 workers=mode.workers, backend=mode.backend,
                 reasoner_workers=mode.reasoner_workers,
                 reasoner_backend=mode.reasoner_backend,
+                schedule=mode.schedule,
             )
             if reference is None:
                 reference = lines

@@ -18,7 +18,10 @@ clause graph shatters along the constraint locality into many small
 independent components, which ``workers``/``backend`` fan out over the
 execution backends — the cleaned KB is byte-identical for every worker
 count because component seeds and the merge order derive from component
-content only.
+content only.  The reasoner resolves its backend once at construction, so
+repeated ``clean()`` calls reuse one persistent worker pool (release it
+with :meth:`ConsistencyReasoner.close` or the context manager), and
+``schedule="steal"`` dispatches the heaviest component batches first.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Union
 
-from ..bigdata.backends import ExecutionBackend
+from ..bigdata.backends import ExecutionBackend, get_backend
 from ..kb import Entity, Relation, Taxonomy, Triple, TripleStore
 from ..obs import core as _obs
 from ..reasoning.decompose import decompose, solve_decomposed
@@ -66,6 +69,7 @@ class ConsistencyReasoner:
         min_confidence_weight: float = 0.05,
         workers: int = 0,
         backend: Union[str, ExecutionBackend, None] = "auto",
+        schedule: str = "static",
     ) -> None:
         self.taxonomy = taxonomy
         self.use_functionality = use_functionality
@@ -73,7 +77,25 @@ class ConsistencyReasoner:
         self.use_disjointness = use_disjointness
         self.min_confidence_weight = min_confidence_weight
         self.workers = workers
-        self.backend = backend
+        self.schedule = schedule
+        # Resolve the backend once: every clean() call of this reasoner
+        # reuses the same (lazily created, persistent) worker pool instead
+        # of spinning one up per call.  A caller-supplied instance stays
+        # caller-owned; a string spec is owned — and closed — by us.
+        self.backend = get_backend(backend, workers)
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+
+    def close(self) -> None:
+        """Release the reasoner's worker pool (if it owns one)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "ConsistencyReasoner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def ground(
         self, candidates: TripleStore
@@ -128,6 +150,7 @@ class ConsistencyReasoner:
                     decomposition=decomposition,
                     backend=self.backend,
                     workers=self.workers,
+                    schedule=self.schedule,
                 )
                 solving.add("components", report.components)
                 solving.add("largest_component", report.largest_component)

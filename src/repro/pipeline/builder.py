@@ -59,6 +59,7 @@ class BuildConfig:
     backend: str = "auto"                   # serial | thread | process | auto
     reasoner_workers: int = 0               # <= 1 = in-process MaxSat solving
     reasoner_backend: str = "auto"          # backend for consistency reasoning
+    schedule: str = "static"                # static | steal (worker dispatch)
 
 
 @dataclass(slots=True)
@@ -78,6 +79,7 @@ class BuildReport:
     mapreduce: Optional[JobStats] = None
     backend: str = "serial"
     workers: int = 1
+    schedule: str = "static"
 
 
 def _build_resolver(
@@ -230,6 +232,36 @@ class KnowledgeBaseBuilder:
             len(p.document.sentences) for p in self.wiki.pages.values()
         )
 
+        # Resolve the execution backends once per build: a pooled backend
+        # keeps its workers alive across the extraction stage, map-reduce
+        # map phases, and consistency reasoning (one pool spinup per
+        # build, not one per stage), shared between the two stages when
+        # their specs coincide, and closed when the build finishes.
+        backend = get_backend(self.config.backend, self.config.workers)
+        reasoner_backend = get_backend(
+            self.config.reasoner_backend, self.config.reasoner_workers
+        )
+        if (reasoner_backend.name, reasoner_backend.workers) == (
+            backend.name,
+            backend.workers,
+        ):
+            reasoner_backend = backend
+        report.backend = backend.name
+        report.workers = backend.workers
+        report.schedule = self.config.schedule
+        try:
+            return self._build_with(backend, reasoner_backend, report)
+        finally:
+            backend.close()
+            if reasoner_backend is not backend:
+                reasoner_backend.close()
+
+    def _build_with(
+        self,
+        backend: ExecutionBackend,
+        reasoner_backend: ExecutionBackend,
+        report: BuildReport,
+    ) -> tuple[TripleStore, BuildReport]:
         with _obs.span("pipeline.build") as building:
             building.add("pages", report.pages)
             building.add("sentences", report.sentences)
@@ -246,9 +278,6 @@ class KnowledgeBaseBuilder:
 
             # 2. Facts: per-page extraction — direct or through map-reduce,
             #    either way fanned out across the configured backend.
-            backend = get_backend(self.config.backend, self.config.workers)
-            report.backend = backend.name
-            report.workers = backend.workers
             with _obs.span("pipeline.extract") as tracing:
                 tracing.add("workers", backend.workers)
                 if self.config.mapreduce_shards:
@@ -297,7 +326,8 @@ class KnowledgeBaseBuilder:
                     reasoner = ConsistencyReasoner(
                         taxonomy,
                         workers=self.config.reasoner_workers,
-                        backend=self.config.reasoner_backend,
+                        backend=reasoner_backend,
+                        schedule=self.config.schedule,
                     )
                     fact_store, report.consistency = reasoner.clean(fact_store)
                     tracing.add("accepted", report.consistency.accepted)
@@ -319,11 +349,23 @@ class KnowledgeBaseBuilder:
             building.add("triples", len(kb))
         return kb, report
 
+    def _batch_cost(self, titles: list[str]) -> int:
+        """Estimated extraction cost of one page batch: sentence count.
+
+        The work-stealing schedule dispatches the heaviest batch first so
+        a batch of long pages doesn't serialize behind a worker's lighter
+        ones.  Runs in the parent only — never shipped to workers.
+        """
+        return sum(
+            len(self.wiki.pages[title].document.sentences) for title in titles
+        )
+
     def _extract_pages(self, backend: ExecutionBackend) -> list[Candidate]:
         """Per-page extraction over the backend, in page-title order.
 
         Batches are contiguous title ranges and results concatenate in
-        batch order, so every backend yields the same candidate list.
+        batch order, so every backend — and every dispatch schedule —
+        yields the same candidate list.
         """
         titles = sorted(self.wiki.pages)
         if backend.workers <= 1:
@@ -336,6 +378,8 @@ class KnowledgeBaseBuilder:
             chunked(titles, backend.workers * 4),
             initializer=_extraction_worker_init,
             initargs=(self.wiki, self.aliases, self.config),
+            schedule=self.config.schedule,
+            cost_key=self._batch_cost,
         )
         return [candidate for batch in batches for candidate in batch]
 
@@ -344,7 +388,9 @@ class KnowledgeBaseBuilder:
     ) -> tuple[list[Candidate], JobStats]:
         """Run per-page extraction as a map-reduce job."""
         engine: MapReduce = MapReduce(
-            shards=self.config.mapreduce_shards, backend=backend
+            shards=self.config.mapreduce_shards,
+            backend=backend,
+            schedule=self.config.schedule,
         )
         candidates, stats = engine.run(
             sorted(self.wiki.pages),

@@ -172,6 +172,16 @@ _ComponentTask = tuple
 _ComponentOutcome = tuple
 
 
+def _batch_clause_cost(batch: list[_ComponentTask]) -> int:
+    """Estimated cost of one component batch: its total clause count.
+
+    The work-stealing schedule dispatches the heaviest batch first, so
+    the one lopsided component (one huge functionality group) starts
+    immediately instead of serializing behind a worker's lighter batches.
+    """
+    return sum(len(clause_payload) for __, clause_payload, *___ in batch)
+
+
 def _solve_component_batch(batch: list[_ComponentTask]) -> list[_ComponentOutcome]:
     """Solve one batch of components (runs inside a backend worker)."""
     outcomes: list[_ComponentOutcome] = []
@@ -208,14 +218,17 @@ def solve_decomposed(
     decomposition: Optional[Decomposition] = None,
     backend: Union[str, ExecutionBackend, None] = "auto",
     workers: int = 0,
+    schedule: str = "static",
 ) -> MaxSatResult:
     """Solve ``problem`` component by component; optionally in parallel.
 
     Semantically equivalent to :meth:`WeightedMaxSat.solve` — the optimum
     of a disconnected instance is the union of component optima — and
-    byte-identical across worker counts and backends: component seeds and
-    flip budgets derive from component content, and costs/assignments
-    merge in sorted-canonical-key order.
+    byte-identical across worker counts, backends, and schedules:
+    component seeds and flip budgets derive from component content, and
+    costs/assignments merge in sorted-canonical-key order.  Passing a
+    resolved :class:`ExecutionBackend` reuses its (persistent) pool; a
+    string spec resolves — and closes — a backend per call.
     """
     if decomposition is None:
         with _obs.span("maxsat.decompose"):
@@ -243,12 +256,20 @@ def solve_decomposed(
     ]
 
     executor = get_backend(backend, workers)
-    if executor.workers <= 1 or len(tasks) <= 1:
-        batches = [_solve_component_batch(tasks)] if tasks else []
-    else:
-        batches = executor.map(
-            _solve_component_batch, chunked(tasks, executor.workers * 4)
-        )
+    owns_executor = not isinstance(backend, ExecutionBackend)
+    try:
+        if executor.workers <= 1 or len(tasks) <= 1:
+            batches = [_solve_component_batch(tasks)] if tasks else []
+        else:
+            batches = executor.map(
+                _solve_component_batch,
+                chunked(tasks, executor.workers * 4),
+                schedule=schedule,
+                cost_key=_batch_clause_cost,
+            )
+    finally:
+        if owns_executor:
+            executor.close()
 
     assignment: dict[Hashable, bool] = {}
     soft_cost = 0.0

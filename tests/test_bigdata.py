@@ -148,6 +148,14 @@ def _traced_mapper(doc):
     return pairs
 
 
+def _boom_initializer():
+    raise AssertionError("initializer must not run for an empty task list")
+
+
+def _append_marker(bucket, marker):
+    bucket.append(marker)
+
+
 class TestExecutionBackends:
     DOCS = ["a b a c", "b c d", "d d a", "e", "a b c d e f"]
 
@@ -231,6 +239,230 @@ class TestExecutionBackends:
             if s["stage"].endswith("test.map")
         )
         assert total_pairs == sum(len(doc.split()) for doc in self.DOCS)
+
+
+class TestBackendWorkerCounts:
+    """Regression: explicit worker counts must be honored exactly.
+
+    ``get_backend("thread", workers=1)`` used to hand back a 2-thread
+    pool and ``get_backend("process", workers=1)`` a cpu_count pool; an
+    explicit N >= 1 now always wins, with backend defaults reserved for
+    ``workers == 0``.
+    """
+
+    def test_explicit_one_worker_is_one_worker(self):
+        from repro.bigdata.backends import get_backend
+
+        assert get_backend("serial", workers=1).workers == 1
+        assert get_backend("thread", workers=1).workers == 1
+        assert get_backend("process", workers=1).workers == 1
+
+    def test_explicit_counts_honored_for_every_backend(self):
+        from repro.bigdata.backends import get_backend
+
+        for name in ("thread", "process"):
+            for n in (1, 2, 3, 5):
+                assert get_backend(name, workers=n).workers == n
+
+    def test_zero_workers_means_backend_default(self):
+        import os
+
+        from repro.bigdata.backends import get_backend
+
+        assert get_backend("thread", workers=0).workers == 2
+        assert get_backend("process", workers=0).workers == (os.cpu_count() or 1)
+
+    def test_negative_workers_rejected(self):
+        from repro.bigdata.backends import get_backend
+
+        for name in ("serial", "thread", "process", "auto"):
+            with pytest.raises(ValueError):
+                get_backend(name, workers=-1)
+
+
+class TestEmptyInputParity:
+    """All backends agree on empty input: [] back, no initializer run."""
+
+    def test_empty_map_returns_empty_without_initializer(self):
+        from repro.bigdata.backends import (
+            ProcessBackend,
+            SerialBackend,
+            ThreadBackend,
+        )
+
+        for backend in (SerialBackend(), ThreadBackend(2), ProcessBackend(2)):
+            with backend:
+                assert backend.map(
+                    _square, [], initializer=_boom_initializer
+                ) == []
+            # Pooled backends must not even spin a pool up for no work.
+            assert backend.spinups == 0
+
+
+class TestSchedules:
+    def test_dispatch_order_cost_sorted_with_index_tiebreak(self):
+        from repro.bigdata.backends import _dispatch_order
+
+        tasks = ["bb", "a", "ccc", "dd"]
+        assert _dispatch_order(tasks, "steal", len) == [
+            (2, "ccc"), (0, "bb"), (3, "dd"), (1, "a")
+        ]
+        assert _dispatch_order(tasks, "static", len) == list(enumerate(tasks))
+        # Without a cost estimate, stealing degrades to index order.
+        assert _dispatch_order(tasks, "steal", None) == list(enumerate(tasks))
+
+    def test_steal_results_equal_static_on_every_backend(self):
+        from repro.bigdata.backends import (
+            ProcessBackend,
+            SerialBackend,
+            ThreadBackend,
+        )
+
+        tasks = list(range(17))
+        expected = [x * x for x in tasks]
+        for backend in (SerialBackend(), ThreadBackend(2), ProcessBackend(2)):
+            with backend:
+                assert backend.map(
+                    _square, tasks, schedule="steal", cost_key=lambda t: t % 5
+                ) == expected
+
+    def test_unknown_schedule_rejected(self):
+        from repro.bigdata.backends import SerialBackend, ThreadBackend
+
+        with pytest.raises(ValueError):
+            SerialBackend().map(_square, [1], schedule="lifo")
+        with ThreadBackend(2) as backend:
+            with pytest.raises(ValueError):
+                backend.map(_square, [1], schedule="")
+
+
+class TestPoolPersistence:
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_pool_reused_across_maps(self, kind):
+        from repro.bigdata.backends import get_backend
+
+        backend = get_backend(kind, workers=2)
+        try:
+            assert (backend.spinups, backend.reuses) == (0, 0)
+            assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert (backend.spinups, backend.reuses) == (1, 0)
+            assert backend.map(_square, [4, 5]) == [16, 25]
+            assert (backend.spinups, backend.reuses) == (1, 1)
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_close_then_map_respins(self, kind):
+        from repro.bigdata.backends import get_backend
+
+        backend = get_backend(kind, workers=2)
+        try:
+            backend.map(_square, [1])
+            backend.close()
+            assert backend.map(_square, [2, 3]) == [4, 9]
+            assert backend.spinups == 2
+        finally:
+            backend.close()
+
+    def test_context_manager_closes_pool(self):
+        from repro.bigdata.backends import ThreadBackend
+
+        with ThreadBackend(2) as backend:
+            backend.map(_square, [1, 2])
+            assert backend._pool is not None
+        assert backend._pool is None
+
+    def test_initializer_delivered_per_call_on_persistent_thread_pool(self):
+        from repro.bigdata.backends import ThreadBackend
+
+        bucket: list = []
+        with ThreadBackend(2) as backend:
+            backend.map(_square, [1, 2, 3], initializer=_append_marker,
+                        initargs=(bucket, "first"))
+            backend.map(_square, [4, 5, 6], initializer=_append_marker,
+                        initargs=(bucket, "second"))
+        # The pool persisted across calls, yet each call's initializer
+        # reached the workers that executed it (once per thread per call).
+        assert {"first", "second"} <= set(bucket)
+        assert len(bucket) <= 4  # never more than workers x calls
+
+
+class TestWorkerTelemetryGrouping:
+    DOCS = ["a b a c", "b c d", "d d a", "e", "a b c d e f",
+            "f g", "g h i", "i", "j k", "k l m n"]
+
+    def test_one_wrapper_span_per_worker(self):
+        from repro import obs
+        from repro.bigdata.backends import ThreadBackend
+        from repro.obs import core as obs_core
+
+        obs.reset()
+        obs.enable()
+        try:
+            with ThreadBackend(1) as backend:
+                with obs_core.span("test.call"):
+                    backend.map(_traced_mapper, self.DOCS)
+            roots = obs_core.take_roots()
+        finally:
+            obs.disable()
+            obs.reset()
+        (call_span,) = roots
+        wrappers = [
+            child for child in call_span.children
+            if child.name.startswith("worker[")
+        ]
+        # One worker ran all ten tasks: exactly one wrapper span holding
+        # all ten per-task spans — not ten sibling wrappers.
+        assert len(wrappers) == 1
+        assert len(call_span.children) == 1
+        assert len(wrappers[0].children) == len(self.DOCS)
+        assert all(
+            span.name == "test.map" for span in wrappers[0].children
+        )
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_workers_one_uses_exactly_one_worker(self, kind):
+        from repro import obs
+        from repro.bigdata.backends import get_backend
+        from repro.obs import core as obs_core
+
+        obs.reset()
+        obs.enable()
+        try:
+            with get_backend(kind, workers=1) as backend:
+                assert backend.workers == 1
+                backend.map(_traced_mapper, self.DOCS)
+            counters = obs_core.counters()
+            tasks_hist = obs_core.histograms()["backend.worker.tasks"]
+            busy_hist = obs_core.histograms()["backend.worker.busy_s"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert counters["backend.tasks_dispatched"] == len(self.DOCS)
+        # One histogram sample per reporting worker: exactly one worker
+        # executed, and it executed every task.
+        assert tasks_hist.values == [len(self.DOCS)]
+        assert busy_hist.count == 1
+
+    def test_utilization_histogram_covers_all_tasks(self):
+        from repro import obs
+        from repro.bigdata.backends import ThreadBackend
+        from repro.obs import core as obs_core
+
+        obs.reset()
+        obs.enable()
+        try:
+            with ThreadBackend(2) as backend:
+                backend.map(
+                    _traced_mapper, self.DOCS,
+                    schedule="steal", cost_key=len,
+                )
+            tasks_hist = obs_core.histograms()["backend.worker.tasks"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert sum(tasks_hist.values) == len(self.DOCS)
+        assert 1 <= tasks_hist.count <= 2  # one sample per worker
 
 
 class TestPrefixSpan:

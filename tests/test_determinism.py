@@ -322,6 +322,7 @@ class TestCrossModeReporting:
         assert labels == [
             "serial", "shards4", "thread2", "process2",
             "reasoner-thread2", "reasoner-process2",
+            "steal-thread2", "steal-process2",
         ]
         by_label = {mode.label: mode for mode in CROSS_MODES}
         assert by_label["shards4"].shards == 4
@@ -331,6 +332,15 @@ class TestCrossModeReporting:
         assert by_label["reasoner-thread2"].reasoner_workers == 2
         assert by_label["reasoner-process2"].reasoner_backend == "process"
         assert by_label["reasoner-process2"].reasoner_workers == 2
+        # The steal modes run work-stealing dispatch through *both* the
+        # extraction and reasoner stages, over one shared worker pool.
+        for label in ("steal-thread2", "steal-process2"):
+            mode = by_label[label]
+            assert mode.schedule == "steal"
+            assert mode.workers == 2 and mode.reasoner_workers == 2
+            assert mode.backend == mode.reasoner_backend
+        # Static modes leave the schedule at the CLI default.
+        assert by_label["serial"].schedule is None
 
     def test_report_describe_ok_and_divergent(self):
         from repro.determinism import CrossModeReport, Divergence

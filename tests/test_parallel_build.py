@@ -33,6 +33,16 @@ MODES = {
     "process2": {"workers": 2, "backend": "process"},
     "reasoner-thread2": {"reasoner_workers": 2, "reasoner_backend": "thread"},
     "reasoner-process2": {"reasoner_workers": 2, "reasoner_backend": "process"},
+    "steal-thread2": {
+        "workers": 2, "backend": "thread",
+        "reasoner_workers": 2, "reasoner_backend": "thread",
+        "schedule": "steal",
+    },
+    "steal-process2": {
+        "workers": 2, "backend": "process",
+        "reasoner_workers": 2, "reasoner_backend": "process",
+        "schedule": "steal",
+    },
 }
 
 
@@ -57,7 +67,7 @@ def _comparable_report(report) -> dict:
     comparable = {
         field.name: getattr(report, field.name)
         for field in dataclasses.fields(report)
-        if field.name not in {"mapreduce", "backend", "workers"}
+        if field.name not in {"mapreduce", "backend", "workers", "schedule"}
     }
     return comparable
 
@@ -92,6 +102,12 @@ class TestCrossBackendEquivalence:
         __, process_report = mode_results["process2"]
         assert process_report.backend == "process"
         assert process_report.workers == 2
+
+    def test_schedule_recorded_in_report(self, mode_results):
+        __, steal_report = mode_results["steal-process2"]
+        assert steal_report.schedule == "steal"
+        __, static_report = mode_results["process2"]
+        assert static_report.schedule == "static"
 
     def test_mapreduce_stats_still_reported(self, mode_results):
         __, report = mode_results["shards4"]

@@ -143,6 +143,19 @@ class TestSolveDecomposed:
         assert other.hard_violations == reference.hard_violations
         assert other.flips == reference.flips
 
+    def test_steal_schedule_byte_identical(self):
+        problem = _two_component_problem()
+        reference = solve_decomposed(problem, seed=11)
+        for backend, workers in (("thread", 2), ("process", 2)):
+            stolen = solve_decomposed(
+                _two_component_problem(), seed=11,
+                backend=backend, workers=workers, schedule="steal",
+            )
+            assert stolen.assignment == reference.assignment
+            assert stolen.soft_cost == reference.soft_cost
+            assert stolen.hard_violations == reference.hard_violations
+            assert stolen.flips == reference.flips
+
     def test_worker_count_does_not_change_result(self):
         problem = _two_component_problem()
         reference = solve_decomposed(problem, seed=5)
@@ -281,12 +294,38 @@ class TestCleanedKbCrossBackend:
         self, world, cleaned_reference, backend, workers
     ):
         reference_kb, reference_report = cleaned_reference
-        reasoner = ConsistencyReasoner(
+        with ConsistencyReasoner(
             Taxonomy(world.store), workers=workers, backend=backend
-        )
-        cleaned, report = reasoner.clean(_noisy_candidates(world))
+        ) as reasoner:
+            cleaned, report = reasoner.clean(_noisy_candidates(world))
         assert canonical_kb_text(cleaned) == canonical_kb_text(reference_kb)
         assert report == reference_report
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 2), ("process", 2),
+    ])
+    def test_steal_schedule_cleaned_kb_byte_identical(
+        self, world, cleaned_reference, backend, workers
+    ):
+        reference_kb, reference_report = cleaned_reference
+        with ConsistencyReasoner(
+            Taxonomy(world.store), workers=workers, backend=backend,
+            schedule="steal",
+        ) as reasoner:
+            cleaned, report = reasoner.clean(_noisy_candidates(world))
+        assert canonical_kb_text(cleaned) == canonical_kb_text(reference_kb)
+        assert report == reference_report
+
+    def test_persistent_pool_reused_across_cleans(self, world):
+        with ConsistencyReasoner(
+            Taxonomy(world.store), workers=2, backend="thread"
+        ) as reasoner:
+            first, __ = reasoner.clean(_noisy_candidates(world))
+            second, __ = reasoner.clean(_noisy_candidates(world))
+            assert canonical_kb_text(first) == canonical_kb_text(second)
+            # One pool spinup serves every clean() of the reasoner's life.
+            assert reasoner.backend.spinups == 1
+            assert reasoner.backend.reuses >= 1
 
     def test_report_carries_decomposition_shape(self, cleaned_reference):
         __, report = cleaned_reference
