@@ -1,16 +1,19 @@
-"""The command-line interface: build, inspect, query, ask, and verify.
+"""The command-line interface: build, inspect, query, ask, serve, verify.
 
-Five subcommands expose the end-to-end system without writing Python::
+Six subcommands expose the end-to-end system without writing Python::
 
     python -m repro build --seed 7 --people 120 --out kb.nt
     python -m repro stats --kb kb.nt
     python -m repro query --kb kb.nt --subject world:Viktor_Adler
     python -m repro ask --kb kb.nt "Where was Viktor Adler born?"
+    python -m repro serve --kb kb.nt --port 8765
     python -m repro check-determinism --runs 3
 
 ``build`` generates a synthetic world + encyclopedia and runs the full
 harvesting pipeline; ``stats``/``query``/``ask`` operate on any saved KB
-file; ``check-determinism`` rebuilds the KB in fresh subprocesses under
+file; ``serve`` answers ``/lookup``, ``/query``, ``/topk``, ``/healthz``,
+and ``/metrics`` over HTTP with a version-invalidated result cache;
+``check-determinism`` rebuilds the KB in fresh subprocesses under
 distinct ``PYTHONHASHSEED`` values and verifies the canonical
 serializations are byte-identical.
 """
@@ -106,6 +109,31 @@ def _build_parser() -> argparse.ArgumentParser:
     ask = commands.add_parser("ask", help="answer a natural-language question")
     ask.add_argument("--kb", required=True)
     ask.add_argument("question", help='e.g. "Where was Viktor Adler born?"')
+
+    serve = commands.add_parser(
+        "serve", help="serve a saved KB over HTTP with a cached query engine"
+    )
+    serve.add_argument("--kb", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="handler threads (0 = server default; an explicit 1 means "
+        "exactly one server thread)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="result-cache capacity (entries)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
 
     determinism = commands.add_parser(
         "check-determinism",
@@ -238,6 +266,44 @@ def _command_ask(args, out) -> int:
     return 0
 
 
+def _command_serve(args, out) -> int:
+    from .serving import serve_kb
+
+    if args.workers < 0:
+        print("error: --workers must be non-negative", file=out)
+        return 2
+    if args.cache_size < 1:
+        print("error: --cache-size must be positive", file=out)
+        return 2
+    try:
+        kb = load(args.kb)
+    except OSError as error:
+        print(f"error: cannot load KB: {error}", file=out)
+        return 2
+    server = serve_kb(
+        kb,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        verbose=args.verbose,
+    )
+    host, port = server.address
+    print(
+        f"Serving {len(kb)} triples on http://{host}:{port} "
+        f"with {server.workers} worker thread(s) "
+        f"(cache capacity {args.cache_size}); Ctrl-C to stop",
+        file=out,
+        flush=True,
+    )
+    try:
+        server.run_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+        print("shutting down", file=out)
+    return 0
+
+
 def _command_check_determinism(args, out) -> int:
     from .determinism import check_determinism, lint_paths
 
@@ -295,6 +361,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "stats": _command_stats,
         "query": _command_query,
         "ask": _command_ask,
+        "serve": _command_serve,
         "check-determinism": _command_check_determinism,
     }
     return handlers[args.command](args, out)

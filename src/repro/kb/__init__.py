@@ -20,7 +20,7 @@ from .terms import (
 )
 from .triple import ALWAYS, TimeSpan, Triple
 from .store import TripleStore
-from .query import Pattern, Query, Var, ask
+from .query import Pattern, Query, Var, ask, slot_to_text
 from .schema import Taxonomy, schema_triples
 from .sameas import UnionFind, canonicalize, sameas_closure
 from .rdfio import load, save, triple_from_line, triple_to_line
@@ -45,6 +45,7 @@ __all__ = [
     "Query",
     "Var",
     "ask",
+    "slot_to_text",
     "Taxonomy",
     "schema_triples",
     "UnionFind",

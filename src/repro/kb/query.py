@@ -43,6 +43,22 @@ class Var:
 Slot = Union[Term, Var]
 
 
+def slot_to_text(slot: Slot) -> str:
+    """The canonical text of a pattern slot: ``?name`` for variables, the
+    rdfio term rendering otherwise.
+
+    Unlike ``str()``, this is unambiguous across term kinds (``str`` renders
+    ``Entity("x:a")`` and ``Relation("x:a")`` identically), so it is safe as
+    a deduplication or cache key.  The serving layer keys its result cache
+    on these texts.
+    """
+    if isinstance(slot, Var):
+        return f"?{slot.name}"
+    from .rdfio import term_to_text
+
+    return term_to_text(slot)
+
+
 @dataclass(frozen=True, slots=True)
 class Pattern:
     """One triple pattern (subject, predicate, object) with optional Vars."""
@@ -113,13 +129,18 @@ class Query:
             seen = set()
             unique = []
             for binding in results:
-                key = tuple(sorted((k, str(v)) for k, v in binding.items()))
+                # slot_to_text, not str(): str renders an Entity and a
+                # Relation with the same id identically, which would dedup
+                # genuinely distinct solutions.
+                key = tuple(sorted((k, slot_to_text(v)) for k, v in binding.items()))
                 if key not in seen:
                     seen.add(key)
                     unique.append(binding)
             results = unique
         if self.order_by is not None:
-            results.sort(key=lambda b: str(b.get(self.order_by)))
+            results.sort(
+                key=lambda b: slot_to_text(b[self.order_by]) if self.order_by in b else ""
+            )
         if self.limit is not None:
             results = results[: self.limit]
         return results

@@ -30,6 +30,12 @@ class TripleStore:
     """An in-memory collection of :class:`~repro.kb.triple.Triple` objects."""
 
     def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        # Monotonic mutation counter: bumps on every observable change (new
+        # triple, higher-confidence witness replacement, removal).  The
+        # serving layer keys its result cache on this, so a version match is
+        # proof a cached answer is still current.  In-memory only — it never
+        # reaches the canonical serialization.
+        self._version = 0
         # Buckets are dict[key, None] (insertion-ordered sets): iteration
         # order must be hash-seed independent — see the module docstring.
         self._by_spo: dict[tuple[Resource, Resource, Term], Triple] = {}
@@ -57,8 +63,10 @@ class TripleStore:
                 _obs.count("kb.store.add.duplicate")
             if triple.confidence > existing.confidence:
                 self._by_spo[key] = triple
+                self._version += 1
             return False
         self._by_spo[key] = triple
+        self._version += 1
         s, p, o = key
         self._by_s[s][key] = None
         self._by_p[p][key] = None
@@ -91,6 +99,7 @@ class TripleStore:
         if key not in self._by_spo:
             return False
         del self._by_spo[key]
+        self._version += 1
         s, p, o = key
         for index, index_key in (
             (self._by_s, s),
@@ -109,6 +118,15 @@ class TripleStore:
         return self.add_all(other)
 
     # ------------------------------------------------------------------- read
+
+    @property
+    def version(self) -> int:
+        """The monotonic mutation counter (see ``__init__``).
+
+        Strictly increases across adds that change state (a new triple or a
+        replaced witness) and successful removes; reads never change it.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return len(self._by_spo)

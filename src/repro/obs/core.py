@@ -381,6 +381,10 @@ class Histogram:
     def p95(self) -> float:
         return self.percentile(95)
 
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
     def summary(self) -> dict:
         """The JSON-ready digest used by exports and rendering."""
         return {
@@ -388,6 +392,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
             "max": self.max,
         }
 

@@ -1,0 +1,52 @@
+"""The KB serving layer: answer queries like a production service.
+
+The paper frames knowledge bases as assets that must *answer* analytics
+queries at web scale, not just get built.  This subpackage is the read
+path over a built KB:
+
+* :class:`~repro.serving.engine.QueryEngine` — request-oriented SPO
+  lookups, conjunctive joins, and top-k-by-confidence over a
+  :class:`~repro.kb.store.TripleStore`, with a lock discipline that keeps
+  concurrent readers consistent with a live writer;
+* :class:`~repro.serving.cache.VersionedLRUCache` — an LRU result cache
+  keyed on the store's monotonic version, so any mutation invalidates
+  stale entries atomically;
+* :class:`~repro.serving.http.KBServer` — a stdlib ``http.server`` front
+  end (``repro serve``) with a fixed handler-thread pool and JSON
+  endpoints ``/lookup``, ``/query``, ``/topk``, ``/healthz``, ``/metrics``.
+"""
+
+from .cache import MISS, VersionedLRUCache
+from .engine import (
+    BadRequest,
+    QueryEngine,
+    canonical_triple_key,
+    parse_patterns,
+    parse_slot,
+    parse_term,
+    triple_payload,
+)
+from .http import (
+    DEFAULT_SERVER_WORKERS,
+    KBServer,
+    dumps,
+    resolve_server_workers,
+    serve_kb,
+)
+
+__all__ = [
+    "MISS",
+    "VersionedLRUCache",
+    "BadRequest",
+    "QueryEngine",
+    "canonical_triple_key",
+    "parse_patterns",
+    "parse_slot",
+    "parse_term",
+    "triple_payload",
+    "DEFAULT_SERVER_WORKERS",
+    "KBServer",
+    "dumps",
+    "resolve_server_workers",
+    "serve_kb",
+]

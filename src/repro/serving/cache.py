@@ -1,0 +1,100 @@
+"""A thread-safe LRU result cache keyed on a monotonic KB version.
+
+Entries are stored together with the :attr:`TripleStore.version` the result
+was computed at.  A lookup passes the *current* version; an entry whose
+stored version differs is dropped on the spot and reported as a miss.  That
+single integer compare is what makes invalidation atomic: the instant any
+store mutation bumps the version, every previously cached entry is stale —
+no per-entry bookkeeping, no invalidation scan, no window where a reader
+can observe a pre-mutation answer as fresh.
+
+The cache never holds the store's lock; hits are served entirely from the
+cache's own mutex, which is what lets a warm serving layer answer without
+touching the store at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+#: Sentinel distinguishing "cache miss" from a cached None payload.
+MISS = object()
+
+
+class VersionedLRUCache:
+    """An LRU map from request keys to (kb_version, payload) entries."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, tuple[int, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stale_drops = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, version: int) -> Any:
+        """The payload cached for ``key`` at ``version``, or :data:`MISS`.
+
+        An entry computed at any other version is deleted (counted in
+        ``stale_drops``) and reported as a miss; a hit refreshes the
+        entry's LRU recency.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return MISS
+            cached_version, payload = entry
+            if cached_version != version:
+                del self._entries[key]
+                self.stale_drops += 1
+                self.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: Hashable, version: int, payload: Any) -> None:
+        """Cache ``payload`` for ``key`` as computed at ``version``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (version, payload)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of size and hit/miss accounting."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            total = hits + misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "stale_drops": self.stale_drops,
+                "evictions": self.evictions,
+                "hit_rate": (hits / total) if total else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionedLRUCache(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

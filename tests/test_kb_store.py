@@ -54,6 +54,56 @@ class TestAddRemove:
         assert len(store) == 5
 
 
+class TestVersionCounter:
+    def test_starts_at_zero_and_counts_seed_triples(self, store):
+        assert TripleStore().version == 0
+        assert store.version == 4
+
+    def test_add_bumps(self, store):
+        before = store.version
+        assert store.add(Triple(C, LIKES, A))
+        assert store.version == before + 1
+
+    def test_duplicate_noop_does_not_bump(self, store):
+        before = store.version
+        assert not store.add(Triple(A, KNOWS, B))
+        assert store.version == before
+
+    def test_witness_replacement_bumps(self):
+        store = TripleStore([Triple(A, KNOWS, B, confidence=0.4)])
+        before = store.version
+        store.add(Triple(A, KNOWS, B, confidence=0.9))
+        assert store.version == before + 1
+        # A lower-confidence duplicate changes nothing and must not bump.
+        store.add(Triple(A, KNOWS, B, confidence=0.2))
+        assert store.version == before + 1
+
+    def test_remove_bumps_only_on_success(self, store):
+        before = store.version
+        assert store.remove(Triple(A, KNOWS, B))
+        assert store.version == before + 1
+        assert not store.remove(Triple(A, KNOWS, B))
+        assert store.version == before + 1
+
+    def test_monotonic_across_mixed_mutations(self, store):
+        seen = [store.version]
+        store.add(Triple(C, LIKES, B))
+        seen.append(store.version)
+        store.remove(Triple(C, LIKES, B))
+        seen.append(store.version)
+        store.add_all([Triple(B, LIKES, C), Triple(C, KNOWS, A)])
+        seen.append(store.version)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+    def test_reads_do_not_bump(self, store):
+        before = store.version
+        list(store.match(predicate=KNOWS))
+        store.count(subject=A)
+        store.entities()
+        len(store)
+        assert store.version == before
+
+
 class TestMatch:
     def test_full_scan(self, store):
         assert len(list(store.match())) == 4
