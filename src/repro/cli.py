@@ -10,12 +10,15 @@ Six subcommands expose the end-to-end system without writing Python::
     python -m repro check-determinism --runs 3
 
 ``build`` generates a synthetic world + encyclopedia and runs the full
-harvesting pipeline; ``stats``/``query``/``ask`` operate on any saved KB
-file; ``serve`` answers ``/lookup``, ``/query``, ``/topk``, ``/healthz``,
-and ``/metrics`` over HTTP with a version-invalidated result cache;
-``check-determinism`` rebuilds the KB in fresh subprocesses under
-distinct ``PYTHONHASHSEED`` values and verifies the canonical
-serializations are byte-identical.
+harvesting pipeline (``--segments DIR`` additionally emits the KB as a
+byte-pinned segment directory); ``stats``/``query``/``ask`` operate on
+any saved KB file; ``serve`` answers ``/lookup``, ``/query``, ``/topk``,
+``/healthz``, and ``/metrics`` over HTTP with an identity-keyed result
+cache — from a ``.nt`` file (``--kb``) or lock-free from a segment
+snapshot (``--segments``); ``check-determinism`` rebuilds the KB in
+fresh subprocesses under distinct ``PYTHONHASHSEED`` values and verifies
+the canonical serializations are byte-identical (``--segments`` also
+diffs emitted segment directories file for file).
 """
 
 from __future__ import annotations
@@ -48,6 +51,13 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=7)
     build.add_argument("--people", type=int, default=120)
     build.add_argument("--out", required=True, help="output .nt file")
+    build.add_argument(
+        "--segments",
+        default=None,
+        metavar="DIR",
+        help="also emit the KB as a byte-pinned segment directory "
+        "(SPO/POS/OSP order files + bloom sidecars + manifest)",
+    )
     build.add_argument(
         "--trace",
         action="store_true",
@@ -113,7 +123,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve a saved KB over HTTP with a cached query engine"
     )
-    serve.add_argument("--kb", required=True)
+    serve.add_argument("--kb", help="saved .nt KB file to serve")
+    serve.add_argument(
+        "--segments",
+        default=None,
+        metavar="DIR",
+        help="serve a segment directory through a lock-free immutable "
+        "snapshot instead of an in-memory store",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8765, help="listen port (0 = ephemeral)"
@@ -161,6 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also verify serial, sharded, threaded, and process-parallel "
         "builds (extraction and reasoner workers) agree byte for byte",
     )
+    determinism.add_argument(
+        "--segments", action="store_true",
+        help="also emit segment directories (serial, thread, and process "
+        "builds) and verify they are byte-identical file for file",
+    )
 
     return parser
 
@@ -204,6 +226,16 @@ def _command_build(args, out) -> int:
         if args.trace:
             obs.disable()
     count = save(kb, args.out)
+    if args.segments is not None:
+        from .pipeline import emit_segments
+
+        manifest = emit_segments(kb, args.segments)
+        print(
+            f"Emitted {len(manifest['segments'])} segment(s) "
+            f"({manifest['triples']} triples, epoch {manifest['epoch'][:12]}…) "
+            f"to {args.segments}",
+            file=out,
+        )
     print(
         f"Accepted {report.accepted_facts} facts "
         f"({report.consistency.rejected} rejected by consistency reasoning); "
@@ -275,11 +307,23 @@ def _command_serve(args, out) -> int:
     if args.cache_size < 1:
         print("error: --cache-size must be positive", file=out)
         return 2
-    try:
-        kb = load(args.kb)
-    except OSError as error:
-        print(f"error: cannot load KB: {error}", file=out)
+    if (args.kb is None) == (args.segments is None):
+        print("error: pass exactly one of --kb or --segments", file=out)
         return 2
+    if args.segments is not None:
+        from .kb.segments import open_snapshot
+
+        try:
+            kb = open_snapshot(args.segments)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot open segment snapshot: {error}", file=out)
+            return 2
+    else:
+        try:
+            kb = load(args.kb)
+        except OSError as error:
+            print(f"error: cannot load KB: {error}", file=out)
+            return 2
     server = serve_kb(
         kb,
         host=args.host,
@@ -289,8 +333,12 @@ def _command_serve(args, out) -> int:
         verbose=args.verbose,
     )
     host, port = server.address
+    source_note = (
+        f"segment snapshot {args.segments}" if args.segments is not None
+        else "in-memory store"
+    )
     print(
-        f"Serving {len(kb)} triples on http://{host}:{port} "
+        f"Serving {len(kb)} triples ({source_note}) on http://{host}:{port} "
         f"with {server.workers} worker thread(s) "
         f"(cache capacity {args.cache_size}); Ctrl-C to stop",
         file=out,
@@ -341,6 +389,21 @@ def _command_check_determinism(args, out) -> int:
         cross = check_cross_mode(seed=args.seed, people=args.people)
         print(cross.describe(), file=out)
         if not cross.ok:
+            return 1
+    if args.segments:
+        from .determinism import SEGMENT_MODES, check_segment_determinism
+
+        labels = ", ".join(mode.label for mode in SEGMENT_MODES)
+        print(
+            f"Segments: building once per mode ({labels}) and diffing "
+            "the emitted files ...",
+            file=out,
+        )
+        segment_report = check_segment_determinism(
+            seed=args.seed, people=args.people
+        )
+        print(segment_report.describe(), file=out)
+        if not segment_report.ok:
             return 1
     return status
 

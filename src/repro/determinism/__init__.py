@@ -14,12 +14,15 @@ three tools that keep that contract honest:
 
 from .harness import (
     CROSS_MODES,
+    SEGMENT_MODES,
     BuildMode,
     CrossModeReport,
     DeterminismReport,
     Divergence,
+    SegmentDeterminismReport,
     check_cross_mode,
     check_determinism,
+    check_segment_determinism,
     first_divergence,
     stage_of_line,
 )
@@ -35,15 +38,18 @@ from .stable import (
 
 __all__ = [
     "CROSS_MODES",
+    "SEGMENT_MODES",
     "BuildMode",
     "CrossModeReport",
     "DeterminismReport",
     "Divergence",
+    "SegmentDeterminismReport",
     "Finding",
     "canonical_kb_lines",
     "canonical_kb_text",
     "check_cross_mode",
     "check_determinism",
+    "check_segment_determinism",
     "first_divergence",
     "lint_file",
     "lint_paths",

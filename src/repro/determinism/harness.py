@@ -140,6 +140,7 @@ def _build_once(
     reasoner_workers: int = 0,
     reasoner_backend: Optional[str] = None,
     schedule: Optional[str] = None,
+    segments_dir: Optional[str] = None,
 ) -> list[str]:
     """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
     from ..kb.rdfio import load
@@ -148,6 +149,8 @@ def _build_once(
         sys.executable, "-m", "repro", "build",
         "--seed", str(seed), "--people", str(people), "--out", out_path,
     ]
+    if segments_dir is not None:
+        command += ["--segments", segments_dir]
     if shards is not None:
         command += ["--shards", str(shards)]
     if workers:
@@ -328,5 +331,99 @@ def check_cross_mode(
                 report.divergence = first_divergence(
                     reference, lines, 0, index
                 )
+                return report
+    return report
+
+
+# --------------------------------------------------- segment file checking
+
+
+#: Segment runs vary worker count *and* backend on top of the hash seed:
+#: the byte-pin promise is "same world, same files, any execution mode".
+SEGMENT_MODES: tuple[BuildMode, ...] = (
+    BuildMode("serial"),
+    BuildMode("thread2", workers=2, backend="thread"),
+    BuildMode("process2", workers=2, backend="process"),
+)
+
+
+@dataclass(slots=True)
+class SegmentDeterminismReport:
+    """Outcome of a file-level segment determinism check.
+
+    Unlike :class:`DeterminismReport`, which compares *canonical
+    serializations* (order-insensitive by construction), this check
+    compares the emitted segment **files byte for byte** — manifest,
+    order files, and bloom sidecars — so it certifies the stronger
+    property the byte-pinned format promises: two builds of the same
+    world are the same files, at any worker count or backend.
+    """
+
+    ok: bool
+    modes: list[str] = field(default_factory=list)
+    triples: int = 0
+    files: int = 0
+    diverging_mode: Optional[str] = None
+    differences: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"segment-deterministic: {len(self.modes)} builds "
+                f"({', '.join(self.modes)}) emitted byte-identical segment "
+                f"files ({self.files} files, {self.triples} triples)"
+            )
+        lines = [
+            f"NOT segment-deterministic (mode {self.diverging_mode} differs "
+            f"from {self.modes[0]}):"
+        ]
+        lines += [f"  {difference}" for difference in self.differences]
+        return "\n".join(lines)
+
+
+def check_segment_determinism(
+    seed: int = 7,
+    people: int = 40,
+    modes: Sequence[BuildMode] = SEGMENT_MODES,
+    timeout: float = 600.0,
+) -> SegmentDeterminismReport:
+    """Build segments under several execution modes and diff the files.
+
+    Each build runs ``repro build --segments`` in a fresh subprocess with
+    a distinct ``PYTHONHASHSEED`` and its own output directory; the
+    directories are then compared file-for-file (sha256) with
+    :func:`repro.kb.segments.diff_segment_dirs`.
+    """
+    from ..kb.segments import MANIFEST_NAME, diff_segment_dirs
+
+    if len(modes) < 2:
+        raise ValueError("a segment determinism check needs at least 2 modes")
+    report = SegmentDeterminismReport(ok=True, modes=[mode.label for mode in modes])
+    with tempfile.TemporaryDirectory(prefix="repro-segments-") as tmp:
+        reference_dir: Optional[str] = None
+        for index, mode in enumerate(modes):
+            segments_dir = os.path.join(tmp, f"segments_{mode.label}")
+            out_path = os.path.join(tmp, f"kb_{mode.label}.nt")
+            lines = _build_once(
+                index, out_path, seed, people, mode.shards, timeout,
+                workers=mode.workers, backend=mode.backend,
+                reasoner_workers=mode.reasoner_workers,
+                reasoner_backend=mode.reasoner_backend,
+                schedule=mode.schedule, segments_dir=segments_dir,
+            )
+            if reference_dir is None:
+                reference_dir = segments_dir
+                report.triples = len(lines)
+                report.files = sum(
+                    1
+                    for name in os.listdir(segments_dir)
+                    if name == MANIFEST_NAME or name.startswith("seg-")
+                )
+                continue
+            differences = diff_segment_dirs(reference_dir, segments_dir)
+            if differences:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.differences = differences
                 return report
     return report

@@ -19,7 +19,15 @@ from .terms import (
     decimal_literal,
 )
 from .triple import ALWAYS, TimeSpan, Triple
-from .store import TripleStore
+from .engine import InMemoryEngine, ReadableStore, ReadOnlyStoreError
+from .store import MutationCounts, TripleStore
+from .segments import (
+    SegmentSnapshot,
+    SegmentStore,
+    diff_segment_dirs,
+    open_snapshot,
+    write_segments,
+)
 from .query import Pattern, Query, Var, ask, slot_to_text
 from .schema import Taxonomy, schema_triples
 from .sameas import UnionFind, canonicalize, sameas_closure
@@ -40,7 +48,16 @@ __all__ = [
     "ALWAYS",
     "TimeSpan",
     "Triple",
+    "InMemoryEngine",
+    "ReadableStore",
+    "ReadOnlyStoreError",
+    "MutationCounts",
     "TripleStore",
+    "SegmentSnapshot",
+    "SegmentStore",
+    "diff_segment_dirs",
+    "open_snapshot",
+    "write_segments",
     "Pattern",
     "Query",
     "Var",

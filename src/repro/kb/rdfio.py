@@ -24,6 +24,14 @@ _UNESCAPES = {v: k for k, v in _ESCAPES.items()}
 
 _LITERAL_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"(?:@([a-zA-Z-]+)|\^\^(\w+))?$')
 _SCOPE_RE = re.compile(r"^\[(-?\d*),(-?\d*)\]$")
+# Annotations are emitted in conf / src / scope order; conf and scope values
+# never contain spaces, so a source *may* (it is the document title) and
+# still parse unambiguously as the lazy middle capture.
+_ANNOTATION_RE = re.compile(
+    r"^(?:conf=(?P<conf>\S+))?\s*"
+    r"(?:src=(?P<src>.*?))?\s*"
+    r"(?:scope=(?P<scope>\[[^\]]*\]))?$"
+)
 
 
 def _escape(value: str) -> str:
@@ -78,14 +86,14 @@ def term_from_text(text: str, relation_position: bool = False) -> Term:
     return Literal(_unescape(value), datatype or "string", lang)
 
 
-def triple_to_line(triple: Triple) -> str:
-    """Render one triple as a single line."""
-    parts = [
-        term_to_text(triple.subject),
-        term_to_text(triple.predicate),
-        term_to_text(triple.object),
-        ".",
-    ]
+def annotations_to_text(triple: Triple) -> str:
+    """The annotation suffix (confidence/source/scope) as canonical text.
+
+    Empty string when every attribute is at its default — the same
+    predicate the line format uses to decide whether to emit a ``# ...``
+    comment, reused verbatim by the segment record format so both
+    serializations stay in lock-step.
+    """
     annotations = []
     if triple.confidence != 1.0:
         annotations.append(f"conf={triple.confidence:.6g}")
@@ -93,9 +101,61 @@ def triple_to_line(triple: Triple) -> str:
         annotations.append(f"src={triple.source}")
     if triple.scope is not None:
         annotations.append(f"scope={triple.scope}")
-    line = " ".join(parts)
-    if annotations:
-        line += " # " + " ".join(annotations)
+    return " ".join(annotations)
+
+
+def triple_from_parts(
+    subject_text: str,
+    predicate_text: str,
+    object_text: str,
+    annotation_text: str = "",
+) -> Triple:
+    """Build a triple from term texts plus an annotation suffix.
+
+    The inverse of (``term_to_text`` × 3, :func:`annotations_to_text`);
+    segment records store exactly these four strings.
+    """
+    subject = term_from_text(subject_text)
+    predicate = term_from_text(predicate_text, relation_position=True)
+    obj = term_from_text(object_text)
+    if not isinstance(subject, (Entity, Relation)):
+        raise ValueError(f"literal in subject position: {subject_text!r}")
+    confidence, source, scope = 1.0, None, None
+    matched = _ANNOTATION_RE.match(annotation_text.strip())
+    if matched is not None:
+        if matched.group("conf") is not None:
+            confidence = float(matched.group("conf"))
+        if matched.group("src") is not None:
+            source = matched.group("src")
+        if matched.group("scope") is not None:
+            scope = _parse_scope(matched.group("scope"))
+    else:
+        # Tolerant fallback for hand-written annotations in any order —
+        # sources cannot contain spaces down this path.
+        for item in annotation_text.split():
+            key, __, value = item.partition("=")
+            if key == "conf":
+                confidence = float(value)
+            elif key == "src":
+                source = value
+            elif key == "scope":
+                scope = _parse_scope(value)
+    return Triple(subject, predicate, obj, confidence, source, scope)
+
+
+def triple_to_line(triple: Triple) -> str:
+    """Render one triple as a single line."""
+    line = " ".join(
+        [
+            term_to_text(triple.subject),
+            term_to_text(triple.predicate),
+            term_to_text(triple.object),
+            ".",
+        ]
+    )
+    annotation_text = annotations_to_text(triple)
+    if annotation_text:
+        line += " # " + annotation_text
     return line
 
 
@@ -112,22 +172,9 @@ def triple_from_line(line: str) -> Optional[Triple]:
     tokens = _split_terms(body)
     if len(tokens) < 3:
         raise ValueError(f"malformed triple line: {line!r}")
-    subject = term_from_text(tokens[0])
-    predicate = term_from_text(tokens[1], relation_position=True)
-    obj = term_from_text(tokens[2])
-    if not isinstance(subject, (Entity, Relation)):
-        raise ValueError(f"literal in subject position: {line!r}")
-    confidence, source, scope = 1.0, None, None
-    if sep:
-        for item in annotation_text.split():
-            key, __, value = item.partition("=")
-            if key == "conf":
-                confidence = float(value)
-            elif key == "src":
-                source = value
-            elif key == "scope":
-                scope = _parse_scope(value)
-    return Triple(subject, predicate, obj, confidence, source, scope)
+    return triple_from_parts(
+        tokens[0], tokens[1], tokens[2], annotation_text if sep else ""
+    )
 
 
 def _parse_scope(text: str) -> TimeSpan:

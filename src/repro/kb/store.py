@@ -1,9 +1,15 @@
 """A hash-indexed in-memory triple store.
 
-The store keeps three single-position indexes (S, P, O) and two composite
-indexes (SP, PO) so every triple-pattern shape resolves to a dictionary
-lookup rather than a scan.  Triples are deduplicated on their (s, p, o) key;
-when the same fact is added twice, the higher-confidence witness wins.
+The store is policy over a pluggable storage engine (see
+:mod:`repro.kb.engine`): deduplication on the (s, p, o) key with
+highest-confidence witness election, the monotonic ``version`` counter,
+the content-chain ``epoch`` identity, and observability.  The default
+engine is :class:`~repro.kb.engine.InMemoryEngine` — three single-position
+indexes (S, P, O) and two composite indexes (SP, PO) so every
+triple-pattern shape resolves to a dictionary lookup rather than a scan.
+The on-disk counterpart, :class:`~repro.kb.segments.SegmentSnapshot`,
+shares the read contract (:class:`~repro.kb.engine.ReadableStore`) but is
+immutable.
 
 Index buckets are insertion-ordered dicts used as ordered sets (value is
 always None), NOT builtin sets: ``match`` results must iterate in an order
@@ -17,36 +23,129 @@ NED and linkage components all read and write :class:`TripleStore` instances.
 
 from __future__ import annotations
 
-from collections import defaultdict
+import hashlib
 from typing import Callable, Iterable, Iterator, Optional
 
+from .engine import InMemoryEngine
 from .terms import Entity, Literal, Resource, Term
 from .triple import Triple
 from . import ns
 from ..obs import core as _obs
 
+#: Domain separator folded into every per-triple content hash.
+_EPOCH_DOMAIN = b"repro-kb-epoch-v1:"
+_EPOCH_MASK = (1 << 128) - 1
+
+#: The epoch of an empty store (the multiset sum over no triples).
+EMPTY_EPOCH = 0
+
+
+def triple_content_hash(triple: Triple) -> int:
+    """A 128-bit content digest of one triple (terms, confidence, source,
+    scope) — the element hash of the store's multiset epoch.
+
+    The triple's ``repr`` is a deterministic full-fidelity encoding with
+    no memory addresses, so this is stable across processes and hash
+    seeds.
+    """
+    digest = hashlib.blake2b(
+        _EPOCH_DOMAIN + repr(triple).encode("utf-8"), digest_size=16
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def epoch_hex(accumulator: int) -> str:
+    """Render a multiset-epoch accumulator as the 32-hex wire form."""
+    return f"{accumulator & _EPOCH_MASK:032x}"
+
+
+class MutationCounts(int):
+    """The result of a batched mutation: an ``int`` that still knows more.
+
+    Compares and arithmetics as the number of *new* triples (the
+    historical ``add_all``/``merge`` contract, so existing callers keep
+    working), while exposing the mutations that int silently omitted:
+
+    * ``new`` — triples whose (s, p, o) key was not present before;
+    * ``replaced`` — duplicates that won witness election (strictly higher
+      confidence) and therefore bumped ``version``;
+    * ``changed`` — ``new + replaced``: every mutation that invalidated
+      caches.  Callers detecting change must test this, not the int value.
+    """
+
+    new: int
+    replaced: int
+
+    def __new__(cls, new: int, replaced: int) -> "MutationCounts":
+        self = super().__new__(cls, new)
+        self.new = new
+        self.replaced = replaced
+        return self
+
+    @property
+    def changed(self) -> int:
+        """Mutations that changed observable state (and bumped version)."""
+        return self.new + self.replaced
+
+    def __repr__(self) -> str:
+        return f"MutationCounts(new={self.new}, replaced={self.replaced})"
+
 
 class TripleStore:
     """An in-memory collection of :class:`~repro.kb.triple.Triple` objects."""
 
-    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+    #: Writable: the serving layer takes its engine lock only for mutable
+    #: stores (snapshots set this False and are served lock-free).
+    mutable = True
+
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        engine: Optional[InMemoryEngine] = None,
+    ) -> None:
         # Monotonic mutation counter: bumps on every observable change (new
         # triple, higher-confidence witness replacement, removal).  The
-        # serving layer keys its result cache on this, so a version match is
-        # proof a cached answer is still current.  In-memory only — it never
-        # reaches the canonical serialization.
+        # serving layer keys its result cache on (epoch, version), so a
+        # match is proof a cached answer is still current.  In-memory only —
+        # it never reaches the canonical serialization.
         self._version = 0
-        # Buckets are dict[key, None] (insertion-ordered sets): iteration
-        # order must be hash-seed independent — see the module docstring.
-        self._by_spo: dict[tuple[Resource, Resource, Term], Triple] = {}
-        self._by_s: dict[Resource, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
-        self._by_p: dict[Resource, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
-        self._by_o: dict[Term, dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
-        self._by_sp: dict[tuple[Resource, Resource], dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
-        self._by_po: dict[tuple[Resource, Term], dict[tuple[Resource, Resource, Term], None]] = defaultdict(dict)
+        # Identity epoch: an incrementally maintained multiset hash of the
+        # store's *content* — the sum (mod 2^128) of every live triple's
+        # content digest.  Adds add the digest, removes subtract it, and a
+        # witness replacement swaps old for new, so two stores share an
+        # epoch iff they hold identical triples, regardless of how they got
+        # there.  Equal epoch therefore implies equal observable content,
+        # which is what makes cached results safe across engine rebinds to
+        # copies, filtered views, freshly loaded stores, and segment
+        # snapshots.  Deterministic across processes (no randomness, no
+        # builtin hash).
+        self._epoch_acc = EMPTY_EPOCH
+        self._engine = engine if engine is not None else InMemoryEngine()
         self.add_all(triples)
 
     # ------------------------------------------------------------------ write
+
+    def _apply(self, triple: Triple) -> int:
+        """Apply one triple; 1 = new, 2 = witness replaced, 0 = no-op."""
+        key = triple.spo()
+        existing = self._engine.get(key)
+        if existing is not None:
+            if _obs.ENABLED:
+                _obs.count("kb.store.add.duplicate")
+            if triple.confidence > existing.confidence:
+                self._engine.replace(key, triple)
+                self._version += 1
+                self._epoch_acc = (
+                    self._epoch_acc
+                    - triple_content_hash(existing)
+                    + triple_content_hash(triple)
+                ) & _EPOCH_MASK
+                return 2
+            return 0
+        self._engine.insert(key, triple)
+        self._version += 1
+        self._epoch_acc = (self._epoch_acc + triple_content_hash(triple)) & _EPOCH_MASK
+        return 1
 
     def add(self, triple: Triple) -> bool:
         """Add a triple; return True if it was new.
@@ -56,24 +155,7 @@ class TripleStore:
         """
         if _obs.ENABLED:
             _obs.count("kb.store.add")
-        key = triple.spo()
-        existing = self._by_spo.get(key)
-        if existing is not None:
-            if _obs.ENABLED:
-                _obs.count("kb.store.add.duplicate")
-            if triple.confidence > existing.confidence:
-                self._by_spo[key] = triple
-                self._version += 1
-            return False
-        self._by_spo[key] = triple
-        self._version += 1
-        s, p, o = key
-        self._by_s[s][key] = None
-        self._by_p[p][key] = None
-        self._by_o[o][key] = None
-        self._by_sp[(s, p)][key] = None
-        self._by_po[(p, o)][key] = None
-        return True
+        return self._apply(triple) == 1
 
     def add_fact(
         self,
@@ -87,34 +169,47 @@ class TripleStore:
         """Convenience wrapper: build and add a triple in one call."""
         return self.add(Triple(subject, predicate, obj, confidence, source, scope))
 
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; return how many were new."""
-        return sum(1 for t in triples if self.add(t))
+    def add_all(self, triples: Iterable[Triple]) -> MutationCounts:
+        """Add many triples; returns :class:`MutationCounts`.
+
+        The returned value equals the number of *new* triples as an int
+        (the historical contract) and carries ``.replaced`` — the
+        higher-confidence witness replacements that also bumped
+        ``version``.  Change-detecting callers must look at ``.changed``:
+        a batch of replacements returns 0 as an int yet mutated the store.
+        """
+        new = replaced = 0
+        for triple in triples:
+            if _obs.ENABLED:
+                _obs.count("kb.store.add")
+            outcome = self._apply(triple)
+            if outcome == 1:
+                new += 1
+            elif outcome == 2:
+                replaced += 1
+        return MutationCounts(new, replaced)
 
     def remove(self, triple: Triple) -> bool:
         """Remove the fact with this triple's (s, p, o) key, if present."""
         if _obs.ENABLED:
             _obs.count("kb.store.remove")
         key = triple.spo()
-        if key not in self._by_spo:
+        existing = self._engine.get(key)
+        if existing is None:
             return False
-        del self._by_spo[key]
+        self._engine.delete(key)
         self._version += 1
-        s, p, o = key
-        for index, index_key in (
-            (self._by_s, s),
-            (self._by_p, p),
-            (self._by_o, o),
-            (self._by_sp, (s, p)),
-            (self._by_po, (p, o)),
-        ):
-            index[index_key].pop(key, None)
-            if not index[index_key]:
-                del index[index_key]
+        self._epoch_acc = (
+            self._epoch_acc - triple_content_hash(existing)
+        ) & _EPOCH_MASK
         return True
 
-    def merge(self, other: "TripleStore") -> int:
-        """Add all of ``other``'s triples into this store; return new count."""
+    def merge(self, other: "TripleStore") -> MutationCounts:
+        """Add all of ``other``'s triples into this store.
+
+        Same contract as :meth:`add_all`: int value = new triples,
+        ``.replaced`` = witness replacements, ``.changed`` = both.
+        """
         return self.add_all(other)
 
     # ------------------------------------------------------------------- read
@@ -128,22 +223,44 @@ class TripleStore:
         """
         return self._version
 
+    @property
+    def epoch(self) -> str:
+        """The identity epoch (32 hex digits): a multiset hash of content.
+
+        Two stores share an epoch iff they hold identical triples —
+        insertion order and mutation history don't matter, only what is
+        in the store now.  A ``copy()``, ``filtered()`` view, or freshly
+        loaded store that merely *counts* to the same version as another
+        store carries a different epoch unless the content is genuinely
+        identical — which is what keeps version-keyed result caches from
+        serving stale answers across engine rebinds — while an
+        identical-content store (however it was built, including a
+        segment snapshot of the same KB) shares the epoch and therefore
+        starts with a warm cache.
+        """
+        return epoch_hex(self._epoch_acc)
+
+    @property
+    def engine(self) -> InMemoryEngine:
+        """The storage engine holding the indexes."""
+        return self._engine
+
     def __len__(self) -> int:
-        return len(self._by_spo)
+        return len(self._engine)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._by_spo.values())
+        return self._engine.triples()
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple.spo() in self._by_spo
+        return self._engine.get(triple.spo()) is not None
 
     def contains_fact(self, subject: Resource, predicate: Resource, obj: Term) -> bool:
         """True if a triple with this exact (s, p, o) exists."""
-        return (subject, predicate, obj) in self._by_spo
+        return self._engine.get((subject, predicate, obj)) is not None
 
     def get(self, subject: Resource, predicate: Resource, obj: Term) -> Optional[Triple]:
         """The stored witness for this (s, p, o), or None."""
-        return self._by_spo.get((subject, predicate, obj))
+        return self._engine.get((subject, predicate, obj))
 
     def match(
         self,
@@ -152,9 +269,9 @@ class TripleStore:
         obj: Optional[Term] = None,
     ) -> Iterator[Triple]:
         """Iterate over triples matching a pattern; None is a wildcard."""
-        shape, keys = self._plan(subject, predicate, obj)
+        shape, keys = self._engine.plan(subject, predicate, obj)
         if _obs.ENABLED:
-            scanned = len(self._by_spo) if keys is None else len(keys)
+            scanned = len(self._engine) if keys is None else len(keys)
             _obs.count("kb.store.match")
             _obs.count(f"kb.store.match.shape.{shape}")
             _obs.observe("kb.store.match.scanned", scanned)
@@ -163,10 +280,10 @@ class TripleStore:
             _obs.annotate(f"store.match.{shape}")
             _obs.annotate(f"store.match.{shape}.scanned", scanned)
         if keys is None:
-            yield from self._by_spo.values()
+            yield from self._engine.triples()
             return
         for key in keys:
-            triple = self._by_spo.get(key)
+            triple = self._engine.get(key)
             if triple is not None:
                 yield triple
 
@@ -177,38 +294,23 @@ class TripleStore:
         obj: Optional[Term] = None,
     ) -> int:
         """Number of triples matching the pattern (cheap for indexed shapes)."""
-        __, keys = self._plan(subject, predicate, obj)
+        __, keys = self._engine.plan(subject, predicate, obj)
         if keys is None:
-            return len(self._by_spo)
+            return len(self._engine)
         return len(keys)
 
     def _plan(self, s, p, o):
-        """(index shape, candidate keys) for a pattern; keys None = scan.
+        """Delegates to the engine's index planner (kept for callers)."""
+        return self._engine.plan(s, p, o)
 
-        The shape names the index that serves the query: ``spo`` (exact),
-        ``sp``/``po`` (composite), ``s``/``p``/``o`` (single position),
-        ``s+o`` (no composite index; the smaller of the S and O buckets is
-        filtered by the other position), or ``scan`` (no binding).
+    def index_stats(self) -> dict[str, dict[str, int]]:
+        """Per-index bucket telemetry (buckets / empty / largest).
+
+        ``empty`` is pinned to 0 by the engine invariant: buckets are
+        created on insert only and dropped with their last key, and reads
+        never auto-vivify (the indexes are plain dicts, not defaultdicts).
         """
-        if s is not None and p is not None and o is not None:
-            return "spo", ([(s, p, o)] if (s, p, o) in self._by_spo else [])
-        if s is not None and p is not None:
-            return "sp", self._by_sp.get((s, p), ())
-        if p is not None and o is not None:
-            return "po", self._by_po.get((p, o), ())
-        if s is not None and o is not None:
-            s_keys = self._by_s.get(s, ())
-            o_keys = self._by_o.get(o, ())
-            small, position = (s_keys, 2) if len(s_keys) <= len(o_keys) else (o_keys, 0)
-            target = o if position == 2 else s
-            return "s+o", [k for k in small if k[position] == target]
-        if s is not None:
-            return "s", self._by_s.get(s, ())
-        if p is not None:
-            return "p", self._by_p.get(p, ())
-        if o is not None:
-            return "o", self._by_o.get(o, ())
-        return "scan", None
+        return self._engine.index_stats()
 
     # ----------------------------------------------------------- conveniences
 
@@ -228,12 +330,12 @@ class TripleStore:
 
     def predicates(self) -> set[Resource]:
         """The set of predicates that occur in the store."""
-        return set(self._by_p)
+        return self._engine.predicates()
 
     def entities(self) -> set[Entity]:
         """Every Entity occurring in subject or object position."""
         found: set[Entity] = set()
-        for s, __, o in self._by_spo:
+        for s, __, o in self._engine.keys():
             if isinstance(s, Entity):
                 found.add(s)
             if isinstance(o, Entity):
@@ -261,4 +363,7 @@ class TripleStore:
         return TripleStore(self)
 
     def __repr__(self) -> str:
-        return f"TripleStore(len={len(self)}, predicates={len(self._by_p)})"
+        return (
+            f"TripleStore(len={len(self)}, "
+            f"predicates={self._engine.predicate_count()})"
+        )

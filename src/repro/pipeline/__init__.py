@@ -1,5 +1,5 @@
 """End-to-end knowledge-base construction."""
 
-from .builder import BuildConfig, BuildReport, KnowledgeBaseBuilder
+from .builder import BuildConfig, BuildReport, KnowledgeBaseBuilder, emit_segments
 
-__all__ = ["BuildConfig", "BuildReport", "KnowledgeBaseBuilder"]
+__all__ = ["BuildConfig", "BuildReport", "KnowledgeBaseBuilder", "emit_segments"]

@@ -435,3 +435,21 @@ def _literal(text: str):
     from ..kb import string_literal
 
     return string_literal(text)
+
+
+def emit_segments(kb: TripleStore, directory: str) -> dict:
+    """Emit a built KB as a byte-pinned segment directory.
+
+    The build-side entry point for the on-disk storage engine
+    (:mod:`repro.kb.segments`): a fresh single-segment directory that is
+    a pure function of the KB's logical content, traced as its own
+    pipeline stage.  Returns the written manifest.
+    """
+    from ..kb.segments import write_segments
+
+    with _obs.span("pipeline.segments") as tracing:
+        manifest = write_segments(kb, directory)
+        if tracing:
+            _obs.annotate("segments.triples", manifest["triples"])
+            _obs.annotate("segments.files", 4 * len(manifest["segments"]) + 1)
+    return manifest

@@ -5,12 +5,16 @@ queries at web scale, not just get built.  This subpackage is the read
 path over a built KB:
 
 * :class:`~repro.serving.engine.QueryEngine` — request-oriented SPO
-  lookups, conjunctive joins, and top-k-by-confidence over a
-  :class:`~repro.kb.store.TripleStore`, with a lock discipline that keeps
-  concurrent readers consistent with a live writer;
+  lookups, conjunctive joins, and top-k-by-confidence over any
+  :class:`~repro.kb.engine.ReadableStore` — a mutable
+  :class:`~repro.kb.store.TripleStore` (lock discipline keeps concurrent
+  readers consistent with a live writer) or an immutable
+  :class:`~repro.kb.segments.SegmentSnapshot` (cache misses never take
+  the engine lock at all);
 * :class:`~repro.serving.cache.VersionedLRUCache` — an LRU result cache
-  keyed on the store's monotonic version, so any mutation invalidates
-  stale entries atomically;
+  keyed on the store's identity epoch + monotonic version, so any
+  mutation invalidates stale entries atomically and a rebind to a
+  different store can never collide with the old store's versions;
 * :class:`~repro.serving.http.KBServer` — a stdlib ``http.server`` front
   end (``repro serve``) with a fixed handler-thread pool and JSON
   endpoints ``/lookup``, ``/query``, ``/topk``, ``/healthz``, ``/metrics``.

@@ -1,12 +1,23 @@
-"""A thread-safe LRU result cache keyed on a monotonic KB version.
+"""A thread-safe LRU result cache keyed on store identity + version.
 
-Entries are stored together with the :attr:`TripleStore.version` the result
-was computed at.  A lookup passes the *current* version; an entry whose
-stored version differs is dropped on the spot and reported as a miss.  That
-single integer compare is what makes invalidation atomic: the instant any
-store mutation bumps the version, every previously cached entry is stale —
-no per-entry bookkeeping, no invalidation scan, no window where a reader
-can observe a pre-mutation answer as fresh.
+Entries are stored together with the identity **epoch** and monotonic
+``version`` of the store the result was computed from.  A lookup passes
+the *current* epoch and version; an entry whose stored pair differs is
+dropped on the spot and reported as a miss.  That single compare is what
+makes invalidation atomic: the instant any store mutation bumps the
+version, every previously cached entry is stale — no per-entry
+bookkeeping, no invalidation scan, no window where a reader can observe
+a pre-mutation answer as fresh.
+
+Why the epoch is part of the key: ``version`` is a per-store counter
+that restarts at 0 in every new store object, so a bare version compare
+can collide across *different* stores — rebind an engine from store A at
+version 3 to a ``copy()``/``filtered()``/freshly loaded store B that
+also counts to 3 and A's cached answers would be served for B's content.
+The epoch is a content-chain digest (see ``TripleStore.epoch``): equal
+epoch + equal version implies identical content, so a hit is always
+correct, even across rebinds — and a rebind to a store with the *same*
+history (e.g. a ``copy()``) deliberately keeps the cache warm.
 
 The cache never holds the store's lock; hits are served entirely from the
 cache's own mutex, which is what lets a warm serving layer answer without
@@ -17,40 +28,41 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable
 
 #: Sentinel distinguishing "cache miss" from a cached None payload.
 MISS = object()
 
 
 class VersionedLRUCache:
-    """An LRU map from request keys to (kb_version, payload) entries."""
+    """An LRU map from request keys to (epoch, version, payload) entries."""
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, tuple[int, Any]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, tuple[str, int, Any]]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stale_drops = 0
         self.evictions = 0
 
-    def get(self, key: Hashable, version: int) -> Any:
-        """The payload cached for ``key`` at ``version``, or :data:`MISS`.
+    def get(self, key: Hashable, epoch: str, version: int) -> Any:
+        """The payload cached for ``key`` at (``epoch``, ``version``), or
+        :data:`MISS`.
 
-        An entry computed at any other version is deleted (counted in
-        ``stale_drops``) and reported as a miss; a hit refreshes the
-        entry's LRU recency.
+        An entry computed against any other store identity or version is
+        deleted (counted in ``stale_drops``) and reported as a miss; a
+        hit refreshes the entry's LRU recency.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return MISS
-            cached_version, payload = entry
-            if cached_version != version:
+            cached_epoch, cached_version, payload = entry
+            if cached_epoch != epoch or cached_version != version:
                 del self._entries[key]
                 self.stale_drops += 1
                 self.misses += 1
@@ -59,12 +71,12 @@ class VersionedLRUCache:
             self.hits += 1
             return payload
 
-    def put(self, key: Hashable, version: int, payload: Any) -> None:
-        """Cache ``payload`` for ``key`` as computed at ``version``."""
+    def put(self, key: Hashable, epoch: str, version: int, payload: Any) -> None:
+        """Cache ``payload`` for ``key`` as computed at (epoch, version)."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = (version, payload)
+            self._entries[key] = (epoch, version, payload)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1

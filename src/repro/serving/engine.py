@@ -7,13 +7,25 @@ memoizes every answer in a :class:`~repro.serving.cache.VersionedLRUCache`
 keyed on the store's monotonic version, so any mutation atomically
 invalidates stale entries (see the cache module docstring).
 
-Concurrency contract: reads that miss the cache and *all* writes serialize
-on one engine lock, so a computed result always reflects a single store
-version ``v`` and is returned tagged ``kb_version = v``; cache hits bypass
-the lock entirely.  Every response's ``kb_version`` is >= the store version
-observable when the request started (no stale reads), and a multi-triple
-:meth:`add_all` is atomic — a conjunctive query sees all of the batch or
-none of it (no torn joins).
+Concurrency contract: against a **mutable** store, reads that miss the
+cache and *all* writes serialize on one engine lock, so a computed result
+always reflects a single store version ``v`` and is returned tagged
+``kb_version = v``; cache hits bypass the lock entirely.  Every response's
+``kb_version`` is >= the store version observable when the request
+started (no stale reads), and a multi-triple :meth:`add_all` is atomic —
+a conjunctive query sees all of the batch or none of it (no torn joins).
+Against an **immutable** store (a segment snapshot, ``mutable = False``)
+there is nothing to serialize with: cache misses compute without taking
+the engine lock at all, so concurrent cold reads never queue behind one
+another, and writes raise
+:class:`~repro.kb.engine.ReadOnlyStoreError`.
+
+Every response carries the store's identity pair — ``kb_epoch`` (the
+content-chain digest) and ``kb_version`` — and the result cache is keyed
+on both, so :meth:`rebind`-ing the engine to a ``copy()``, ``filtered()``
+view, or freshly loaded store can never serve another store's cached
+answers: a different history means a different epoch (and a rebind to an
+identical-history store deliberately keeps the cache warm).
 
 Payloads are plain JSON-able dicts with deterministic content: triples sort
 by their canonical rdfio text key, bindings keep ``Query.run`` order (which
@@ -35,9 +47,9 @@ import threading
 import time
 from typing import Callable, Iterable, Optional
 
+from ..kb.engine import ReadableStore, ReadOnlyStoreError
 from ..kb.query import Pattern, Query, Slot, Var, slot_to_text
 from ..kb.rdfio import term_from_text, term_to_text
-from ..kb.store import TripleStore
 from ..kb.terms import Entity, Relation, Term
 from ..kb.triple import Triple
 from ..obs import core as _obs
@@ -128,7 +140,7 @@ def canonical_triple_key(triple: Triple) -> tuple[str, str, str]:
 class QueryEngine:
     """A cached, lock-disciplined read/write front over one store."""
 
-    def __init__(self, store: TripleStore, cache_size: int = 1024) -> None:
+    def __init__(self, store: ReadableStore, cache_size: int = 1024) -> None:
         self._store = store
         self._cache = VersionedLRUCache(cache_size)
         # One lock for cache-miss reads and every write: a computed result
@@ -139,7 +151,7 @@ class QueryEngine:
         self._request_counts: dict[str, int] = {}
 
     @property
-    def store(self) -> TripleStore:
+    def store(self) -> ReadableStore:
         return self._store
 
     @property
@@ -151,25 +163,52 @@ class QueryEngine:
         """The served store's current version."""
         return self._store.version
 
+    @property
+    def epoch(self) -> str:
+        """The served store's identity epoch (hex)."""
+        return self._store.epoch
+
+    def rebind(self, store: ReadableStore) -> None:
+        """Atomically swap the served store.
+
+        The cache is intentionally *not* cleared: entries are keyed on
+        (epoch, version), so answers from the old store can never be
+        served for the new one — and a rebind to a store with the same
+        mutation history (e.g. a ``copy()``) starts warm.
+        """
+        with self._lock:
+            self._store = store
+
     # ------------------------------------------------------------- writes
+
+    def _require_mutable(self) -> None:
+        if not self._store.mutable:
+            raise ReadOnlyStoreError(
+                "engine is bound to an immutable snapshot; writes need a "
+                "mutable store (rebind or load into a TripleStore)"
+            )
 
     def add(self, triple: Triple) -> bool:
         """Add one triple under the engine lock; returns True if new."""
+        self._require_mutable()
         with self._lock:
             return self._store.add(triple)
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Atomically add a batch: concurrent queries see all or none."""
+        self._require_mutable()
         with self._lock:
             return self._store.add_all(triples)
 
     def remove(self, triple: Triple) -> bool:
         """Remove one triple under the engine lock."""
+        self._require_mutable()
         with self._lock:
             return self._store.remove(triple)
 
-    def mutate(self, fn: Callable[[TripleStore], object]) -> object:
+    def mutate(self, fn: Callable[[ReadableStore], object]) -> object:
         """Run an arbitrary store mutation atomically under the engine lock."""
+        self._require_mutable()
         with self._lock:
             return fn(self._store)
 
@@ -190,11 +229,12 @@ class QueryEngine:
             None if obj is None else term_to_text(obj),
         )
 
-        def compute(version: int) -> dict:
+        def compute(store: ReadableStore, epoch: str, version: int) -> dict:
             triples = sorted(
-                self._store.match(subject, predicate, obj), key=canonical_triple_key
+                store.match(subject, predicate, obj), key=canonical_triple_key
             )
             return {
+                "kb_epoch": epoch,
                 "kb_version": version,
                 "count": len(triples),
                 "triples": [triple_payload(t) for t in triples],
@@ -240,7 +280,7 @@ class QueryEngine:
             limit,
         )
 
-        def compute(version: int) -> dict:
+        def compute(store: ReadableStore, epoch: str, version: int) -> dict:
             q = Query(
                 patterns,
                 select=select,
@@ -250,9 +290,10 @@ class QueryEngine:
             )
             bindings = [
                 {name: term_to_text(value) for name, value in binding.items()}
-                for binding in q.run(self._store)
+                for binding in q.run(store)
             ]
             return {
+                "kb_epoch": epoch,
                 "kb_version": version,
                 "count": len(bindings),
                 "vars": sorted(names) if select is None else list(select),
@@ -283,12 +324,13 @@ class QueryEngine:
             None if obj is None else term_to_text(obj),
         )
 
-        def compute(version: int) -> dict:
+        def compute(store: ReadableStore, epoch: str, version: int) -> dict:
             ranked = sorted(
-                self._store.match(subject, predicate, obj),
+                store.match(subject, predicate, obj),
                 key=lambda t: (-t.confidence, canonical_triple_key(t)),
             )
             return {
+                "kb_epoch": epoch,
                 "kb_version": version,
                 "k": k,
                 "count": min(k, len(ranked)),
@@ -361,6 +403,7 @@ class QueryEngine:
         """Liveness payload: status, version, triple count."""
         return {
             "status": "ok",
+            "kb_epoch": self._store.epoch,
             "kb_version": self._store.version,
             "triples": len(self._store),
         }
@@ -376,6 +419,7 @@ class QueryEngine:
                 for name, histogram in self._latency.items()
             }
         return {
+            "kb_epoch": self._store.epoch,
             "kb_version": self._store.version,
             "triples": len(self._store),
             "cache": self._cache.stats(),
@@ -384,19 +428,34 @@ class QueryEngine:
 
     # ----------------------------------------------------------- internals
 
-    def _serve(self, endpoint: str, key: tuple, compute: Callable[[int], dict]) -> dict:
+    def _serve(
+        self,
+        endpoint: str,
+        key: tuple,
+        compute: Callable[[ReadableStore, str, int], dict],
+    ) -> dict:
         started = time.perf_counter()
-        version = self._store.version
-        payload = self._cache.get(key, version)
+        store = self._store
+        epoch, version = store.epoch, store.version
+        payload = self._cache.get(key, epoch, version)
         hit = payload is not MISS
         if not hit:
-            with self._lock:
-                # Re-read under the lock: a writer may have advanced the
-                # store since the unlocked read; the result must be tagged
-                # with the version it actually reflects.
-                version = self._store.version
-                payload = compute(version)
-            self._cache.put(key, version, payload)
+            if store.mutable:
+                with self._lock:
+                    # Re-read under the lock: a writer may have advanced
+                    # (or rebind swapped) the store since the unlocked
+                    # read; the result must be tagged with the identity it
+                    # actually reflects.
+                    store = self._store
+                    epoch, version = store.epoch, store.version
+                    payload = compute(store, epoch, version)
+            else:
+                # Immutable snapshot: nothing can move under us, so cold
+                # reads run fully concurrently — no engine lock.  The
+                # captured ``store`` (not ``self._store``) is what gets
+                # read, so a concurrent rebind cannot poison the entry.
+                payload = compute(store, epoch, version)
+            self._cache.put(key, epoch, version, payload)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         with self._stats_lock:
             histogram = self._latency.get(endpoint)

@@ -34,7 +34,7 @@ from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
-from ..kb.store import TripleStore
+from ..kb.engine import ReadableStore
 from .engine import BadRequest, QueryEngine
 
 #: Handler threads when ``workers == 0`` (the "serve --workers" default).
@@ -264,7 +264,7 @@ class KBServer(HTTPServer):
 
 
 def serve_kb(
-    store: TripleStore,
+    store: ReadableStore,
     host: str = "127.0.0.1",
     port: int = 0,
     workers: int = 0,

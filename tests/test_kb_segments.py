@@ -1,0 +1,285 @@
+"""Tests for repro.kb.segments: the on-disk sorted-segment storage engine.
+
+Covers the byte-pinned file format, the snapshot read path against the
+in-memory store as an oracle, bloom-filter behavior, LSM newest-wins
+semantics, compaction, and the directory differ that
+``repro check-determinism`` uses to compare KBs as files.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.kb import (
+    Entity,
+    Relation,
+    TimeSpan,
+    SegmentStore,
+    Triple,
+    TripleStore,
+    ReadOnlyStoreError,
+    diff_segment_dirs,
+    open_snapshot,
+    string_literal,
+    write_segments,
+)
+from repro.kb.segments import (
+    BLOOM_MAGIC,
+    SEGMENT_MAGIC,
+    BloomFilter,
+    ORDERS,
+    _parts_from_record,
+    _record_bytes,
+    record_fields,
+    spo_key_bytes,
+)
+
+A, B, C, D = (Entity(f"w:{x}") for x in "abcd")
+KNOWS, LIKES = Relation("w:knows"), Relation("w:likes")
+
+
+def tiny_triples():
+    return [
+        Triple(A, KNOWS, B, confidence=0.75, source="wiki:a"),
+        Triple(A, KNOWS, C),
+        Triple(B, KNOWS, C, source="a book with spaces"),
+        Triple(A, LIKES, string_literal("pie", "en"), confidence=0.5),
+        Triple(B, LIKES, D, scope=TimeSpan(1990, 1995)),
+    ]
+
+
+@pytest.fixture
+def store():
+    return TripleStore(tiny_triples())
+
+
+@pytest.fixture
+def segdir(tmp_path, store):
+    directory = str(tmp_path / "seg")
+    write_segments(store, directory)
+    return directory
+
+
+class TestRecordFormat:
+    def test_record_roundtrip_every_order(self, store):
+        for triple in store:
+            fields = record_fields(triple)
+            for order in ORDERS:
+                assert _parts_from_record(_record_bytes(fields, order), order) == fields
+
+    def test_nul_in_term_rejected(self, tmp_path):
+        bad = TripleStore([Triple(Entity("w:x\x00y"), KNOWS, B)])
+        with pytest.raises(ValueError, match="NUL"):
+            write_segments(bad, str(tmp_path / "bad"))
+
+    def test_file_magics(self, segdir):
+        names = sorted(os.listdir(segdir))
+        assert names == [
+            "MANIFEST.json",
+            "seg-000000.blooms",
+            "seg-000000.osp",
+            "seg-000000.pos",
+            "seg-000000.spo",
+        ]
+        for name in names:
+            with open(os.path.join(segdir, name), "rb") as fh:
+                head = fh.read(8)
+            if name.endswith(".blooms"):
+                assert head == BLOOM_MAGIC
+            elif name != "MANIFEST.json":
+                assert head == SEGMENT_MAGIC
+
+    def test_manifest_checksums_and_epoch(self, segdir, store):
+        with open(os.path.join(segdir, "MANIFEST.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["triples"] == len(store)
+        assert manifest["epoch"] == store.epoch
+        entry = manifest["segments"][0]
+        import hashlib
+
+        for order in ORDERS:
+            meta = entry["files"][order]
+            with open(os.path.join(segdir, f"{entry['name']}.{order}"), "rb") as fh:
+                blob = fh.read()
+            assert meta["bytes"] == len(blob)
+            assert meta["sha256"] == hashlib.sha256(blob).hexdigest()
+
+
+class TestBytePinning:
+    def test_independent_writes_byte_identical(self, tmp_path, store):
+        left, right = str(tmp_path / "l"), str(tmp_path / "r")
+        write_segments(store, left)
+        # Insertion order must not matter: reversed store, same bytes.
+        write_segments(TripleStore(list(reversed(tiny_triples()))), right)
+        assert diff_segment_dirs(left, right) == []
+
+    def test_diff_reports_content_divergence(self, tmp_path, store):
+        left, right = str(tmp_path / "l"), str(tmp_path / "r")
+        write_segments(store, left)
+        other = store.copy()
+        other.add(Triple(D, KNOWS, A))
+        write_segments(other, right)
+        differences = diff_segment_dirs(left, right)
+        assert differences  # every file embeds the content
+        assert any("MANIFEST.json" in line for line in differences)
+
+    def test_diff_reports_missing_file(self, tmp_path, store):
+        left, right = str(tmp_path / "l"), str(tmp_path / "r")
+        write_segments(store, left)
+        write_segments(store, right)
+        os.unlink(os.path.join(right, "seg-000000.osp"))
+        assert any("only in" in line for line in diff_segment_dirs(left, right))
+
+
+class TestSnapshotReads:
+    def test_matches_in_memory_oracle_every_shape(self, segdir, store):
+        snap = open_snapshot(segdir)
+        # Ordered equivalence holds against a store loaded *from the
+        # snapshot* (SPO record order); against the original insertion-
+        # ordered store only the triple sets must agree.
+        oracle = TripleStore(snap)
+        subjects = [A, B, C, D, None]
+        predicates = [KNOWS, LIKES, None]
+        objects = [B, C, D, string_literal("pie", "en"), None]
+        patterns = 0
+        for s in subjects:
+            for p in predicates:
+                for o in objects:
+                    got = list(snap.match(s, p, o))
+                    expected = list(oracle.match(s, p, o))
+                    assert [repr(t) for t in got] == [repr(t) for t in expected], (s, p, o)
+                    assert sorted(map(repr, got)) == sorted(
+                        map(repr, store.match(s, p, o))
+                    ), (s, p, o)
+                    assert snap.count(s, p, o) == store.count(s, p, o)
+                    patterns += 1
+        assert patterns == 5 * 3 * 5
+        snap.close()
+
+    def test_annotations_survive(self, segdir, store):
+        snap = open_snapshot(segdir)
+        by_key = {t.spo(): t for t in snap}
+        for original in store:
+            loaded = by_key[original.spo()]
+            assert loaded.confidence == original.confidence
+            assert loaded.source == original.source
+            assert str(loaded.scope) == str(original.scope)
+        snap.close()
+
+    def test_get_contains_len_iter(self, segdir, store):
+        snap = open_snapshot(segdir)
+        assert len(snap) == len(store)
+        assert snap.version == len(store)
+        assert snap.epoch == store.epoch
+        assert snap.get(A, KNOWS, B).confidence == 0.75
+        assert snap.get(D, KNOWS, A) is None
+        assert snap.contains_fact(B, KNOWS, C)
+        assert not snap.contains_fact(C, KNOWS, B)
+        assert snap.predicates() == store.predicates()
+        assert sorted(map(repr, snap)) == sorted(map(repr, store))
+        snap.close()
+
+    def test_reloaded_store_agrees_on_epoch(self, segdir, store):
+        with open_snapshot(segdir) as snap:
+            reloaded = TripleStore(snap)
+        assert reloaded.epoch == store.epoch
+        assert len(reloaded) == len(store)
+
+    def test_snapshot_is_read_only(self, segdir):
+        snap = open_snapshot(segdir)
+        assert snap.mutable is False
+        with pytest.raises(ReadOnlyStoreError):
+            snap.add(Triple(D, KNOWS, A))
+        with pytest.raises(ReadOnlyStoreError):
+            snap.add_all([Triple(D, KNOWS, A)])
+        with pytest.raises(ReadOnlyStoreError):
+            snap.remove(Triple(A, KNOWS, B))
+        snap.close()
+
+
+class TestBlooms:
+    def test_no_false_negatives(self, store):
+        keys = [spo_key_bytes(record_fields(t)) for t in store]
+        bloom = BloomFilter.build(keys)
+        for key in keys:
+            assert bloom.might_contain(key)
+
+    def test_absent_keys_mostly_skipped(self):
+        keys = [f"k{i}".encode() for i in range(200)]
+        bloom = BloomFilter.build(keys)
+        false_positives = sum(
+            bloom.might_contain(f"absent{i}".encode()) for i in range(1000)
+        )
+        assert false_positives < 100  # ~1% expected at 10 bits/key
+
+    def test_snapshot_counts_bloom_skips(self, segdir):
+        snap = open_snapshot(segdir)
+        assert snap.get(Entity("w:nobody"), KNOWS, B) is None
+        assert list(snap.match(subject=Entity("w:nobody"))) == []
+        assert snap.stats["bloom_skips"] >= 2
+        snap.close()
+
+
+class TestLSMStack:
+    def test_newest_generation_wins(self, tmp_path):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        seg.flush([Triple(A, KNOWS, B, confidence=0.3), Triple(A, KNOWS, C)])
+        seg.flush([Triple(A, KNOWS, B, confidence=0.9)])
+        snap = seg.snapshot()
+        assert len(snap) == 2
+        assert snap.get(A, KNOWS, B).confidence == 0.9
+        expected = TripleStore(
+            [Triple(A, KNOWS, B, confidence=0.9), Triple(A, KNOWS, C)]
+        )
+        assert snap.epoch == expected.epoch
+        snap.close()
+        seg.close()
+
+    def test_compaction_preserves_content_and_epoch(self, tmp_path, store):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        triples = sorted(store, key=repr)
+        seg.flush(triples[:2])
+        seg.flush(triples[2:])
+        before = seg.snapshot()
+        seg.compact()
+        after = seg.snapshot()
+        assert after.epoch == before.epoch == store.epoch
+        assert sorted(map(repr, after)) == sorted(map(repr, store))
+        # Only one generation remains on disk.
+        segments = {n.split(".")[0] for n in os.listdir(seg.directory) if n.startswith("seg-")}
+        assert len(segments) == 1
+        before.close()
+        after.close()
+        seg.close()
+
+    def test_snapshot_survives_compaction(self, tmp_path, store):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        triples = sorted(store, key=repr)
+        seg.flush(triples[:2])
+        pinned = seg.snapshot()
+        seg.flush(triples[2:])
+        seg.compact()  # unlinks the generation `pinned` mmap-ed
+        assert len(pinned) == 2
+        assert sorted(map(repr, pinned)) == sorted(map(repr, triples[:2]))
+        pinned.close()
+        seg.close()
+
+    def test_auto_compaction_over_threshold(self, tmp_path, store):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=2)
+        for triple in sorted(store, key=repr):
+            seg.flush([triple])
+        seg.close()  # joins the background compactor
+        segments = {n.split(".")[0] for n in os.listdir(seg.directory) if n.startswith("seg-")}
+        assert len(segments) == 1
+        with open_snapshot(seg.directory) as snap:
+            assert snap.epoch == store.epoch
+
+    def test_write_segments_replaces_stale_files(self, tmp_path, store):
+        directory = str(tmp_path / "seg")
+        write_segments(store, directory)
+        smaller = TripleStore([Triple(A, KNOWS, B)])
+        write_segments(smaller, directory)
+        with open_snapshot(directory) as snap:
+            assert len(snap) == 1
+            assert snap.epoch == smaller.epoch

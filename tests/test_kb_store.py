@@ -209,3 +209,118 @@ class TestProperties:
         assert not store.contains_fact(*victim.spo())
         assert victim.spo() not in {t.spo() for t in store.match(obj=victim.object)}
         assert store.count(victim.subject, victim.predicate, victim.object) == 0
+
+
+class TestEpoch:
+    """The content epoch: an order-independent multiset digest of the
+    live triples, used by the serving cache as the store identity."""
+
+    def test_empty_store_epoch_is_stable(self):
+        assert TripleStore().epoch == TripleStore().epoch
+        assert len(TripleStore().epoch) == 32
+        assert all(c in "0123456789abcdef" for c in TripleStore().epoch)
+
+    def test_equal_content_equal_epoch_any_order(self):
+        triples = [Triple(A, KNOWS, B), Triple(B, KNOWS, C), Triple(A, LIKES, B)]
+        forward = TripleStore(triples)
+        backward = TripleStore(list(reversed(triples)))
+        assert forward.epoch == backward.epoch
+
+    def test_add_changes_remove_restores(self, store):
+        before = store.epoch
+        extra = Triple(C, LIKES, A)
+        store.add(extra)
+        assert store.epoch != before
+        store.remove(extra)
+        assert store.epoch == before
+
+    def test_duplicate_noop_keeps_epoch(self, store):
+        before = store.epoch
+        store.add(Triple(A, KNOWS, B))
+        assert store.epoch == before
+
+    def test_witness_replacement_changes_epoch(self):
+        store = TripleStore([Triple(A, KNOWS, B, confidence=0.4)])
+        before = store.epoch
+        store.add(Triple(A, KNOWS, B, confidence=0.9))
+        assert store.epoch != before
+
+    def test_same_content_different_history_share_epoch(self):
+        grown = TripleStore([Triple(A, KNOWS, B)])
+        grown.add(Triple(B, KNOWS, C))
+        grown.remove(Triple(A, KNOWS, B))
+        fresh = TripleStore([Triple(B, KNOWS, C)])
+        assert grown.epoch == fresh.epoch
+        assert grown.version != fresh.version  # epoch ≠ version
+
+    def test_copy_shares_epoch(self, store):
+        assert store.copy().epoch == store.epoch
+
+
+class TestMutationCounts:
+    """add_all()/merge() report new vs replaced triples separately; the
+    return value still compares as the *new* count for old callers."""
+
+    def test_add_all_counts_only_new(self, store):
+        counts = store.add_all([Triple(C, LIKES, A), Triple(A, KNOWS, B)])
+        assert counts == 1  # int compatibility: new triples only
+        assert counts.new == 1
+        assert counts.replaced == 0
+        assert len(store) == 5
+
+    def test_replacement_is_not_new(self):
+        store = TripleStore([Triple(A, KNOWS, B, confidence=0.4)])
+        counts = store.add_all(
+            [Triple(A, KNOWS, B, confidence=0.9), Triple(B, KNOWS, C)]
+        )
+        assert counts == 1
+        assert counts.new == 1
+        assert counts.replaced == 1
+        assert counts.changed == 2
+        assert store.get(A, KNOWS, B).confidence == 0.9
+
+    def test_merge_reports_both(self):
+        store = TripleStore([Triple(A, KNOWS, B, confidence=0.5)])
+        other = TripleStore(
+            [Triple(C, LIKES, A), Triple(A, KNOWS, B, confidence=0.99)]
+        )
+        counts = store.merge(other)
+        assert counts == 1 and counts.new == 1 and counts.replaced == 1
+
+    def test_pure_duplicates_are_neither(self, store):
+        counts = store.add_all([Triple(A, KNOWS, B), Triple(A, LIKES, B)])
+        assert counts == 0 and counts.new == 0 and counts.replaced == 0
+        assert counts.changed == 0
+
+
+class TestIndexHygiene:
+    """Missed matches must not materialize empty index buckets (the old
+    defaultdict indexes leaked one per probed key, forever)."""
+
+    def _assert_no_empty_buckets(self, store):
+        stats = store.index_stats()
+        for name, info in stats.items():
+            assert info["empty"] == 0, f"{name} holds empty buckets"
+
+    def test_missed_match_leaves_no_bucket(self, store):
+        ghost = Entity("w:ghost")
+        assert list(store.match(subject=ghost)) == []
+        assert list(store.match(predicate=Relation("w:none"))) == []
+        assert list(store.match(obj=ghost)) == []
+        assert list(store.match(subject=ghost, predicate=KNOWS)) == []
+        assert list(store.match(predicate=KNOWS, obj=ghost)) == []
+        assert store.get(ghost, KNOWS, ghost) is None
+        self._assert_no_empty_buckets(store)
+
+    def test_missed_count_leaves_no_bucket(self, store):
+        ghost = Entity("w:ghost")
+        assert store.count(subject=ghost) == 0
+        assert store.count(predicate=Relation("w:none")) == 0
+        assert store.count(subject=ghost, obj=ghost) == 0
+        self._assert_no_empty_buckets(store)
+
+    def test_remove_drops_emptied_buckets(self, store):
+        store.remove(Triple(A, LIKES, B))
+        self._assert_no_empty_buckets(store)
+        assert store.count(predicate=LIKES) == 0
+        self._assert_no_empty_buckets(store)

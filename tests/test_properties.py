@@ -208,13 +208,14 @@ class TestTripleStoreInvariants:
 
     @staticmethod
     def _assert_indexes_consistent(store: TripleStore) -> None:
-        keys = set(store._by_spo)
+        engine = store.engine
+        keys = set(engine.keys())
         index_views = {
-            "_by_s": store._by_s,
-            "_by_p": store._by_p,
-            "_by_o": store._by_o,
-            "_by_sp": store._by_sp,
-            "_by_po": store._by_po,
+            "_by_s": engine._by_s,
+            "_by_p": engine._by_p,
+            "_by_o": engine._by_o,
+            "_by_sp": engine._by_sp,
+            "_by_po": engine._by_po,
         }
         # 1. Every index entry points at a live key; no empty buckets linger.
         for name, index in index_views.items():
@@ -224,11 +225,11 @@ class TestTripleStoreInvariants:
         # 2. Every live key is present in all five indexes, in the right
         #    bucket.
         for s, p, o in keys:
-            assert (s, p, o) in store._by_s[s]
-            assert (s, p, o) in store._by_p[p]
-            assert (s, p, o) in store._by_o[o]
-            assert (s, p, o) in store._by_sp[(s, p)]
-            assert (s, p, o) in store._by_po[(p, o)]
+            assert (s, p, o) in engine._by_s[s]
+            assert (s, p, o) in engine._by_p[p]
+            assert (s, p, o) in engine._by_o[o]
+            assert (s, p, o) in engine._by_sp[(s, p)]
+            assert (s, p, o) in engine._by_po[(p, o)]
         # 3. Index cardinalities add up: each index partitions the key set.
         for name, index in index_views.items():
             total = sum(len(bucket) for bucket in index.values())
@@ -249,7 +250,7 @@ class TestTripleStoreInvariants:
                 store.remove(triple)
                 oracle.pop(triple.spo(), None)
         self._assert_indexes_consistent(store)
-        assert set(store._by_spo) == set(oracle)
+        assert set(store.engine.keys()) == set(oracle)
 
     @settings(max_examples=80, deadline=None)
     @given(_operations)

@@ -62,6 +62,7 @@ class TestLookup:
         ]
         assert dumps(payload) == dumps(
             {
+                "kb_epoch": store.epoch,
                 "kb_version": store.version,
                 "count": len(expected),
                 "triples": [
@@ -201,11 +202,15 @@ class TestCacheAccounting:
 
     def test_raw_cache_miss_sentinel(self):
         cache = VersionedLRUCache(capacity=4)
-        assert cache.get("k", 0) is MISS
-        cache.put("k", 0, {"x": 1})
-        assert cache.get("k", 0) == {"x": 1}
-        assert cache.get("k", 1) is MISS  # version moved on: stale drop
+        assert cache.get("k", "e0", 0) is MISS
+        cache.put("k", "e0", 0, {"x": 1})
+        assert cache.get("k", "e0", 0) == {"x": 1}
+        assert cache.get("k", "e0", 1) is MISS  # version moved on: stale drop
         assert cache.stats()["stale_drops"] == 1
+        cache.put("k", "e0", 1, {"x": 2})
+        # Same version, different store identity: also a stale drop.
+        assert cache.get("k", "e1", 1) is MISS
+        assert cache.stats()["stale_drops"] == 2
 
 
 class TestVersionInvalidation:

@@ -125,13 +125,17 @@ class TestEndpointSchemas:
         status, body = http_get(url + "/healthz")
         payload = json.loads(body)
         assert status == 200
-        assert payload == {"status": "ok", "kb_version": 7, "triples": 7}
+        assert payload["status"] == "ok"
+        assert payload["kb_version"] == 7
+        assert payload["triples"] == 7
+        # the identity epoch is a 32-hex-digit content digest
+        assert len(payload["kb_epoch"]) == 32
 
     def test_lookup_schema(self, url):
         status, body = http_get(url + "/lookup?p=rel:bornIn")
         payload = json.loads(body)
         assert status == 200
-        assert set(payload) == {"kb_version", "count", "triples"}
+        assert set(payload) == {"kb_epoch", "kb_version", "count", "triples"}
         assert payload["count"] == 5
         for triple in payload["triples"]:
             assert set(triple) == {"s", "p", "o", "confidence", "source", "scope"}
@@ -156,7 +160,13 @@ class TestEndpointSchemas:
         )
         payload = json.loads(body)
         assert status == 200
-        assert set(payload) == {"kb_version", "count", "vars", "bindings"}
+        assert set(payload) == {
+            "kb_epoch",
+            "kb_version",
+            "count",
+            "vars",
+            "bindings",
+        }
         assert payload["vars"] == ["c", "x"]
         assert payload["count"] == 3
         for binding in payload["bindings"]:
@@ -166,7 +176,7 @@ class TestEndpointSchemas:
         status, body = http_get(url + "/topk?p=rel:bornIn&k=2")
         payload = json.loads(body)
         assert status == 200
-        assert set(payload) == {"kb_version", "k", "count", "results"}
+        assert set(payload) == {"kb_epoch", "kb_version", "k", "count", "results"}
         assert payload["k"] == 2 and payload["count"] == 2
         confidences = [t["confidence"] for t in payload["results"]]
         assert confidences == sorted(confidences, reverse=True)

@@ -1,0 +1,214 @@
+"""Serving over segment snapshots: byte-identity with the in-memory
+engine, the lock-free cache-miss path, and the cross-store staleness
+regression the epoch-keyed cache exists to prevent."""
+
+import json
+import threading
+
+import pytest
+
+from repro.kb import (
+    Entity,
+    ReadOnlyStoreError,
+    Relation,
+    Triple,
+    TripleStore,
+    open_snapshot,
+    write_segments,
+)
+from repro.serving import QueryEngine
+
+BORN_IN = Relation("rel:bornIn")
+LOCATED_IN = Relation("rel:locatedIn")
+GERMANY = Entity("world:Germany")
+
+
+def make_store() -> TripleStore:
+    triples = []
+    for i in range(6):
+        triples.append(
+            Triple(
+                Entity(f"world:P{i}"),
+                BORN_IN,
+                Entity(f"world:C{i % 3}"),
+                confidence=0.5 + 0.08 * i,
+            )
+        )
+    for c in range(3):
+        triples.append(
+            Triple(Entity(f"world:C{c}"), LOCATED_IN, GERMANY, confidence=0.9)
+        )
+    return TripleStore(triples)
+
+
+def dumps(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    directory = str(tmp_path / "seg")
+    write_segments(make_store(), directory)
+    snap = open_snapshot(directory)
+    yield snap
+    snap.close()
+
+
+class TestByteIdentity:
+    def test_every_endpoint_matches_in_memory_engine(self, snapshot):
+        # The in-memory twin is loaded *from the snapshot* so both sides
+        # share content, epoch, version — responses must be byte-equal.
+        memory = QueryEngine(TripleStore(snapshot))
+        snapped = QueryEngine(snapshot)
+        calls = [
+            lambda e: e.lookup(predicate=BORN_IN),
+            lambda e: e.lookup(subject=Entity("world:P1")),
+            lambda e: e.lookup(obj=GERMANY),
+            lambda e: e.lookup(subject=Entity("world:C1"), obj=GERMANY),
+            lambda e: e.lookup(),
+            lambda e: e.topk(3, predicate=BORN_IN),
+            lambda e: e.query_json(
+                {"patterns": [["?x", "<<rel:bornIn>>", "?c"],
+                              ["?c", "<<rel:locatedIn>>", "?r"]]}
+            ),
+            lambda e: e.healthz(),
+        ]
+        for call in calls:
+            assert dumps(call(memory)) == dumps(call(snapped))
+
+    def test_cold_vs_warm_snapshot_byte_identical(self, snapshot):
+        engine = QueryEngine(snapshot)
+        cold = dumps(engine.lookup(predicate=BORN_IN))
+        warm = dumps(engine.lookup(predicate=BORN_IN))
+        assert cold == warm
+        assert engine.cache.stats()["hits"] == 1
+
+
+class TestImmutableServing:
+    def test_writes_rejected(self, snapshot):
+        engine = QueryEngine(snapshot)
+        with pytest.raises(ReadOnlyStoreError):
+            engine.add(Triple(Entity("world:X"), BORN_IN, Entity("world:C0")))
+        with pytest.raises(ReadOnlyStoreError):
+            engine.add_all([Triple(Entity("world:X"), BORN_IN, Entity("world:C0"))])
+        with pytest.raises(ReadOnlyStoreError):
+            engine.remove(Triple(Entity("world:P0"), BORN_IN, Entity("world:C0")))
+        with pytest.raises(ReadOnlyStoreError):
+            engine.mutate(lambda s: None)
+
+    def test_cache_miss_does_not_take_engine_lock(self, snapshot):
+        """A miss against an immutable snapshot must complete while some
+        other thread holds the engine lock — the lock-free read path."""
+        engine = QueryEngine(snapshot)
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def hog():
+            with engine._lock:
+                acquired.set()
+                release.wait(timeout=10)
+
+        hogger = threading.Thread(target=hog)
+        hogger.start()
+        assert acquired.wait(timeout=5)
+        done = threading.Event()
+        result = {}
+
+        def read():
+            result["payload"] = engine.lookup(predicate=BORN_IN)
+            done.set()
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        # The reader must finish while the lock is still hogged.
+        assert done.wait(timeout=5), "cache miss blocked on the engine lock"
+        release.set()
+        hogger.join()
+        reader.join()
+        assert result["payload"]["count"] == 6
+
+    def test_mutable_store_miss_still_takes_lock(self):
+        """The same probe against a mutable store must block — lock
+        discipline for live writers is unchanged."""
+        engine = QueryEngine(make_store())
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def hog():
+            with engine._lock:
+                acquired.set()
+                release.wait(timeout=10)
+
+        hogger = threading.Thread(target=hog)
+        hogger.start()
+        assert acquired.wait(timeout=5)
+        done = threading.Event()
+        reader = threading.Thread(
+            target=lambda: (engine.lookup(predicate=BORN_IN), done.set())
+        )
+        reader.start()
+        assert not done.wait(timeout=0.3), "mutable miss bypassed the lock"
+        release.set()
+        hogger.join()
+        reader.join()
+        assert done.is_set()
+
+
+class TestRebindStaleness:
+    """Satellite regression: rebinding to a different store whose version
+    counter happens to collide must never serve the old store's answers."""
+
+    A, B, C = Entity("w:a"), Entity("w:b"), Entity("w:c")
+    KNOWS = Relation("w:knows")
+
+    def _stores_with_colliding_versions(self):
+        t1 = Triple(self.A, self.KNOWS, self.B)
+        t2 = Triple(self.B, self.KNOWS, self.C)
+        t3 = Triple(self.A, self.KNOWS, self.C)
+        t4 = Triple(self.C, self.KNOWS, self.A)
+        first = TripleStore([t1, t2, t3])
+        second = TripleStore([t1, t2, t4])
+        return first, second
+
+    def test_version_alone_cannot_tell_the_stores_apart(self):
+        first, second = self._stores_with_colliding_versions()
+        assert first.version == second.version == 3
+        assert first.epoch != second.epoch
+
+    def test_rebind_does_not_serve_stale_payloads(self):
+        first, second = self._stores_with_colliding_versions()
+        engine = QueryEngine(first)
+        before = engine.lookup(subject=self.A)
+        assert before["count"] == 2  # t1, t3 cached against `first`
+
+        engine.rebind(second)
+        after = engine.lookup(subject=self.A)
+        assert after["count"] == 1  # only t1 — t3 is not in `second`
+        assert after["kb_epoch"] == second.epoch
+        assert dumps(after) != dumps(before)
+        # The collision was real (a stale entry existed and was dropped),
+        # not dodged by an empty cache.
+        assert engine.cache.stats()["stale_drops"] >= 1
+
+    def test_rebind_to_same_content_stays_warm(self):
+        first, _ = self._stores_with_colliding_versions()
+        engine = QueryEngine(first)
+        engine.lookup(subject=self.A)
+        engine.rebind(first.copy())
+        engine.lookup(subject=self.A)
+        stats = engine.cache.stats()
+        assert stats["hits"] == 1 and stats["stale_drops"] == 0
+
+    def test_rebind_to_snapshot_of_same_content_stays_warm(self, tmp_path):
+        store = make_store()
+        directory = str(tmp_path / "seg")
+        write_segments(store, directory)
+        with open_snapshot(directory) as snap:
+            # Load the mutable twin from the snapshot so version (and
+            # epoch, by content) agree across the rebind.
+            engine = QueryEngine(TripleStore(snap))
+            first = engine.lookup(predicate=BORN_IN)
+            engine.rebind(snap)
+            second = engine.lookup(predicate=BORN_IN)
+            assert dumps(first) == dumps(second)
+            assert engine.cache.stats()["hits"] == 1
