@@ -1,8 +1,10 @@
-"""The command-line interface: build, inspect, query, ask, serve, verify.
+"""The command-line interface: build, ingest, inspect, query, ask, serve,
+verify.
 
-Six subcommands expose the end-to-end system without writing Python::
+Seven subcommands expose the end-to-end system without writing Python::
 
     python -m repro build --seed 7 --people 120 --out kb.nt
+    python -m repro ingest --segments segdir --seed 7 --people 120 --upto 100
     python -m repro stats --kb kb.nt
     python -m repro query --kb kb.nt --subject world:Viktor_Adler
     python -m repro ask --kb kb.nt "Where was Viktor Adler born?"
@@ -11,14 +13,19 @@ Six subcommands expose the end-to-end system without writing Python::
 
 ``build`` generates a synthetic world + encyclopedia and runs the full
 harvesting pipeline (``--segments DIR`` additionally emits the KB as a
-byte-pinned segment directory); ``stats``/``query``/``ask`` operate on
+byte-pinned segment directory); ``ingest`` grows a segment directory
+incrementally — each invocation ingests a slice of the corpus as a delta
+generation (``--start``/``--upto`` over sorted page titles), optionally
+retracts facts through tombstones (``--retract S P O``) and compacts the
+generation stack (``--compact``); ``stats``/``query``/``ask`` operate on
 any saved KB file; ``serve`` answers ``/lookup``, ``/query``, ``/topk``,
 ``/healthz``, and ``/metrics`` over HTTP with an identity-keyed result
 cache — from a ``.nt`` file (``--kb``) or lock-free from a segment
 snapshot (``--segments``); ``check-determinism`` rebuilds the KB in
 fresh subprocesses under distinct ``PYTHONHASHSEED`` values and verifies
 the canonical serializations are byte-identical (``--segments`` also
-diffs emitted segment directories file for file).
+diffs emitted segment directories file for file, ``--incremental``
+proves delta ingestion equals a one-shot rebuild byte for byte).
 """
 
 from __future__ import annotations
@@ -106,6 +113,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "estimated-cost-first (same KB bytes either way)",
     )
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="grow a segment directory incrementally, one delta at a time",
+    )
+    ingest.add_argument(
+        "--segments", required=True, metavar="DIR",
+        help="segment directory to grow (created on first ingest; holds "
+        "the builder state file alongside the segment files)",
+    )
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--people", type=int, default=120)
+    ingest.add_argument(
+        "--start", type=int, default=0,
+        help="first page of the batch (index into sorted page titles)",
+    )
+    ingest.add_argument(
+        "--upto", type=int, default=None,
+        help="end of the batch, exclusive (default: all remaining pages)",
+    )
+    ingest.add_argument(
+        "--retract", nargs=3, action="append", default=None,
+        metavar=("S", "P", "O"),
+        help="retract a fact by canonical term texts, e.g. "
+        "'<world:X>' '<<rel:bornIn>>' '<world:Y>' — tombstoned in this "
+        "delta and erased from every future snapshot (repeatable)",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="fold the generation stack to canonical single-segment form "
+        "after the ingest (drops tombstones for good)",
+    )
+    ingest.add_argument(
+        "--workers", type=int, default=0,
+        help="extraction/pipeline workers (0 or 1 = in-process)",
+    )
+    ingest.add_argument(
+        "--backend", choices=("auto",) + BACKEND_NAMES, default="auto",
+    )
+    ingest.add_argument("--reasoner-workers", type=int, default=0)
+    ingest.add_argument(
+        "--reasoner-backend", choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+    )
+    ingest.add_argument(
+        "--schedule", choices=SCHEDULE_NAMES, default="static",
+    )
+
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
     stats.add_argument("--kb", required=True)
 
@@ -183,6 +237,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also emit segment directories (serial, thread, and process "
         "builds) and verify they are byte-identical file for file",
     )
+    determinism.add_argument(
+        "--incremental", action="store_true",
+        help="also verify delta ingestion (two batches + a tombstoned "
+        "retraction + compaction) is byte-identical to a one-shot "
+        "rebuild, per execution mode",
+    )
 
     return parser
 
@@ -247,6 +307,80 @@ def _command_build(args, out) -> int:
         print(obs.render_trace(), file=out)
         print("\n--- metrics ---", file=out)
         print(obs.render_metrics(), file=out)
+    return 0
+
+
+def _command_ingest(args, out) -> int:
+    from .pipeline import IncrementalBuilder
+
+    if args.workers < 0 or args.reasoner_workers < 0:
+        print("error: worker counts must be non-negative", file=out)
+        return 2
+    if args.start < 0:
+        print("error: --start must be non-negative", file=out)
+        return 2
+    print(
+        f"Generating world (seed={args.seed}, people={args.people}) ...",
+        file=out,
+    )
+    world = generate_world(WorldConfig(seed=args.seed, n_people=args.people))
+    wiki = build_wiki(world)
+    titles = sorted(wiki.pages)
+    upto = len(titles) if args.upto is None else min(args.upto, len(titles))
+    batch = [wiki.pages[title] for title in titles[args.start:upto]]
+    retract = [tuple(key) for key in (args.retract or [])]
+    config = BuildConfig(
+        workers=args.workers,
+        backend=args.backend,
+        reasoner_workers=args.reasoner_workers,
+        reasoner_backend=args.reasoner_backend,
+        schedule=args.schedule,
+    )
+    print(
+        f"Ingesting pages [{args.start}, {upto}) of {len(titles)} "
+        f"into {args.segments} ...",
+        file=out,
+    )
+    builder = IncrementalBuilder(args.segments, config)
+    try:
+        report = builder.ingest(
+            pages=batch,
+            aliases=world.aliases,
+            retract=retract,
+            compact=args.compact,
+        )
+    finally:
+        builder.close()
+    print(
+        f"ingest: batch_pages={report.batch_pages} "
+        f"total_pages={report.total_pages} "
+        f"affected_names={report.affected_names}",
+        file=out,
+    )
+    print(
+        f"extraction: reextracted={report.reextracted_pages} "
+        f"cached_pages={report.cached_pages}",
+        file=out,
+    )
+    print(
+        f"reasoning: components={report.components} "
+        f"cached_components={report.cached_components}",
+        file=out,
+    )
+    print(
+        f"delta: segment={report.segment or '-'} added={report.added} "
+        f"tombstones={report.tombstones} retracted={report.retracted} "
+        f"compacted={str(report.compacted).lower()}",
+        file=out,
+    )
+    print(
+        f"epoch: {report.epoch_before[:12]} -> {report.epoch_after[:12]}",
+        file=out,
+    )
+    print(
+        f"{report.triples} triples total in {report.elapsed:.2f}s",
+        file=out,
+    )
     return 0
 
 
@@ -405,6 +539,22 @@ def _command_check_determinism(args, out) -> int:
         print(segment_report.describe(), file=out)
         if not segment_report.ok:
             return 1
+    if args.incremental:
+        from .determinism import SEGMENT_MODES, check_incremental_determinism
+
+        labels = ", ".join(mode.label for mode in SEGMENT_MODES)
+        print(
+            f"Incremental: per mode ({labels}), ingesting two batches "
+            "(with a tombstoned retraction), compacting, and diffing "
+            "against a one-shot rebuild ...",
+            file=out,
+        )
+        incremental_report = check_incremental_determinism(
+            seed=args.seed, people=args.people
+        )
+        print(incremental_report.describe(), file=out)
+        if not incremental_report.ok:
+            return 1
     return status
 
 
@@ -421,6 +571,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "build": _command_build,
+        "ingest": _command_ingest,
         "stats": _command_stats,
         "query": _command_query,
         "ask": _command_ask,

@@ -19,9 +19,11 @@ from .harness import (
     CrossModeReport,
     DeterminismReport,
     Divergence,
+    IncrementalDeterminismReport,
     SegmentDeterminismReport,
     check_cross_mode,
     check_determinism,
+    check_incremental_determinism,
     check_segment_determinism,
     first_divergence,
     stage_of_line,
@@ -43,12 +45,14 @@ __all__ = [
     "CrossModeReport",
     "DeterminismReport",
     "Divergence",
+    "IncrementalDeterminismReport",
     "SegmentDeterminismReport",
     "Finding",
     "canonical_kb_lines",
     "canonical_kb_text",
     "check_cross_mode",
     "check_determinism",
+    "check_incremental_determinism",
     "check_segment_determinism",
     "first_divergence",
     "lint_file",

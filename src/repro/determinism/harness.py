@@ -427,3 +427,226 @@ def check_segment_determinism(
                 report.differences = differences
                 return report
     return report
+
+
+# ---------------------------------------------- incremental-build checking
+
+
+#: The fact key the incremental check retracts: a schema triple, present
+#: in every world, so the retraction deterministically exercises a
+#: tombstone in the delta generation regardless of seed or size.
+_RETRACTED_KEY = ("<cls:location>", "<<rdfs:subClassOf>>", "<kb:Thing>")
+
+
+@dataclass(slots=True)
+class IncrementalDeterminismReport:
+    """Outcome of the incremental == full-rebuild byte-identity check.
+
+    For each execution mode, the same corpus is built twice — once as two
+    delta ingests (the second carrying a retraction, flushed with a
+    tombstone, then compacted) and once as a single one-shot ingest — and
+    the two segment directories are diffed file for file, plus the
+    canonical KB serializations byte-compared.  The mode directories are
+    then diffed against the first mode's, so a pass certifies
+    ``incremental(full ∪ delta) == full_rebuild(full ∪ delta)`` across
+    serial/threaded/process execution under distinct ``PYTHONHASHSEED``.
+    """
+
+    ok: bool
+    modes: list[str] = field(default_factory=list)
+    triples: int = 0
+    files: int = 0
+    tombstones: int = 0
+    diverging_mode: Optional[str] = None
+    differences: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"incremental-deterministic: {len(self.modes)} modes "
+                f"({', '.join(self.modes)}) — two-batch ingest + retraction "
+                f"+ compaction is byte-identical to a one-shot rebuild "
+                f"({self.files} files, {self.triples} triples, "
+                f"{self.tombstones} tombstone(s) exercised)"
+            )
+        lines = [
+            f"NOT incremental-deterministic (mode {self.diverging_mode}):"
+        ]
+        lines += [f"  {difference}" for difference in self.differences]
+        return "\n".join(lines)
+
+
+def _ingest_once(
+    hash_seed: int,
+    segments_dir: str,
+    seed: int,
+    people: int,
+    timeout: float,
+    mode: BuildMode,
+    start: Optional[int] = None,
+    upto: Optional[int] = None,
+    retract: Sequence[Sequence[str]] = (),
+    compact: bool = False,
+) -> None:
+    """Run one ``repro ingest`` in a fresh subprocess."""
+    command = [
+        sys.executable, "-m", "repro", "ingest",
+        "--segments", segments_dir,
+        "--seed", str(seed), "--people", str(people),
+    ]
+    if start is not None:
+        command += ["--start", str(start)]
+    if upto is not None:
+        command += ["--upto", str(upto)]
+    for key in retract:
+        command += ["--retract", *key]
+    if compact:
+        command += ["--compact"]
+    if mode.workers:
+        command += ["--workers", str(mode.workers)]
+    if mode.backend is not None:
+        command += ["--backend", mode.backend]
+    if mode.reasoner_workers:
+        command += ["--reasoner-workers", str(mode.reasoner_workers)]
+    if mode.reasoner_backend is not None:
+        command += ["--reasoner-backend", mode.reasoner_backend]
+    if mode.schedule is not None:
+        command += ["--schedule", mode.schedule]
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    completed = subprocess.run(
+        command, env=env, capture_output=True, text=True, timeout=timeout
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"ingest under PYTHONHASHSEED={hash_seed} failed "
+            f"(exit {completed.returncode}):\n{completed.stderr}"
+        )
+
+
+def check_incremental_determinism(
+    seed: int = 7,
+    people: int = 40,
+    modes: Sequence[BuildMode] = SEGMENT_MODES,
+    timeout: float = 600.0,
+    delta_fraction: float = 0.2,
+) -> IncrementalDeterminismReport:
+    """Verify ``incremental == full-rebuild`` byte-identity per mode.
+
+    For every mode (fresh subprocesses, ``PYTHONHASHSEED`` = mode index):
+
+    1. ingest the first ``1 - delta_fraction`` of pages into directory A;
+    2. ingest the rest as a delta carrying a retraction — then assert the
+       delta generation holds at least one tombstone record;
+    3. compact A to canonical form (erasing the tombstone);
+    4. one-shot ingest *everything* (same retraction) into directory B;
+    5. ``diff_segment_dirs(A, B)`` must be empty and the canonical KB
+       serializations byte-identical — and A must equal the first mode's
+       A, closing the loop across execution modes.
+    """
+    import json
+
+    from ..kb.segments import (
+        MANIFEST_NAME,
+        SegmentStore,
+        diff_segment_dirs,
+        open_snapshot,
+    )
+
+    report = IncrementalDeterminismReport(
+        ok=True, modes=[mode.label for mode in modes]
+    )
+    cut = _page_cut(seed, people, delta_fraction)
+    with tempfile.TemporaryDirectory(prefix="repro-incremental-") as tmp:
+        reference_dir: Optional[str] = None
+        reference_lines: Optional[list[str]] = None
+        for index, mode in enumerate(modes):
+            incremental_dir = os.path.join(tmp, f"incremental_{mode.label}")
+            oneshot_dir = os.path.join(tmp, f"oneshot_{mode.label}")
+            _ingest_once(
+                index, incremental_dir, seed, people, timeout, mode,
+                upto=cut,
+            )
+            _ingest_once(
+                index, incremental_dir, seed, people, timeout, mode,
+                start=cut, retract=[_RETRACTED_KEY],
+            )
+            with open(os.path.join(incremental_dir, MANIFEST_NAME)) as handle:
+                manifest = json.load(handle)
+            tombstones = sum(
+                entry.get("tombstones", 0) for entry in manifest["segments"]
+            )
+            if tombstones < 1:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.differences = [
+                    "the retraction delta produced no tombstone record"
+                ]
+                return report
+            report.tombstones = max(report.tombstones, tombstones)
+            # Compact in-process: pure file folding, content-deterministic.
+            store = SegmentStore(incremental_dir)
+            try:
+                store.compact()
+            finally:
+                store.close()
+            _ingest_once(
+                index, oneshot_dir, seed, people, timeout, mode,
+                retract=[_RETRACTED_KEY], compact=True,
+            )
+            differences = diff_segment_dirs(incremental_dir, oneshot_dir)
+            if differences:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.differences = [
+                    "incremental vs one-shot: " + d for d in differences
+                ]
+                return report
+            with open_snapshot(incremental_dir) as snapshot:
+                lines = canonical_kb_lines(snapshot)
+            if reference_dir is None:
+                reference_dir, reference_lines = incremental_dir, lines
+                report.triples = len(lines)
+                report.files = sum(
+                    1
+                    for name in os.listdir(incremental_dir)
+                    if name == MANIFEST_NAME or name.startswith("seg-")
+                )
+                continue
+            differences = diff_segment_dirs(reference_dir, incremental_dir)
+            if differences:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.differences = [
+                    f"vs mode {modes[0].label}: " + d for d in differences
+                ]
+                return report
+            if lines != reference_lines:
+                report.ok = False
+                report.diverging_mode = mode.label
+                report.differences = [
+                    "canonical KB serialization differs: "
+                    + first_divergence(reference_lines, lines, 0, index)
+                    .describe()
+                ]
+                return report
+    return report
+
+
+def _page_cut(seed: int, people: int, delta_fraction: float) -> int:
+    """Where the base/delta batch boundary falls in sorted title order.
+
+    The world is regenerated here once (page counts are world-dependent)
+    so the same cut is handed to every mode's subprocesses.
+    """
+    from ..corpus import build_wiki
+    from ..world import WorldConfig, generate_world
+
+    world = generate_world(WorldConfig(seed=seed, n_people=people))
+    pages = len(build_wiki(world).pages)
+    return max(1, int(pages * (1.0 - delta_fraction)))

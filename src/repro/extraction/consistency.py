@@ -33,7 +33,7 @@ from typing import Union
 from ..bigdata.backends import ExecutionBackend, get_backend
 from ..kb import Entity, Relation, Taxonomy, Triple, TripleStore
 from ..obs import core as _obs
-from ..reasoning.decompose import decompose, solve_decomposed
+from ..reasoning.decompose import ComponentCache, decompose, solve_decomposed
 from ..reasoning.maxsat import WeightedMaxSat
 
 #: A fact variable: the (s, p, o) key.
@@ -55,6 +55,10 @@ class ConsistencyReport:
     components: int = 0
     largest_component: int = 0
     trivial_vars: int = 0
+    #: Components replayed from a ComponentCache instead of re-solved
+    #: (the incremental build's component-scoped re-reasoning; 0 when no
+    #: cache was supplied).
+    cached_components: int = 0
 
 
 class ConsistencyReasoner:
@@ -70,6 +74,7 @@ class ConsistencyReasoner:
         workers: int = 0,
         backend: Union[str, ExecutionBackend, None] = "auto",
         schedule: str = "static",
+        component_cache: "ComponentCache | None" = None,
     ) -> None:
         self.taxonomy = taxonomy
         self.use_functionality = use_functionality
@@ -78,6 +83,11 @@ class ConsistencyReasoner:
         self.min_confidence_weight = min_confidence_weight
         self.workers = workers
         self.schedule = schedule
+        # Optional content-addressed solve cache: identical components
+        # replay their stored outcome instead of searching again, which is
+        # what lets an incremental build re-solve only the components its
+        # delta touched.  Results are byte-identical either way.
+        self.component_cache = component_cache
         # Resolve the backend once: every clean() call of this reasoner
         # reuses the same (lazily created, persistent) worker pool instead
         # of spinning one up per call.  A caller-supplied instance stays
@@ -144,6 +154,9 @@ class ConsistencyReasoner:
                 report.components = len(decomposition.components)
                 report.largest_component = decomposition.largest_component
                 report.trivial_vars = len(decomposition.trivial)
+                hits_before = (
+                    self.component_cache.hits if self.component_cache else 0
+                )
                 result = solve_decomposed(
                     problem,
                     seed=seed,
@@ -151,7 +164,12 @@ class ConsistencyReasoner:
                     backend=self.backend,
                     workers=self.workers,
                     schedule=self.schedule,
+                    cache=self.component_cache,
                 )
+                if self.component_cache is not None:
+                    report.cached_components = (
+                        self.component_cache.hits - hits_before
+                    )
                 solving.add("components", report.components)
                 solving.add("largest_component", report.largest_component)
                 solving.add("trivial_vars", report.trivial_vars)

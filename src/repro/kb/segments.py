@@ -37,10 +37,21 @@ half-open range ``[lower_bound(prefix), lower_bound(prefix + b"\\xff"))``
 must not contain NUL; the writer rejects them.
 
 Multiple segments form an LSM-style stack: the newest generation wins per
-SPO key, which is what an incremental build will lean on.  ``compact()``
-merges the stack back to one segment — the logical content (and therefore
-the epoch) is unchanged, and because POSIX keeps unlinked-but-open mmaps
-readable, snapshots opened before a compaction keep working lock-free.
+SPO key, which is what the incremental build path leans on.  A delta
+generation can also *retract*: a **tombstone record** is a record whose
+annotations field is the sentinel ``!tombstone`` (a text the annotation
+serializer can never produce), and it shadows every older record with its
+SPO key without contributing a triple itself.  Tombstones participate in
+bloom filters and binary searches like any record — a point lookup must
+not skip the delta that deletes its key — but are dropped from logical
+reads, counts, and the epoch.  ``compact()`` folds the stack back to the
+**canonical single-segment form**: generation 0 (``seg-000000``), with
+every tombstone — and everything it shadowed — erased for good, so a
+compacted directory is byte-identical to :func:`write_segments` of the
+same logical content.  Replaced files are rewritten atomically (tmp +
+``os.replace``) and old ones unlinked; because POSIX keeps
+unlinked-but-open mmaps readable, snapshots opened before a compaction
+keep working lock-free.
 
 :class:`SegmentSnapshot` is the read side: a cheap, immutable,
 lock-free view satisfying :class:`~repro.kb.engine.ReadableStore`, with
@@ -86,6 +97,34 @@ BLOOM_HASHES = 7
 
 
 # --------------------------------------------------------------- records
+
+#: The annotations-field sentinel marking a retraction record.  Real
+#: annotations are either empty or start with ``conf=``/``src=``/``scope=``
+#: (see :func:`repro.kb.rdfio.annotations_to_text`), so this text is
+#: unreachable from any triple and the two record kinds can never collide.
+TOMBSTONE = "!tombstone"
+
+
+def tombstone_fields(
+    subject_text: str, predicate_text: str, object_text: str
+) -> tuple[str, str, str, str]:
+    """The record fields of a tombstone for one canonical SPO key."""
+    return (subject_text, predicate_text, object_text, TOMBSTONE)
+
+
+def is_tombstone(fields: tuple[str, str, str, str]) -> bool:
+    """True when record fields carry the retraction sentinel."""
+    return fields[3] == TOMBSTONE
+
+
+def spo_texts(triple: Triple) -> tuple[str, str, str]:
+    """A triple's canonical (subject, predicate, object) texts — the key
+    form :meth:`SegmentStore.flush` accepts as a tombstone."""
+    return (
+        term_to_text(triple.subject),
+        term_to_text(triple.predicate),
+        term_to_text(triple.object),
+    )
 
 
 def record_fields(triple: Triple) -> tuple[str, str, str, str]:
@@ -300,6 +339,18 @@ def _dedup_newest_wins(
     return merged
 
 
+def _drop_tombstones(
+    parts_by_key: dict[bytes, tuple[str, str, str, str]],
+) -> dict[bytes, tuple[str, str, str, str]]:
+    """Logical view of a newest-wins merge: keys whose winning record is a
+    tombstone are deleted (the tombstone shadowed every older witness)."""
+    return {
+        key: fields
+        for key, fields in parts_by_key.items()
+        if not is_tombstone(fields)
+    }
+
+
 def _logical_epoch(parts_by_key: dict[bytes, tuple[str, str, str, str]]) -> str:
     """The epoch of the logical content: the same multiset content hash an
     in-memory :class:`~repro.kb.store.TripleStore` holding these triples
@@ -312,20 +363,37 @@ def _logical_epoch(parts_by_key: dict[bytes, tuple[str, str, str, str]]) -> str:
     return epoch_hex(accumulator)
 
 
+def _replace_file(path: str, blob: bytes) -> None:
+    """Atomically (re)write one segment file.
+
+    Never truncates in place: compaction reuses the canonical segment name
+    (``seg-000000``), and an ``open(path, "wb")`` would zero the very inode
+    a pinned snapshot still has mmap-ed.  Writing a sibling ``.tmp`` and
+    ``os.replace``-ing it swaps the directory entry instead — the old inode
+    lives on for every open mmap.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)
+
+
 def _write_segment_files(
     directory: str, name: str, parts: list[tuple[str, str, str, str]]
 ) -> dict:
     """Write one segment's three order files + bloom sidecar; return its
-    manifest entry.  ``parts`` need not be pre-sorted or pre-validated."""
+    manifest entry.  ``parts`` need not be pre-sorted or pre-validated and
+    may include tombstone records: they are stored (and bloomed — a lookup
+    must not skip the segment that deletes its key) but counted separately
+    from live triples."""
     for fields in parts:
         _check_no_nul(fields)
+    tombstones = sum(1 for fields in parts if is_tombstone(fields))
     entry_files: dict[str, dict] = {}
     for order in ORDERS:
         records = sorted(_record_bytes(fields, order) for fields in parts)
         blob = _pack_order_file(order, records)
-        path = os.path.join(directory, f"{name}.{order}")
-        with open(path, "wb") as handle:
-            handle.write(blob)
+        _replace_file(os.path.join(directory, f"{name}.{order}"), blob)
         entry_files[order] = {
             "bytes": len(blob),
             "sha256": hashlib.sha256(blob).hexdigest(),
@@ -339,21 +407,25 @@ def _write_segment_files(
         ),
     }
     bloom_blob = _pack_blooms(blooms)
-    with open(os.path.join(directory, f"{name}.blooms"), "wb") as handle:
-        handle.write(bloom_blob)
+    _replace_file(os.path.join(directory, f"{name}.blooms"), bloom_blob)
     if _obs.ENABLED:
         _obs.count("kb.segments.write")
         _obs.observe("kb.segments.write.triples", len(parts))
-    return {
+    entry = {
         "name": name,
         "generation": int(name.split("-")[1]),
-        "triples": len(parts),
+        "triples": len(parts) - tombstones,
         "files": entry_files,
         "blooms": {
             "bytes": len(bloom_blob),
             "sha256": hashlib.sha256(bloom_blob).hexdigest(),
         },
     }
+    if tombstones:
+        # Only present when nonzero, so tombstone-free manifests stay
+        # byte-identical to the pre-tombstone format (golden fixtures).
+        entry["tombstones"] = tombstones
+    return entry
 
 
 def _write_manifest(directory: str, manifest: dict) -> None:
@@ -492,6 +564,9 @@ class SegmentSnapshot:
             for order in ORDERS:
                 segment.order_file(order)
             segment.bloom("spo")
+        self._has_tombstones = any(
+            entry.get("tombstones") for entry in self.manifest["segments"]
+        )
         self.stats = {"probes": 0, "bloom_skips": 0}
 
     # ------------------------------------------------------------ identity
@@ -576,8 +651,14 @@ class SegmentSnapshot:
                 [_parts_from_record(r, order) for r in handle.records(lo, hi)]
             )
         if len(batches) == 1 and shape != "p":
+            # The single-segment fast path still sees tombstones: a fresh
+            # delta segment carries its own retractions.
+            if self._has_tombstones:
+                return [p for p in batches[0] if not is_tombstone(p)]
             return batches[0]
         merged = _dedup_newest_wins(batches)
+        if self._has_tombstones:
+            merged = _drop_tombstones(merged)
         if shape == "p":
             return [merged[key] for key in sorted(merged)]
         reorder = _PERM[order]
@@ -682,6 +763,8 @@ class SegmentStore:
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.Lock()
         self._compactor: Optional[threading.Thread] = None
+        self._recompact = False
+        self._closed = False
 
     # ------------------------------------------------------------- helpers
 
@@ -706,24 +789,54 @@ class SegmentStore:
         entries = sorted(
             manifest["segments"], key=lambda e: e["generation"], reverse=True
         )
-        return _dedup_newest_wins(self._segment_parts(e) for e in entries)
+        merged = _dedup_newest_wins(self._segment_parts(e) for e in entries)
+        return _drop_tombstones(merged)
+
+    def logical_parts(self) -> dict[bytes, tuple[str, str, str, str]]:
+        """The store's merged logical content: newest-wins across the
+        generation stack, tombstoned keys dropped, keyed by SPO key bytes.
+        This is what an incremental build diffs a freshly rebuilt KB
+        against to derive the next delta's adds and tombstones."""
+        with self._lock:
+            return self._logical_parts(self._manifest())
 
     # -------------------------------------------------------------- writes
 
-    def flush(self, triples: Iterable[Triple]) -> Optional[str]:
-        """Write one new segment holding ``triples``; returns its name
-        (None for an empty batch).  The manifest's logical count and
-        epoch are recomputed over the merged, newest-wins content."""
+    def flush(
+        self,
+        triples: Iterable[Triple],
+        tombstones: Iterable[tuple[str, str, str]] = (),
+    ) -> Optional[str]:
+        """Write one new segment holding ``triples`` plus retraction
+        ``tombstones``; returns its name (None for an empty batch).
+
+        A tombstone is the canonical (subject, predicate, object) text
+        triple of the key to retract (:func:`spo_texts`); it shadows every
+        older generation's record for that key and is erased for good at
+        :meth:`compact`.  The manifest's logical count and epoch are
+        recomputed over the merged, newest-wins, tombstone-filtered
+        content.
+        """
         parts = [record_fields(t) for t in triples]
-        if not parts:
+        dead = [tombstone_fields(*key) for key in tombstones]
+        if not parts and not dead:
             return None
+        live_keys = {spo_key_bytes(fields) for fields in parts}
+        for fields in dead:
+            if spo_key_bytes(fields) in live_keys:
+                raise ValueError(
+                    f"key is both added and tombstoned in one flush: "
+                    f"{fields[:3]!r}"
+                )
         with self._lock:
+            if self._closed:
+                raise ValueError("SegmentStore is closed")
             manifest = self._manifest()
             generation = max(
                 (e["generation"] for e in manifest["segments"]), default=-1
             ) + 1
             name = f"seg-{generation:06d}"
-            deduped = _dedup_newest_wins([parts])
+            deduped = _dedup_newest_wins([parts + dead])
             entry = _write_segment_files(
                 self.directory, name, [deduped[k] for k in sorted(deduped)]
             )
@@ -737,44 +850,97 @@ class SegmentStore:
             self.compact_async()
         return name
 
+    #: The canonical segment name compaction folds the stack into.
+    _CANONICAL = "seg-000000"
+
     def compact(self) -> Optional[str]:
-        """Fold every live segment into one; returns the new segment name
-        (None when there is nothing to fold).  Logical content — and
-        therefore the epoch — is unchanged; replaced files are unlinked,
-        which existing snapshots survive (their mmaps stay valid)."""
+        """Fold every live segment into the canonical single-segment form:
+        generation 0, tombstones (and everything they shadowed) erased.
+
+        Logical content — and therefore the epoch — is unchanged, and the
+        resulting directory is byte-identical to :func:`write_segments` of
+        the same content, which is what lets the determinism harness diff
+        an incrementally grown KB against a full rebuild file for file.
+        Returns the canonical segment name (None when the directory is
+        already canonical or empty).  Replaced files are swapped atomically
+        and stale ones unlinked, which existing snapshots survive (their
+        mmaps stay valid).  A compaction already scheduled when
+        :meth:`close` runs still completes — close joins it — but close
+        refuses to *schedule* new ones (see :meth:`compact_async`)."""
         with self._lock:
             manifest = self._manifest()
             old_entries = manifest["segments"]
-            if len(old_entries) <= 1:
+            if not old_entries:
+                return None
+            if (
+                len(old_entries) == 1
+                and old_entries[0]["name"] == self._CANONICAL
+                and not old_entries[0].get("tombstones")
+            ):
                 return None
             if _obs.ENABLED:
                 _obs.count("kb.segments.compact")
             logical = self._logical_parts(manifest)
-            generation = max(e["generation"] for e in old_entries) + 1
-            name = f"seg-{generation:06d}"
             entry = _write_segment_files(
-                self.directory, name, [logical[k] for k in sorted(logical)]
+                self.directory,
+                self._CANONICAL,
+                [logical[k] for k in sorted(logical)],
             )
-            manifest["segments"] = [entry]
-            manifest["triples"] = len(logical)
-            manifest["epoch"] = _logical_epoch(logical)
+            manifest = {
+                "format_version": FORMAT_VERSION,
+                "epoch": _logical_epoch(logical),
+                "triples": len(logical),
+                "segments": [entry],
+            }
             _write_manifest(self.directory, manifest)
             for old in old_entries:
+                if old["name"] == self._CANONICAL:
+                    continue    # its files were just atomically replaced
                 for suffix in ORDERS + ("blooms",):
                     path = os.path.join(self.directory, f"{old['name']}.{suffix}")
                     if os.path.exists(path):
                         os.unlink(path)
-            return name
+            return self._CANONICAL
 
-    def compact_async(self) -> threading.Thread:
-        """Kick off (or join into) a background compaction."""
-        if self._compactor is not None and self._compactor.is_alive():
-            return self._compactor
-        thread = threading.Thread(
-            target=self.compact, name="segment-compactor", daemon=True
-        )
-        self._compactor = thread
-        thread.start()
+    def _compact_worker(self) -> None:
+        """Compactor thread body: compact, then retire *under the lock*.
+
+        A flush that crossed the threshold while we were compacting set
+        ``_recompact`` instead of spawning a second thread; the flag is
+        consumed here before retiring, so its request cannot be lost in
+        the window between our last fold and our exit.  ``close()`` joins
+        this drain in full: only *new* scheduling is refused after close,
+        a compaction a pre-close flush already asked for still runs."""
+        while True:
+            self.compact()
+            with self._lock:
+                if not self._recompact:
+                    self._compactor = None
+                    return
+                self._recompact = False
+
+    def compact_async(self) -> Optional[threading.Thread]:
+        """Kick off (or join into) a background compaction.
+
+        The check-then-spawn runs under the store lock, so two racing
+        ``flush()`` calls that both cross the threshold agree on one
+        compactor thread instead of spawning two; if the live compactor
+        is already past their flush it re-runs once more before retiring.
+        After :meth:`close` this is a no-op (returns None): close is
+        final, and a flush racing with it must not leave a daemon thread
+        writing into a directory the caller believes quiesced."""
+        with self._lock:
+            if self._closed:
+                return None
+            if self._compactor is not None and self._compactor.is_alive():
+                self._recompact = True
+                return self._compactor
+            thread = threading.Thread(
+                target=self._compact_worker, name="segment-compactor",
+                daemon=True,
+            )
+            self._compactor = thread
+            thread.start()
         return thread
 
     def snapshot(self) -> SegmentSnapshot:
@@ -782,10 +948,14 @@ class SegmentStore:
         return SegmentSnapshot(self.directory)
 
     def close(self) -> None:
-        """Wait for any in-flight background compaction."""
-        if self._compactor is not None:
-            self._compactor.join()
-            self._compactor = None
+        """Make the store final: no further flushes or compactions can be
+        scheduled, and any in-flight background compaction is joined."""
+        with self._lock:
+            self._closed = True
+            compactor, self._compactor = self._compactor, None
+        # Join outside the lock: the compactor itself takes the store lock.
+        if compactor is not None:
+            compactor.join()
 
     def __repr__(self) -> str:
         return f"SegmentStore(dir={self.directory!r})"

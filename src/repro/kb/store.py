@@ -205,12 +205,21 @@ class TripleStore:
         return True
 
     def merge(self, other: "TripleStore") -> MutationCounts:
-        """Add all of ``other``'s triples into this store.
+        """Add all of ``other``'s triples into this store, in canonical
+        (s, p, o) key order.
 
-        Same contract as :meth:`add_all`: int value = new triples,
+        Insertion order decides index-bucket iteration order, which feeds
+        KB output — so merging must not depend on the other store's
+        insertion *history* (the ``candidates_to_store`` contract: a delta
+        store assembled in any order merges identically).  Same result
+        contract as :meth:`add_all`: int value = new triples,
         ``.replaced`` = witness replacements, ``.changed`` = both.
         """
-        return self.add_all(other)
+        from ..determinism.stable import stable_str_key
+
+        return self.add_all(
+            sorted(other, key=lambda triple: stable_str_key(triple.spo()))
+        )
 
     # ------------------------------------------------------------------- read
 

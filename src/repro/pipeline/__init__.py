@@ -1,5 +1,14 @@
 """End-to-end knowledge-base construction."""
 
 from .builder import BuildConfig, BuildReport, KnowledgeBaseBuilder, emit_segments
+from .incremental import IncrementalBuilder, IngestReport, attach_posts
 
-__all__ = ["BuildConfig", "BuildReport", "KnowledgeBaseBuilder", "emit_segments"]
+__all__ = [
+    "BuildConfig",
+    "BuildReport",
+    "IncrementalBuilder",
+    "IngestReport",
+    "KnowledgeBaseBuilder",
+    "attach_posts",
+    "emit_segments",
+]

@@ -211,10 +211,17 @@ class KnowledgeBaseBuilder:
         wiki: Wiki,
         aliases: Optional[dict[Entity, list[str]]] = None,
         config: Optional[BuildConfig] = None,
+        component_cache=None,
     ) -> None:
         self.wiki = wiki
         self.aliases = aliases
         self.config = config if config is not None else BuildConfig()
+        # Optional repro.reasoning.decompose.ComponentCache: consistency
+        # components whose content is unchanged replay their stored MaxSat
+        # outcome instead of re-solving (the incremental build's
+        # component-scoped re-reasoning).  Stays in the parent process —
+        # never shipped to extraction workers.
+        self.component_cache = component_cache
         self.resolver = _build_resolver(wiki, aliases)
         self._extractor = PageExtractor(self.resolver, self.config)
         self._gazetteer = self._extractor.gazetteer
@@ -225,8 +232,17 @@ class KnowledgeBaseBuilder:
         """All fact candidates one page contributes (the map function)."""
         return self._extractor.extract(page)
 
-    def build(self) -> tuple[TripleStore, BuildReport]:
-        """Run the full pipeline; returns (knowledge base, report)."""
+    def build(
+        self, candidates: Optional[list[Candidate]] = None
+    ) -> tuple[TripleStore, BuildReport]:
+        """Run the full pipeline; returns (knowledge base, report).
+
+        ``candidates`` injects a pre-computed extraction-stage result (the
+        incremental build's mix of cached and re-extracted page
+        candidates); the extraction stage is skipped and every later stage
+        runs unchanged, so the output is the same function of (wiki,
+        candidates) either way.
+        """
         report = BuildReport(pages=len(self.wiki.pages))
         report.sentences = sum(
             len(p.document.sentences) for p in self.wiki.pages.values()
@@ -250,7 +266,9 @@ class KnowledgeBaseBuilder:
         report.workers = backend.workers
         report.schedule = self.config.schedule
         try:
-            return self._build_with(backend, reasoner_backend, report)
+            return self._build_with(
+                backend, reasoner_backend, report, candidates
+            )
         finally:
             backend.close()
             if reasoner_backend is not backend:
@@ -261,6 +279,7 @@ class KnowledgeBaseBuilder:
         backend: ExecutionBackend,
         reasoner_backend: ExecutionBackend,
         report: BuildReport,
+        candidates: Optional[list[Candidate]] = None,
     ) -> tuple[TripleStore, BuildReport]:
         with _obs.span("pipeline.build") as building:
             building.add("pages", report.pages)
@@ -280,7 +299,9 @@ class KnowledgeBaseBuilder:
             #    either way fanned out across the configured backend.
             with _obs.span("pipeline.extract") as tracing:
                 tracing.add("workers", backend.workers)
-                if self.config.mapreduce_shards:
+                if candidates is not None:
+                    pass  # injected by an incremental build
+                elif self.config.mapreduce_shards:
                     candidates, stats = self._extract_mapreduce(backend)
                     report.mapreduce = stats
                 else:
@@ -328,6 +349,7 @@ class KnowledgeBaseBuilder:
                         workers=self.config.reasoner_workers,
                         backend=reasoner_backend,
                         schedule=self.config.schedule,
+                        component_cache=self.component_cache,
                     )
                     fact_store, report.consistency = reasoner.clean(fact_store)
                     tracing.add("accepted", report.consistency.accepted)

@@ -9,7 +9,13 @@ from .factorgraph import (
     is_true,
     not_both,
 )
-from .decompose import Component, Decomposition, decompose, solve_decomposed
+from .decompose import (
+    Component,
+    ComponentCache,
+    Decomposition,
+    decompose,
+    solve_decomposed,
+)
 from .maxsat import HARD, Clause, MaxSatResult, WeightedMaxSat
 from .rules import Atom, GroundRule, Rule, apply_rules, ground_rule, ground_rules
 from .mln import MarkovLogicNetwork, confidence_to_weight
@@ -27,6 +33,7 @@ __all__ = [
     "HARD",
     "Clause",
     "Component",
+    "ComponentCache",
     "Decomposition",
     "MaxSatResult",
     "WeightedMaxSat",

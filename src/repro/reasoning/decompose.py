@@ -164,6 +164,69 @@ def decompose(problem: WeightedMaxSat) -> Decomposition:
 
 # ------------------------------------------------------- component solving
 
+
+class ComponentCache:
+    """A content-addressed cache of per-component solve outcomes.
+
+    Because a component's seed, flip budget, and clause payload derive
+    from its *content* only, identical content solves to an identical
+    outcome in every process — so an incremental re-reasoning pass can
+    skip every component the new candidates did not touch and replay the
+    stored outcome bit for bit.  Keys hash the full work order (canonical
+    key, clause payload, seed, budget, restarts, noise); values store the
+    assignment as a boolean vector aligned with the component's canonical
+    variable order plus the exact soft/hard/flips numbers, which makes the
+    cache JSON-serializable (floats round-trip exactly through ``repr``).
+    """
+
+    __slots__ = ("entries", "hits", "misses")
+
+    def __init__(self, entries: Optional[dict[str, dict]] = None) -> None:
+        self.entries = entries if entries is not None else {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def task_key(task: "_ComponentTask") -> str:
+        """The content hash of one component work order (hex)."""
+        return f"{stable_hash(repr(task)):016x}"
+
+    def lookup(
+        self, task: "_ComponentTask", component: Component
+    ) -> Optional["_ComponentOutcome"]:
+        """The stored outcome for a work order, rebuilt against the
+        current component's variables — or None on a miss."""
+        entry = self.entries.get(self.task_key(task))
+        if entry is None or len(entry["assignment"]) != len(component.variables):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return (
+            component.key,
+            dict(zip(component.variables, entry["assignment"])),
+            entry["soft"],
+            entry["hard"],
+            entry["flips"],
+        )
+
+    def store(
+        self,
+        task: "_ComponentTask",
+        component: Component,
+        outcome: "_ComponentOutcome",
+    ) -> None:
+        """Record one solved component's outcome."""
+        __, assignment, soft, hard, flips = outcome
+        self.entries[self.task_key(task)] = {
+            "assignment": [
+                bool(assignment[variable]) for variable in component.variables
+            ],
+            "soft": soft,
+            "hard": hard,
+            "flips": flips,
+        }
+
+
 #: One component's picklable work order: (canonical key, clause payloads,
 #: seed, max_flips, restarts, noise).
 _ComponentTask = tuple
@@ -219,6 +282,7 @@ def solve_decomposed(
     backend: Union[str, ExecutionBackend, None] = "auto",
     workers: int = 0,
     schedule: str = "static",
+    cache: Optional[ComponentCache] = None,
 ) -> MaxSatResult:
     """Solve ``problem`` component by component; optionally in parallel.
 
@@ -229,6 +293,13 @@ def solve_decomposed(
     costs/assignments merge in sorted-canonical-key order.  Passing a
     resolved :class:`ExecutionBackend` reuses its (persistent) pool; a
     string spec resolves — and closes — a backend per call.
+
+    With a :class:`ComponentCache`, components whose content-derived work
+    order is already cached replay their stored outcome instead of
+    searching (the incremental build's component-scoped re-reasoning);
+    freshly solved components are stored back.  Cached or not, outcomes
+    merge in the same canonical component order, so the result is
+    byte-identical to an uncached solve.
     """
     if decomposition is None:
         with _obs.span("maxsat.decompose"):
@@ -255,15 +326,33 @@ def solve_decomposed(
         for component in components
     ]
 
+    # Split off cache replays: the cached positions are satisfied from the
+    # stored outcomes, only the remainder goes to the solver fleet.
+    outcome_at: dict[int, _ComponentOutcome] = {}
+    pending: list[tuple[int, _ComponentTask]] = []
+    if cache is not None:
+        for position, task in enumerate(tasks):
+            hit = cache.lookup(task, components[position])
+            if hit is not None:
+                outcome_at[position] = hit
+            else:
+                pending.append((position, task))
+        if _obs.ENABLED:
+            _obs.count("maxsat.cache.hits", len(outcome_at))
+            _obs.count("maxsat.cache.misses", len(pending))
+    else:
+        pending = list(enumerate(tasks))
+
+    pending_tasks = [task for __, task in pending]
     executor = get_backend(backend, workers)
     owns_executor = not isinstance(backend, ExecutionBackend)
     try:
-        if executor.workers <= 1 or len(tasks) <= 1:
-            batches = [_solve_component_batch(tasks)] if tasks else []
+        if executor.workers <= 1 or len(pending_tasks) <= 1:
+            batches = [_solve_component_batch(pending_tasks)] if pending_tasks else []
         else:
             batches = executor.map(
                 _solve_component_batch,
-                chunked(tasks, executor.workers * 4),
+                chunked(pending_tasks, executor.workers * 4),
                 schedule=schedule,
                 cost_key=_batch_clause_cost,
             )
@@ -271,19 +360,26 @@ def solve_decomposed(
         if owns_executor:
             executor.close()
 
+    solved = [outcome for batch in batches for outcome in batch]
+    for (position, task), outcome in zip(pending, solved):
+        outcome_at[position] = outcome
+        if cache is not None:
+            cache.store(task, components[position], outcome)
+
     assignment: dict[Hashable, bool] = {}
     soft_cost = 0.0
     hard_violations = 0
     flips = 0
-    # Components arrive already in sorted-key order (tasks were built from
-    # the sorted component list and backends preserve task order), so this
-    # float accumulation order is canonical for every backend.
-    for batch in batches:
-        for __, component_assignment, soft, hard, component_flips in batch:
-            assignment.update(component_assignment)
-            soft_cost += soft
-            hard_violations += hard
-            flips += component_flips
+    # Outcomes merge in sorted-component-key order (the order the tasks
+    # were built in), whether they were freshly solved or replayed from
+    # the cache, so this float accumulation order is canonical for every
+    # backend and every cache state.
+    for position in range(len(components)):
+        __, component_assignment, soft, hard, component_flips = outcome_at[position]
+        assignment.update(component_assignment)
+        soft_cost += soft
+        hard_violations += hard
+        flips += component_flips
     for variable in sorted(decomposition.trivial, key=stable_str_key):
         assignment[variable] = decomposition.trivial[variable]
     return MaxSatResult(assignment, soft_cost, hard_violations, flips)

@@ -8,6 +8,7 @@ semantics, compaction, and the directory differ that
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -33,6 +34,7 @@ from repro.kb.segments import (
     _record_bytes,
     record_fields,
     spo_key_bytes,
+    spo_texts,
 )
 
 A, B, C, D = (Entity(f"w:{x}") for x in "abcd")
@@ -283,3 +285,158 @@ class TestLSMStack:
         with open_snapshot(directory) as snap:
             assert len(snap) == 1
             assert snap.epoch == smaller.epoch
+
+
+class TestTombstones:
+    def test_tombstone_shadows_and_compaction_erases(self, tmp_path, store):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        triples = sorted(store, key=repr)
+        seg.flush(triples)
+        victim = triples[0]
+        seg.flush([], tombstones=[spo_texts(victim)])
+        with open_snapshot(seg.directory) as snap:
+            assert len(snap) == len(triples) - 1
+            assert snap.get(victim.subject, victim.predicate, victim.object) is None
+            survivors = TripleStore(triples[1:])
+            assert snap.epoch == survivors.epoch
+        manifest = json.load(open(os.path.join(seg.directory, "MANIFEST.json")))
+        assert sum(e.get("tombstones", 0) for e in manifest["segments"]) == 1
+        seg.compact()
+        manifest = json.load(open(os.path.join(seg.directory, "MANIFEST.json")))
+        assert [e["name"] for e in manifest["segments"]] == ["seg-000000"]
+        assert all(not e.get("tombstones") for e in manifest["segments"])
+        with open_snapshot(seg.directory) as snap:
+            assert len(snap) == len(triples) - 1
+            assert snap.get(victim.subject, victim.predicate, victim.object) is None
+        seg.close()
+
+    def test_tombstone_beats_resurrection_in_older_generation(self, tmp_path):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        seg.flush([Triple(A, KNOWS, B), Triple(A, KNOWS, C)])
+        seg.flush([], tombstones=[spo_texts(Triple(A, KNOWS, B))])
+        # The single-segment fast path must also drop tombstoned keys.
+        with open_snapshot(seg.directory) as snap:
+            assert [t.object for t in snap.match(subject=A)] == [C]
+        seg.close()
+
+    def test_compacted_equals_write_segments(self, tmp_path, store):
+        triples = sorted(store, key=repr)
+        grown = str(tmp_path / "grown")
+        seg = SegmentStore(grown, compact_threshold=100)
+        seg.flush(triples)
+        seg.flush(
+            [Triple(A, KNOWS, B, confidence=0.9)],
+            tombstones=[spo_texts(triples[-1])],
+        )
+        seg.compact()
+        seg.close()
+        expected = TripleStore(
+            [t for t in triples[:-1] if t.spo() != (A, KNOWS, B)]
+            + [Triple(A, KNOWS, B, confidence=0.9)]
+        )
+        oneshot = str(tmp_path / "oneshot")
+        write_segments(expected, oneshot)
+        assert diff_segment_dirs(grown, oneshot) == []
+
+    def test_same_key_add_and_tombstone_rejected(self, tmp_path):
+        seg = SegmentStore(str(tmp_path / "lsm"))
+        victim = Triple(A, KNOWS, B)
+        with pytest.raises(ValueError, match="both added and tombstoned"):
+            seg.flush([victim], tombstones=[spo_texts(victim)])
+        seg.close()
+
+    def test_snapshot_survives_tombstone_dropping_compaction(
+        self, tmp_path, store
+    ):
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=100)
+        triples = sorted(store, key=repr)
+        seg.flush(triples)
+        pinned = seg.snapshot()
+        seg.flush([], tombstones=[spo_texts(triples[0])])
+        seg.compact()  # rewrites seg-000000 under the pinned mmaps
+        # The pinned snapshot still reads its own generation's bytes:
+        # full pre-retraction content, unchanged epoch.
+        assert len(pinned) == len(triples)
+        assert sorted(map(repr, pinned)) == sorted(map(repr, triples))
+        assert pinned.epoch == store.epoch
+        with open_snapshot(seg.directory) as fresh:
+            assert len(fresh) == len(triples) - 1
+        pinned.close()
+        seg.close()
+
+
+class TestWriterRaces:
+    def test_concurrent_flushes_spawn_one_compactor(self, tmp_path):
+        # The regression: two flushes racing past the threshold both saw
+        # a dead compactor and spawned two threads compacting at once.
+        # Instrument compact() entry to measure the worst-case overlap.
+        seg = SegmentStore(str(tmp_path / "lsm"), compact_threshold=2)
+        gauge = {"now": 0, "max": 0}
+        gauge_lock = threading.Lock()
+        original_compact = seg.compact
+
+        def tracked_compact():
+            with gauge_lock:
+                gauge["now"] += 1
+                gauge["max"] = max(gauge["max"], gauge["now"])
+            try:
+                return original_compact()
+            finally:
+                with gauge_lock:
+                    gauge["now"] -= 1
+
+        seg.compact = tracked_compact
+        errors = []
+
+        def writer(index):
+            try:
+                for j in range(6):
+                    seg.flush([Triple(A, KNOWS, Entity(f"w:t{index}-{j}"))])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        seg.close()
+        assert not errors
+        assert gauge["max"] <= 1
+        with open_snapshot(seg.directory) as snap:
+            assert len(snap) == 24
+
+    def test_close_is_final(self, tmp_path, store):
+        seg = SegmentStore(str(tmp_path / "lsm"))
+        seg.flush(sorted(store, key=repr))
+        seg.close()
+        with pytest.raises(ValueError, match="closed"):
+            seg.flush([Triple(A, KNOWS, D)])
+        assert seg.compact_async() is None
+        # Idempotent close; content unchanged.
+        seg.close()
+        with open_snapshot(seg.directory) as snap:
+            assert snap.epoch == store.epoch
+
+    def test_close_joins_pending_recompaction(self, tmp_path, store):
+        # A flush racing with close may have asked for one more
+        # compaction pass; close must drain it, leaving one canonical
+        # segment and no live compactor thread.
+        for attempt in range(5):
+            directory = str(tmp_path / f"lsm{attempt}")
+            seg = SegmentStore(directory, compact_threshold=1)
+            for triple in sorted(store, key=repr):
+                seg.flush([triple])
+            compactor = seg._compactor
+            seg.close()
+            assert compactor is None or not compactor.is_alive()
+            names = {
+                n.split(".")[0]
+                for n in os.listdir(directory)
+                if n.startswith("seg-")
+            }
+            assert names == {"seg-000000"}
+            with open_snapshot(directory) as snap:
+                assert snap.epoch == store.epoch

@@ -53,6 +53,28 @@ class TestAddRemove:
         assert added == 1
         assert len(store) == 5
 
+    def test_merge_is_insertion_order_independent(self):
+        # Regression: merge() used to walk the source store in insertion
+        # order, so two stores holding the same triples could merge into
+        # different iteration orders downstream.
+        triples = [
+            Triple(A, KNOWS, B, confidence=0.4),
+            Triple(C, LIKES, A),
+            Triple(B, KNOWS, C, source="wiki:b"),
+            Triple(A, LIKES, C),
+            Triple(B, LIKES, A),
+        ]
+        forward, backward = TripleStore(), TripleStore()
+        for t in triples:
+            forward.add(t)
+        for t in reversed(triples):
+            backward.add(t)
+
+        merged_f, merged_b = TripleStore(), TripleStore()
+        merged_f.merge(forward)
+        merged_b.merge(backward)
+        assert [repr(t) for t in merged_f] == [repr(t) for t in merged_b]
+
 
 class TestVersionCounter:
     def test_starts_at_zero_and_counts_seed_triples(self, store):

@@ -17,6 +17,7 @@ from repro.determinism import canonical_kb_text
 from repro.extraction.consistency import ConsistencyReasoner
 from repro.reasoning import (
     HARD,
+    ComponentCache,
     WeightedMaxSat,
     decompose,
     solve_decomposed,
@@ -128,6 +129,43 @@ class TestSolveDecomposed:
         assert result.assignment == {}
         assert result.soft_cost == 0.0
         assert result.hard_violations == 0
+
+    def test_component_cache_replays_outcomes_bit_for_bit(self):
+        uncached = solve_decomposed(_two_component_problem(), seed=3)
+        cache = ComponentCache()
+        cold = solve_decomposed(_two_component_problem(), seed=3, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        warm = solve_decomposed(_two_component_problem(), seed=3, cache=cache)
+        # Second pass: every non-trivial component replays from the cache.
+        assert cache.hits == 2 and cache.misses == 2
+        for result in (cold, warm):
+            assert result.assignment == uncached.assignment
+            assert repr(result.soft_cost) == repr(uncached.soft_cost)
+            assert result.hard_violations == uncached.hard_violations
+
+    def test_component_cache_entries_round_trip_through_json(self):
+        import json as _json
+
+        cache = ComponentCache()
+        solve_decomposed(_two_component_problem(), seed=3, cache=cache)
+        revived = ComponentCache(
+            _json.loads(_json.dumps(cache.entries))
+        )
+        replay = solve_decomposed(
+            _two_component_problem(), seed=3, cache=revived
+        )
+        assert revived.hits == 2 and revived.misses == 0
+        baseline = solve_decomposed(_two_component_problem(), seed=3)
+        assert replay.assignment == baseline.assignment
+        assert repr(replay.soft_cost) == repr(baseline.soft_cost)
+
+    def test_component_cache_ignores_mismatched_content(self):
+        cache = ComponentCache()
+        solve_decomposed(_two_component_problem(), seed=3, cache=cache)
+        # A different seed changes every work order: all misses again.
+        solve_decomposed(_two_component_problem(), seed=4, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 4
 
     @pytest.mark.parametrize("backend,workers", [
         ("serial", 0), ("thread", 2), ("process", 2),
