@@ -47,8 +47,10 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from typing import Callable, Optional, Sequence, TypeVar, Union
 
+from .costs import CostModel
 from ..obs import core as _obs
 
 T = TypeVar("T")
@@ -86,6 +88,8 @@ def _dispatch_order(
     tasks: Sequence[T],
     schedule: str,
     cost_key: Optional[Callable[[T], float]],
+    cost_model: Optional[CostModel] = None,
+    task_key: Optional[Callable[[T], str]] = None,
 ) -> list[tuple[int, T]]:
     """The (index, task) dispatch sequence for one ``map`` call.
 
@@ -94,15 +98,51 @@ def _dispatch_order(
     claimed by the first free worker; ties break on the task index, which
     keeps the dispatch order — and therefore any in-worker side effects —
     deterministic for a given cost key.
+
+    When a warm :class:`~repro.bigdata.costs.CostModel` covers every task
+    in the call (keyed by ``task_key``), its measured wall-clock seconds
+    replace the static ``cost_key`` proxy — replay is all-or-nothing
+    because the two scales are incomparable.  Either way results are
+    re-ordered by task index downstream, so the choice of estimator can
+    never change output bytes, only queue order.
     """
     if schedule not in SCHEDULE_NAMES:
         raise ValueError(
             f"unknown schedule {schedule!r} (expected one of {SCHEDULE_NAMES})"
         )
     indexed = list(enumerate(tasks))
-    if schedule == "steal" and cost_key is not None:
-        indexed.sort(key=lambda pair: (-cost_key(pair[1]), pair[0]))
+    if schedule == "steal":
+        costs: Optional[list[float]] = None
+        if cost_model is not None and task_key is not None:
+            measured = cost_model.estimates_for([task_key(t) for t in tasks])
+            if measured is not None:
+                costs = [measured[task_key(t)] for t in tasks]
+                if _obs.ENABLED:
+                    _obs.count("backend.costs.replayed_calls")
+        if costs is None and cost_key is not None:
+            costs = [cost_key(t) for t in tasks]
+        if costs is not None:
+            indexed.sort(key=lambda pair: (-costs[pair[0]], pair[0]))
     return indexed
+
+
+def _record_costs(
+    cost_model: Optional[CostModel],
+    task_key: Optional[Callable[[T], str]],
+    tasks: Sequence[T],
+    outcomes,
+) -> None:
+    """Fold measured per-task wall seconds back into the cost model.
+
+    Outcomes are visited in task-index order so repeated keys fold their
+    EWMA deterministically however the pool finished the tasks.
+    """
+    if cost_model is None or task_key is None:
+        return
+    for outcome in sorted(outcomes, key=lambda o: o[0]):
+        cost_model.record(task_key(tasks[outcome[0]]), outcome[3])
+    if _obs.ENABLED:
+        _obs.count("backend.costs.recorded", len(outcomes))
 
 
 class ExecutionBackend:
@@ -123,6 +163,8 @@ class ExecutionBackend:
         initargs: tuple = (),
         schedule: str = "static",
         cost_key: Optional[Callable[[T], float]] = None,
+        cost_model: Optional[CostModel] = None,
+        task_key: Optional[Callable[[T], str]] = None,
     ) -> list[R]:
         """Execute ``fn`` on every task; results in task order.
 
@@ -132,6 +174,10 @@ class ExecutionBackend:
         list.  ``schedule`` picks the dispatch order ("static" =
         task-index order, "steal" = largest ``cost_key`` first from the
         shared queue); the returned list is index-ordered either way.
+        ``cost_model`` + ``task_key`` opt into measured-cost scheduling:
+        every task's wall seconds are recorded under ``task_key(task)``,
+        and a steal-scheduled call whose tasks are all known replays the
+        measurements instead of the static ``cost_key`` proxy.
         """
         raise NotImplementedError
 
@@ -172,7 +218,8 @@ def _combine_snapshots(worker: str, snaps: list[dict]) -> dict:
 
 
 def _collect(outcomes) -> list:
-    """Order (index, result, snapshot) outcomes and merge telemetry.
+    """Order (index, result, snapshot, elapsed) outcomes and merge
+    telemetry.
 
     Results return in task-index order — deterministic however the pool
     scheduled the work.  Snapshots are grouped by the worker that
@@ -183,7 +230,7 @@ def _collect(outcomes) -> list:
     """
     results = []
     snaps_by_worker: dict[str, list[dict]] = {}
-    for __, result, snap in sorted(outcomes, key=lambda outcome: outcome[0]):
+    for __, result, snap, ___ in sorted(outcomes, key=lambda outcome: outcome[0]):
         if snap is not None:
             snaps_by_worker.setdefault(snap["worker"], []).append(snap)
         results.append(result)
@@ -209,17 +256,25 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, fn, tasks, *, initializer=None, initargs=(),
-            schedule="static", cost_key=None):
-        order = _dispatch_order(tasks, schedule, cost_key)
+            schedule="static", cost_key=None, cost_model=None, task_key=None):
+        tasks = list(tasks)
+        order = _dispatch_order(tasks, schedule, cost_key, cost_model, task_key)
         if not order:
             return []
         if _obs.ENABLED:
             _obs.count("backend.tasks_dispatched", len(order))
         if initializer is not None:
             initializer(*initargs)
-        outcomes = [(index, fn(task)) for index, task in order]
+        measure = cost_model is not None and task_key is not None
+        outcomes = []
+        for index, task in order:
+            started = time.perf_counter() if measure else 0.0
+            result = fn(task)
+            elapsed = time.perf_counter() - started if measure else 0.0
+            outcomes.append((index, result, None, elapsed))
+        _record_costs(cost_model, task_key, tasks, outcomes)
         outcomes.sort(key=lambda outcome: outcome[0])
-        return [result for __, result in outcomes]
+        return [result for __, result, ___, ____ in outcomes]
 
 
 class ThreadBackend(ExecutionBackend):
@@ -252,8 +307,9 @@ class ThreadBackend(ExecutionBackend):
         return self._pool
 
     def map(self, fn, tasks, *, initializer=None, initargs=(),
-            schedule="static", cost_key=None):
-        order = _dispatch_order(tasks, schedule, cost_key)
+            schedule="static", cost_key=None, cost_model=None, task_key=None):
+        tasks = list(tasks)
+        order = _dispatch_order(tasks, schedule, cost_key, cost_model, task_key)
         if not order:
             return []
         if _obs.ENABLED:
@@ -268,13 +324,19 @@ class ThreadBackend(ExecutionBackend):
             if initializer is not None and not getattr(call_state, "ready", False):
                 initializer(*initargs)
                 call_state.ready = True
+            started = time.perf_counter()
             result = fn(task)
+            elapsed = time.perf_counter() - started
             snap = _obs.snapshot(reset=True) if capture else None
-            return index, result, snap
+            return index, result, snap, elapsed
 
         pool = self._ensure_pool()
+        started = time.perf_counter()
         futures = [pool.submit(run_one, pair) for pair in order]
         outcomes = [future.result() for future in futures]
+        if capture:
+            _obs.observe("backend.map.elapsed_s", time.perf_counter() - started)
+        _record_costs(cost_model, task_key, tasks, outcomes)
         return _collect(outcomes)
 
     def close(self) -> None:
@@ -336,9 +398,11 @@ def _pool_run_task(payload):
             f"worker missed the setup broadcast for call {call_id} "
             f"(has {_POOL_CALL_ID})"
         )
+    started = time.perf_counter()
     result = _POOL_FN(task)
+    elapsed = time.perf_counter() - started
     snap = _obs.snapshot(reset=True) if _obs.ENABLED else None
-    return index, result, snap
+    return index, result, snap, elapsed
 
 
 class ProcessBackend(ExecutionBackend):
@@ -363,6 +427,10 @@ class ProcessBackend(ExecutionBackend):
             raise ValueError("workers must be at least 1")
         self.spinups = 0
         self.reuses = 0
+        #: Transport cost of the last ``map`` call's setup broadcast:
+        #: bytes pickled per worker, and the broadcast's wall time.
+        self.init_payload_bytes = 0
+        self.init_elapsed_s = 0.0
         self._pool = None
         self._barrier = None
         self._call_id = 0
@@ -388,25 +456,37 @@ class ProcessBackend(ExecutionBackend):
         return self._pool
 
     def map(self, fn, tasks, *, initializer=None, initargs=(),
-            schedule="static", cost_key=None):
-        order = _dispatch_order(tasks, schedule, cost_key)
+            schedule="static", cost_key=None, cost_model=None, task_key=None):
+        tasks = list(tasks)
+        order = _dispatch_order(tasks, schedule, cost_key, cost_model, task_key)
         if not order:
             return []
         if _obs.ENABLED:
             _obs.count("backend.tasks_dispatched", len(order))
+        started = time.perf_counter()
         pool = self._ensure_pool()
         self._call_id += 1
         setup = pickle.dumps((fn, initializer, initargs, _obs.ENABLED))
+        # The transport cost the corpus file exists to shrink: every
+        # worker receives (and unpickles) this setup blob per call.
+        self.init_payload_bytes = len(setup)
         pool.map(
             _pool_install_call,
             [(self._call_id, setup)] * self.workers,
             chunksize=1,
         )
+        self.init_elapsed_s = time.perf_counter() - started
+        if _obs.ENABLED:
+            _obs.observe("backend.init.payload_bytes", len(setup))
+            _obs.observe("backend.init.elapsed_s", self.init_elapsed_s)
         payloads = [(self._call_id, index, task) for index, task in order]
         if schedule == "steal":
             outcomes = list(pool.imap_unordered(_pool_run_task, payloads, chunksize=1))
         else:
             outcomes = pool.map(_pool_run_task, payloads, chunksize=1)
+        if _obs.ENABLED:
+            _obs.observe("backend.map.elapsed_s", time.perf_counter() - started)
+        _record_costs(cost_model, task_key, tasks, outcomes)
         return _collect(outcomes)
 
     def close(self) -> None:
@@ -452,3 +532,42 @@ def get_backend(
     raise ValueError(
         f"unknown backend {name!r} (expected one of {BACKEND_NAMES} or 'auto')"
     )
+
+
+def advise_worker_count(workers: int, target: float = 0.75) -> Optional[dict]:
+    """Utilization-driven worker-count advice from this build's telemetry.
+
+    Reads the parent-side histograms the backends maintain per ``map``
+    call — ``backend.worker.busy_s`` (summed worker busy time) and
+    ``backend.map.elapsed_s`` (per-call wall time) — and compares how
+    much worker capacity the build paid for against how much it used:
+    ``utilization = total_busy / (workers * total_wall)``.  The
+    recommendation sizes the pool so the same busy time would land near
+    ``target`` utilization, clamped to [1, cpu_count].  Returns None when
+    the build produced no multi-worker telemetry (serial build, tracing
+    disabled, or empty task lists).
+    """
+    import os
+
+    if workers <= 1:
+        return None
+    histograms = _obs.histograms()
+    busy = histograms.get("backend.worker.busy_s")
+    wall = histograms.get("backend.map.elapsed_s")
+    if busy is None or wall is None or not busy.values or not wall.values:
+        return None
+    total_busy = sum(busy.values)
+    total_wall = sum(wall.values)
+    if total_wall <= 0.0 or total_busy <= 0.0:
+        return None
+    utilization = total_busy / (workers * total_wall)
+    cpus = os.cpu_count() or 1
+    recommended = max(1, min(cpus, round(workers * utilization / target)))
+    return {
+        "workers": workers,
+        "utilization": utilization,
+        "busy_s": total_busy,
+        "wall_s": total_wall,
+        "recommended": recommended,
+        "cpus": cpus,
+    }

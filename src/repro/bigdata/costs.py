@@ -1,0 +1,201 @@
+"""Measured-cost scheduling: wall-clock task costs feeding steal dispatch.
+
+The work-stealing schedule (PR 5) orders the shared queue by a *static*
+cost proxy — sentence counts for page batches, record counts for shards.
+Proxies are free but wrong exactly when it matters: a short page with a
+pathological sentence, a component whose MaxSat instance blows up.  This
+module closes the loop the way a real cluster scheduler does: backends
+record the measured wall-clock seconds of every task they ran, keyed by a
+caller-provided stable task key, and the next ``map`` call whose tasks
+are *all* known replays those measurements as the cost key instead.
+
+Two properties keep this compatible with the byte-determinism contract:
+
+* Measured costs only ever change the **dispatch order** of a steal
+  schedule.  Results are reassembled in task-index order regardless
+  (:func:`repro.bigdata.backends._collect`), so byte-identity across
+  schedules — and across cold (static proxy) vs warm (measured) models —
+  holds by construction and is asserted by the cross-mode matrix.
+* Replay is all-or-nothing per call: measured seconds and proxy units are
+  incomparable scales, so a call mixes them never — tasks are ordered by
+  measurements only when every task in the call has one.
+
+The model is persistent in two senses: it outlives individual ``map``
+calls (the builder threads one instance through extraction, map-reduce
+map phases, and repeated incremental ingests) and it can optionally be
+saved to / loaded from a JSON file for reuse across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Optional, Sequence
+
+__all__ = ["CostModel", "batch_key", "make_batch_estimator", "split_dominant"]
+
+
+def batch_key(batch: Sequence) -> str:
+    """A stable identity for one contiguous task batch.
+
+    First element, last element, and length pin a contiguous slice of a
+    deterministic task order (``repr`` keeps it printable and stable for
+    strings and dataclasses alike) — enough to recognize "the same batch"
+    across map calls without hashing every member.
+    """
+    if not batch:
+        return "#0"
+    return f"{batch[0]!r}..{batch[-1]!r}#{len(batch)}"
+
+
+class CostModel:
+    """An exponentially-weighted map of task key -> measured seconds."""
+
+    __slots__ = ("path", "alpha", "recorded", "replayed", "_costs")
+
+    def __init__(self, path: Optional[str] = None, alpha: float = 0.5) -> None:
+        self.path = path
+        #: EWMA weight of the newest sample (1.0 = last-measurement-wins).
+        self.alpha = alpha
+        self.recorded = 0
+        self.replayed = 0
+        self._costs: dict[str, float] = {}
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            self._costs = {str(k): float(v) for k, v in payload["costs"].items()}
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    def record(self, key: str, seconds: float) -> None:
+        """Fold one measured task duration into the model."""
+        previous = self._costs.get(key)
+        if previous is None:
+            self._costs[key] = seconds
+        else:
+            self._costs[key] = self.alpha * seconds + (1 - self.alpha) * previous
+        self.recorded += 1
+
+    def estimate(self, key: str) -> Optional[float]:
+        """The measured estimate for ``key``, or None if never seen."""
+        return self._costs.get(key)
+
+    def estimates_for(self, keys: Sequence[str]) -> Optional[dict[str, float]]:
+        """Estimates for a whole call's task keys — all or nothing.
+
+        Returns None unless *every* key has a measurement: measured
+        seconds and static proxy units live on incomparable scales, so a
+        call either replays measurements for all tasks or none.
+        """
+        estimates: dict[str, float] = {}
+        for key in keys:
+            cost = self._costs.get(key)
+            if cost is None:
+                return None
+            estimates[key] = cost
+        self.replayed += 1
+        return estimates
+
+    def save(self, path: Optional[str] = None) -> None:
+        """Persist the model as canonical JSON (atomic replace)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path to save the cost model to")
+        blob = json.dumps(
+            {"costs": self._costs},
+            ensure_ascii=False,
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        tmp = target + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        os.replace(tmp, target)
+
+    def stats(self) -> dict:
+        """Counters for telemetry and tests."""
+        return {
+            "keys": len(self._costs),
+            "recorded": self.recorded,
+            "replayed": self.replayed,
+        }
+
+
+def make_batch_estimator(
+    cost_model: Optional["CostModel"],
+    batches: Sequence[Sequence],
+    static_cost: Optional[Callable[[Sequence], float]] = None,
+) -> Callable[[Sequence], float]:
+    """A per-batch cost estimator usable on arbitrary sub-batches.
+
+    Measured batch costs (when the model knows a batch) are preferred;
+    unknown batches — including the halves :func:`split_dominant`
+    creates, whose keys have never run — fall back to the static proxy
+    scaled into seconds with the mean measured cost per proxy unit, so
+    measured and fallback estimates stay on one comparable scale.  With
+    no model (or no measurements) this degrades to the static proxy
+    alone.
+    """
+    if static_cost is None:
+        static_cost = len
+    if cost_model is None or len(cost_model) == 0:
+        return lambda batch: float(static_cost(batch))
+    measured_seconds = 0.0
+    measured_units = 0.0
+    for batch in batches:
+        seconds = cost_model.estimate(batch_key(batch))
+        if seconds is not None:
+            measured_seconds += seconds
+            measured_units += float(static_cost(batch))
+    per_unit = (
+        measured_seconds / measured_units if measured_units > 0 else None
+    )
+
+    def estimate(batch: Sequence) -> float:
+        seconds = cost_model.estimate(batch_key(batch))
+        if seconds is not None:
+            return seconds
+        units = float(static_cost(batch))
+        return units * per_unit if per_unit is not None else units
+
+    return estimate
+
+
+def split_dominant(
+    batches: list[list],
+    estimate: Callable[[list], float],
+    factor: float = 2.0,
+) -> list[list]:
+    """Split dominant batches until none is estimated above ``factor``
+    times the mean.
+
+    A single straggler batch bounds the whole map call's wall clock: with
+    a 2x-the-mean batch on a 4-worker pool the other workers idle for the
+    straggler's second half.  Splitting it in two (contiguously, in
+    place) halves the tail while preserving the concatenation order of
+    results — which is what keeps the candidate stream, and therefore the
+    KB bytes, identical to the unsplit dispatch.
+
+    ``estimate`` maps a batch to a nonnegative cost (static proxy or
+    measured seconds; only ratios matter).  Deterministic: ties split the
+    lowest-index batch first.
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    batches = [list(batch) for batch in batches]
+    # Each pass splits one batch in two; a batch of one task can never
+    # split, so the loop is bounded by the total task count.
+    limit = sum(len(batch) for batch in batches)
+    for _ in range(limit):
+        costs = [estimate(batch) for batch in batches]
+        mean = sum(costs) / len(costs) if costs else 0.0
+        if mean <= 0.0:
+            break
+        worst = max(range(len(batches)), key=lambda i: (costs[i], -i))
+        if costs[worst] <= factor * mean or len(batches[worst]) < 2:
+            break
+        batch = batches[worst]
+        middle = len(batch) // 2
+        batches[worst:worst + 1] = [batch[:middle], batch[middle:]]
+    return batches

@@ -112,6 +112,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "order; 'steal' feeds workers from a shared queue largest-"
         "estimated-cost-first (same KB bytes either way)",
     )
+    build.add_argument(
+        "--corpus-transport",
+        choices=("auto", "memory", "file"),
+        default="auto",
+        help="how workers receive the corpus: 'memory' pickles the whole "
+        "Wiki into each worker, 'file' writes it once as a mmap-able "
+        "corpus file workers open pages from by title ('auto' = file "
+        "for process pools; same KB bytes either way)",
+    )
+    build.add_argument(
+        "--corpus-file",
+        default=None,
+        metavar="PATH",
+        help="materialize (or reuse, when its content matches the "
+        "generated corpus) the corpus file at this path instead of a "
+        "temporary location",
+    )
 
     ingest = commands.add_parser(
         "ingest",
@@ -233,6 +250,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "builds (extraction and reasoner workers) agree byte for byte",
     )
     determinism.add_argument(
+        "--fast", action="store_true",
+        help="run the cross-mode matrix in-process instead of the "
+        "subprocess builds (skips the PYTHONHASHSEED variation but "
+        "exercises every execution mode in a fraction of the time)",
+    )
+    determinism.add_argument(
         "--segments", action="store_true",
         help="also emit segment directories (serial, thread, and process "
         "builds) and verify they are byte-identical file for file",
@@ -277,6 +300,8 @@ def _command_build(args, out) -> int:
         reasoner_workers=args.reasoner_workers,
         reasoner_backend=args.reasoner_backend,
         schedule=args.schedule,
+        corpus_transport=args.corpus_transport,
+        corpus_file=args.corpus_file,
     )
     try:
         kb, report = KnowledgeBaseBuilder(
@@ -307,6 +332,19 @@ def _command_build(args, out) -> int:
         print(obs.render_trace(), file=out)
         print("\n--- metrics ---", file=out)
         print(obs.render_metrics(), file=out)
+        from .bigdata import advise_worker_count
+
+        advice = advise_worker_count(args.workers)
+        if advice is not None:
+            print(
+                f"\nworkers: {advice['workers']} at "
+                f"{advice['utilization']:.0%} utilization "
+                f"(busy {advice['busy_s']:.2f}s of "
+                f"{advice['workers']}x{advice['wall_s']:.2f}s wall) "
+                f"-> recommended {advice['recommended']} "
+                f"(of {advice['cpus']} CPUs)",
+                file=out,
+            )
     return 0
 
 
@@ -503,6 +541,20 @@ def _command_check_determinism(args, out) -> int:
             status = 1
         else:
             print("lint: clean", file=out)
+    if args.fast:
+        from .determinism import CROSS_MODES, check_cross_mode_fast
+
+        labels = ", ".join(mode.label for mode in CROSS_MODES)
+        print(
+            f"Fast cross-mode: building in-process once per mode "
+            f"({labels}) ...",
+            file=out,
+        )
+        fast = check_cross_mode_fast(seed=args.seed, people=args.people)
+        print(fast.describe(), file=out)
+        if not fast.ok:
+            return 1
+        return status
     print(
         f"Building {args.runs}x (seed={args.seed}, people={args.people}"
         + (f", shards={args.shards}" if args.shards else "")

@@ -1,0 +1,361 @@
+"""A byte-pinned, mmap-able corpus file: zero-copy page transport.
+
+Process-backed builds used to ship the whole :class:`~repro.corpus.wiki.Wiki`
+to every worker through ``initargs`` — a full pickle/fork payload per pool
+spinup that grows linearly with the corpus.  This module gives the corpus
+the same treatment PR 7 gave the KB: one immutable on-disk file, written
+once by the parent, that workers mmap read-only and open pages from by
+title.  The worker's startup payload shrinks to a path string; page bytes
+are paged in lazily by the OS and shared between every worker on the host.
+
+Format (single file, all integers little-endian)::
+
+    header   magic "RPROCRP1", tag "pag", version, count, meta bytes, heap bytes
+    meta     canonical JSON: format_version, counts, and the resolver
+             catalog (title -> entity text, entity text -> title, aliases)
+    offsets  (count + 1) x u64 into the heap
+    heap     records sorted by title: title \\x00 page-payload JSON
+    trailer  sha256 of everything above (32 raw bytes)
+
+The record payload mirrors the incremental state's page records
+(:func:`repro.pipeline.incremental._page_record`): only the
+pipeline-visible content — entity, sentence texts, infobox, category
+names, interlanguage labels.  Gold annotations and page links are
+evaluation-only, so a page reconstructed from the file runs through the
+extractors identically to the original; that is what keeps corpus-file
+builds byte-identical to in-memory builds (asserted by the cross-mode
+determinism matrix).
+
+Like the segment files, the format is deterministic: writing the same
+wiki + aliases twice yields byte-identical files (JSON with sorted keys,
+records sorted by title, no timestamps), so a corpus file can be cached
+across builds and verified by its sha256 alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from typing import Iterable, Optional
+
+from .document import Document, Sentence
+from .wiki import Category, Wiki, WikiPage
+from ..kb.rdfio import term_from_text, term_to_text
+from ..obs import core as _obs
+
+CORPUS_MAGIC = b"RPROCRP1"
+CORPUS_FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8s4sIQQQ")  # magic, tag, version, count, meta, heap
+_U64 = struct.Struct("<Q")
+_TAG = b"pag\x00"
+_SHA256_BYTES = 32
+
+
+def _page_payload(page: WikiPage) -> dict:
+    """The pipeline-visible content of one page (gold/links excluded)."""
+    return {
+        "entity": term_to_text(page.entity),
+        "sentences": [s.text for s in page.document.sentences],
+        "infobox": dict(page.infobox),
+        "categories": [c.name for c in page.categories],
+        "interlanguage": dict(page.interlanguage),
+    }
+
+
+def _page_from_payload(title: str, payload: dict) -> WikiPage:
+    return WikiPage(
+        title=title,
+        entity=term_from_text(payload["entity"]),
+        document=Document(
+            doc_id=f"corpus:{title}",
+            sentences=[Sentence(text) for text in payload["sentences"]],
+        ),
+        infobox=dict(payload["infobox"]),
+        categories=[
+            Category(name, conceptual=False) for name in payload["categories"]
+        ],
+        interlanguage=dict(payload["interlanguage"]),
+    )
+
+
+def _canonical_json(value) -> bytes:
+    return json.dumps(
+        value, ensure_ascii=False, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def write_corpus(
+    wiki: Wiki,
+    path: str,
+    aliases: Optional[dict] = None,
+) -> dict:
+    """Write a corpus file for ``wiki`` (+ alias registrations); return its
+    manifest.
+
+    Deterministic and atomic: the bytes are a pure function of the wiki
+    content and alias map, and the file appears under ``path`` via a
+    sibling ``.tmp`` + ``os.replace`` so a reader can never observe a
+    half-written file (and existing read-only mmaps keep their old inode).
+    """
+    records: list[bytes] = []
+    sentences = 0
+    for title in sorted(wiki.pages):
+        if "\x00" in title:
+            raise ValueError(f"NUL byte in page title: {title!r}")
+        page = wiki.pages[title]
+        sentences += len(page.document.sentences)
+        records.append(
+            title.encode("utf-8")
+            + b"\x00"
+            + _canonical_json(_page_payload(page))
+        )
+    meta = {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "pages": len(records),
+        "sentences": sentences,
+        # The resolver catalog: everything a worker needs to rebuild the
+        # shared name resolver without the in-memory wiki (see
+        # ``CorpusReader.catalog``).  Alias forms keep their input order;
+        # resolution itself is registration-order independent.
+        "titles": {
+            title: term_to_text(page.entity)
+            for title, page in wiki.pages.items()
+        },
+        "by_entity": {
+            term_to_text(entity): title
+            for entity, title in wiki.by_entity.items()
+        },
+        "aliases": [
+            [term_to_text(entity), list(forms)]
+            for entity, forms in (aliases or {}).items()
+        ],
+    }
+    meta_blob = _canonical_json(meta)
+    heap = b"".join(records)
+    chunks = [
+        _HEADER.pack(
+            CORPUS_MAGIC,
+            _TAG,
+            CORPUS_FORMAT_VERSION,
+            len(records),
+            len(meta_blob),
+            len(heap),
+        ),
+        meta_blob,
+    ]
+    offset = 0
+    for record in records:
+        chunks.append(_U64.pack(offset))
+        offset += len(record)
+    chunks.append(_U64.pack(offset))
+    chunks.append(heap)
+    body = b"".join(chunks)
+    digest = hashlib.sha256(body).digest()
+    blob = body + digest
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)
+    if _obs.ENABLED:
+        _obs.count("corpus.file.writes")
+        _obs.observe("corpus.file.bytes", len(blob))
+    return {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "pages": len(records),
+        "sentences": sentences,
+        "bytes": len(blob),
+        "sha256": digest.hex(),
+    }
+
+
+class CorpusReader:
+    """A read-only mmap view over one corpus file.
+
+    Safe to share across threads (reads are positional slices of an
+    immutable mapping) and cheap to open after ``fork``: the OS page cache
+    backs every reader of the same file with the same physical pages.
+    """
+
+    __slots__ = (
+        "path",
+        "count",
+        "_file",
+        "_mm",
+        "_meta",
+        "_offsets_at",
+        "_heap_at",
+        "_digest_at",
+    )
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "rb")
+        self._mm = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        header = _HEADER.unpack_from(self._mm, 0)
+        magic, tag, version, count, meta_bytes, heap_bytes = header
+        if magic != CORPUS_MAGIC or version != CORPUS_FORMAT_VERSION:
+            raise ValueError(f"bad corpus header in {path}: {magic!r} v{version}")
+        if tag != _TAG:
+            raise ValueError(f"{path}: unexpected section tag {tag!r}")
+        self.count = count
+        meta_at = _HEADER.size
+        self._offsets_at = meta_at + meta_bytes
+        self._heap_at = self._offsets_at + (count + 1) * 8
+        self._digest_at = self._heap_at + heap_bytes
+        if len(self._mm) != self._digest_at + _SHA256_BYTES:
+            raise ValueError(
+                f"{path}: truncated ({len(self._mm)} != "
+                f"{self._digest_at + _SHA256_BYTES} bytes)"
+            )
+        self._meta = json.loads(self._mm[meta_at:self._offsets_at])
+
+    # ------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def sentences(self) -> int:
+        return self._meta["sentences"]
+
+    def manifest(self) -> dict:
+        """The file's identity: counts, size, and content sha256."""
+        return {
+            "format_version": self._meta["format_version"],
+            "pages": self.count,
+            "sentences": self._meta["sentences"],
+            "bytes": self._digest_at + _SHA256_BYTES,
+            "sha256": self._mm[self._digest_at:].hex(),
+        }
+
+    def verify(self) -> bool:
+        """Recompute the content digest against the stored trailer."""
+        digest = hashlib.sha256(self._mm[: self._digest_at]).digest()
+        return digest == self._mm[self._digest_at:]
+
+    def titles(self) -> list[str]:
+        """Every page title, in record (sorted) order."""
+        return sorted(self._meta["titles"])
+
+    def matches(self, wiki: Wiki, aliases: Optional[dict] = None) -> bool:
+        """Cheap identity check for reuse: does this file describe the
+        same corpus surface as ``wiki`` + ``aliases``?
+
+        Compares counts and the full resolver catalog (titles, entities,
+        aliases) — everything that shapes worker-side name resolution —
+        without touching the page heap.  Page *contents* are trusted: the
+        format is deterministic, so a file whose catalog matches and that
+        was written from the same corpus is byte-identical anyway.
+        """
+        if self.count != len(wiki.pages):
+            return False
+        if self._meta["titles"] != {
+            title: term_to_text(page.entity)
+            for title, page in wiki.pages.items()
+        }:
+            return False
+        if self._meta["aliases"] != [
+            [term_to_text(entity), list(forms)]
+            for entity, forms in (aliases or {}).items()
+        ]:
+            return False
+        return self._meta["sentences"] == sum(
+            len(page.document.sentences) for page in wiki.pages.values()
+        )
+
+    def catalog(self) -> tuple[dict, dict, list]:
+        """The resolver catalog, iteration orders preserved from the wiki:
+        (title -> entity term, entity term -> title, [(entity term,
+        [alias form, ...]), ...])."""
+        titles = {
+            title: term_from_text(text)
+            for title, text in self._meta["titles"].items()
+        }
+        by_entity = {
+            term_from_text(text): title
+            for text, title in self._meta["by_entity"].items()
+        }
+        aliases = [
+            (term_from_text(text), list(forms))
+            for text, forms in self._meta["aliases"]
+        ]
+        return titles, by_entity, aliases
+
+    # ------------------------------------------------------------ records
+
+    def _offset(self, i: int) -> int:
+        return _U64.unpack_from(self._mm, self._offsets_at + i * 8)[0]
+
+    def _record(self, i: int) -> bytes:
+        lo = self._heap_at + self._offset(i)
+        hi = self._heap_at + self._offset(i + 1)
+        return self._mm[lo:hi]
+
+    def _lower_bound(self, needle: bytes) -> int:
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._record(mid) < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def page(self, title: str) -> WikiPage:
+        """Load one page by title (binary search over the sorted heap)."""
+        needle = title.encode("utf-8") + b"\x00"
+        index = self._lower_bound(needle)
+        if index < self.count:
+            record = self._record(index)
+            if record.startswith(needle):
+                payload = json.loads(record[len(needle):])
+                if _obs.ENABLED:
+                    _obs.count("corpus.file.page_reads")
+                return _page_from_payload(title, payload)
+        raise KeyError(f"no page titled {title!r} in {self.path}")
+
+    def pages(self) -> Iterable[WikiPage]:
+        """Iterate every page in title order."""
+        for i in range(self.count):
+            record = self._record(i)
+            title, payload = record.split(b"\x00", 1)
+            yield _page_from_payload(title.decode("utf-8"), json.loads(payload))
+
+    def close(self) -> None:
+        self._mm.close()
+        self._file.close()
+
+    def __enter__(self) -> "CorpusReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# Per-process reader cache: worker initializers run once per (worker,
+# map call), but the pool outlives calls — reopening (and re-parsing the
+# meta catalog) on every call would waste the zero-copy win.  Keyed by
+# path + inode identity so a rewritten file (``os.replace`` swaps the
+# inode) is never served from a stale mapping.
+_READERS: dict[str, tuple[tuple, CorpusReader]] = {}
+
+
+def open_corpus(path: str) -> CorpusReader:
+    """A process-cached reader for ``path`` (workers call this in their
+    initializer; the mmap and parsed catalog are reused across calls)."""
+    stat = os.stat(path)
+    identity = (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+    cached = _READERS.get(path)
+    if cached is not None and cached[0] == identity:
+        return cached[1]
+    # A stale reader (replaced file) is dropped, not closed: another
+    # thread's extractor may still hold it, and its mmap pins the old
+    # inode safely until the last reference goes away.
+    reader = CorpusReader(path)
+    _READERS[path] = (identity, reader)
+    return reader

@@ -22,6 +22,7 @@ from .harness import (
     IncrementalDeterminismReport,
     SegmentDeterminismReport,
     check_cross_mode,
+    check_cross_mode_fast,
     check_determinism,
     check_incremental_determinism,
     check_segment_determinism,
@@ -51,6 +52,7 @@ __all__ = [
     "canonical_kb_lines",
     "canonical_kb_text",
     "check_cross_mode",
+    "check_cross_mode_fast",
     "check_determinism",
     "check_incremental_determinism",
     "check_segment_determinism",

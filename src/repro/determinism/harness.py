@@ -141,6 +141,7 @@ def _build_once(
     reasoner_backend: Optional[str] = None,
     schedule: Optional[str] = None,
     segments_dir: Optional[str] = None,
+    corpus_transport: Optional[str] = None,
 ) -> list[str]:
     """Run one ``repro build`` in a fresh subprocess; return canonical lines."""
     from ..kb.rdfio import load
@@ -163,6 +164,8 @@ def _build_once(
         command += ["--reasoner-backend", reasoner_backend]
     if schedule is not None:
         command += ["--schedule", schedule]
+    if corpus_transport is not None:
+        command += ["--corpus-transport", corpus_transport]
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
     # The subprocess must resolve the same ``repro`` package as this one.
@@ -243,12 +246,16 @@ class BuildMode:
     reasoner_workers: int = 0
     reasoner_backend: Optional[str] = None
     schedule: Optional[str] = None
+    corpus_transport: Optional[str] = None
 
 
 #: The default mode matrix: every execution strategy the pipeline offers,
-#: including the component-decomposed parallel consistency reasoner and
-#: the work-stealing dispatch schedule (which the steal modes exercise
-#: for extraction and reasoning at once, over one shared worker pool).
+#: including the component-decomposed parallel consistency reasoner, the
+#: work-stealing dispatch schedule (which the steal modes exercise for
+#: extraction and reasoning at once, over one shared worker pool), and the
+#: segment-backed zero-copy corpus transport — workers reading pages from
+#: a shared corpus file must produce the same bytes as workers holding the
+#: whole Wiki in memory, under static and stealing dispatch alike.
 CROSS_MODES: tuple[BuildMode, ...] = (
     BuildMode("serial"),
     BuildMode("shards4", shards=4),
@@ -267,6 +274,19 @@ CROSS_MODES: tuple[BuildMode, ...] = (
         workers=2, backend="process",
         reasoner_workers=2, reasoner_backend="process",
         schedule="steal",
+    ),
+    BuildMode(
+        "corpus-thread2",
+        workers=2, backend="thread", corpus_transport="file",
+    ),
+    BuildMode(
+        "corpus-process2",
+        workers=2, backend="process", corpus_transport="file",
+    ),
+    BuildMode(
+        "steal-corpus-process2",
+        workers=2, backend="process",
+        schedule="steal", corpus_transport="file",
     ),
 )
 
@@ -320,6 +340,7 @@ def check_cross_mode(
                 reasoner_workers=mode.reasoner_workers,
                 reasoner_backend=mode.reasoner_backend,
                 schedule=mode.schedule,
+                corpus_transport=mode.corpus_transport,
             )
             if reference is None:
                 reference = lines
@@ -332,6 +353,67 @@ def check_cross_mode(
                     reference, lines, 0, index
                 )
                 return report
+    return report
+
+
+def check_cross_mode_fast(
+    seed: int = 7,
+    people: int = 40,
+    modes: Sequence[BuildMode] = CROSS_MODES,
+) -> CrossModeReport:
+    """In-process cross-mode byte-identity check (no subprocess builds).
+
+    The subprocess harness pays interpreter startup plus a full world
+    generation *per mode*; this variant generates the world and Wiki once
+    and runs :class:`~repro.pipeline.builder.KnowledgeBaseBuilder`
+    directly for every mode, byte-comparing the canonical serializations.
+    It cannot vary ``PYTHONHASHSEED`` (that needs fresh processes — use
+    :func:`check_cross_mode` for the full certificate), but it exercises
+    the identical execution strategies — thread/process pools, stealing
+    dispatch, segment-backed corpus transport — at a fraction of the
+    wall-clock, which is what CI smoke and tight edit loops want.
+    """
+    from ..corpus import build_wiki
+    from ..pipeline import BuildConfig, KnowledgeBaseBuilder
+    from ..world import WorldConfig, generate_world
+
+    if len(modes) < 2:
+        raise ValueError("a cross-mode check needs at least 2 modes")
+    world = generate_world(WorldConfig(seed=seed, n_people=people))
+    wiki = build_wiki(world)
+    report = CrossModeReport(ok=True, modes=[mode.label for mode in modes])
+    reference: Optional[list[str]] = None
+    for index, mode in enumerate(modes):
+        config = BuildConfig(
+            mapreduce_shards=mode.shards,
+            workers=mode.workers,
+            backend=mode.backend if mode.backend is not None else "auto",
+            reasoner_workers=mode.reasoner_workers,
+            reasoner_backend=(
+                mode.reasoner_backend
+                if mode.reasoner_backend is not None
+                else "auto"
+            ),
+            schedule=mode.schedule if mode.schedule is not None else "static",
+            corpus_transport=(
+                mode.corpus_transport
+                if mode.corpus_transport is not None
+                else "auto"
+            ),
+        )
+        kb, __ = KnowledgeBaseBuilder(
+            wiki, aliases=world.aliases, config=config
+        ).build()
+        lines = canonical_kb_lines(kb)
+        if reference is None:
+            reference = lines
+            report.triples = len(lines)
+            continue
+        if lines != reference:
+            report.ok = False
+            report.diverging_mode = mode.label
+            report.divergence = first_divergence(reference, lines, 0, index)
+            return report
     return report
 
 

@@ -43,10 +43,16 @@ class NameResolver:
             raise ValueError("dominance must be in (0, 1]")
         self.dominance = dominance
         self._names: dict[str, Counter] = {}
+        # Ranked-entry memo: resolvers are built once, then hit with the
+        # same names once per mention for the rest of the build — the
+        # sort in :meth:`entry` used to rerun per call.  Invalidated
+        # per-name on registration.
+        self._entries: dict[str, Optional[NameEntry]] = {}
 
     def add(self, name: str, entity: Entity, count: int = 1) -> None:
         """Register that ``name`` refers to ``entity`` (count = popularity)."""
         self._names.setdefault(name, Counter())[entity] += count
+        self._entries.pop(name, None)
 
     def add_aliases(self, entity: Entity, names: Iterable[str], primary_boost: int = 5) -> None:
         """Register an entity's names; the first gets a popularity boost."""
@@ -54,12 +60,17 @@ class NameResolver:
             self.add(name, entity, primary_boost if index == 0 else 1)
 
     def entry(self, name: str) -> Optional[NameEntry]:
-        """All candidates of a name, most popular first."""
+        """All candidates of a name, most popular first (memoized)."""
+        if name in self._entries:
+            return self._entries[name]
         counter = self._names.get(name)
         if not counter:
-            return None
-        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0].id))
-        return NameEntry(tuple(ranked))
+            entry = None
+        else:
+            ranked = sorted(counter.items(), key=lambda kv: (-kv[1], kv[0].id))
+            entry = NameEntry(tuple(ranked))
+        self._entries[name] = entry
+        return entry
 
     def resolve(self, name: str) -> Optional[Entity]:
         """The entity a name denotes, or None when too ambiguous."""

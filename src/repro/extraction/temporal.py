@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Iterable, Optional
 
 from ..kb import Entity, Relation, TimeSpan, Triple, TripleStore
@@ -41,8 +42,18 @@ class TemporalTag:
     kind: str  # "span" | "since" | "until" | "point"
 
 
-def tag_temporal(text: str) -> list[TemporalTag]:
-    """All temporal expressions of a sentence, most specific first."""
+@lru_cache(maxsize=16384)
+def _tag_temporal(text: str) -> tuple[TemporalTag, ...]:
+    """The memoized tagger core (see :func:`tag_temporal`).
+
+    Hot path: scoping calls this once per *candidate*, year-attribute
+    extraction once per sentence — the same evidence text over and over.
+    Tags are frozen dataclasses, so the cached tuple is safely shared.
+    """
+    # Every pattern requires a year literal; one scan rejects the common
+    # case (no year anywhere) before the five-pattern pass.
+    if _BARE_RE.search(text) is None:
+        return ()
     tags: list[TemporalTag] = []
     taken: list[tuple[int, int]] = []
 
@@ -67,15 +78,23 @@ def tag_temporal(text: str) -> list[TemporalTag]:
         year = int(match.group(1))
         add(match, TimeSpan(year, year), "point")
     tags.sort(key=lambda t: t.start)
-    return tags
+    return tuple(tags)
 
 
+def tag_temporal(text: str) -> list[TemporalTag]:
+    """All temporal expressions of a sentence, most specific first."""
+    return list(_tag_temporal(text))
+
+
+@lru_cache(maxsize=16384)
 def sentence_scope(text: str) -> Optional[TimeSpan]:
     """The most informative temporal scope expressed by a sentence.
 
     Preference order: explicit spans > since/until (half-open) > points.
+    Memoized (pure function of the text): many candidates share one
+    evidence sentence, and scoping used to re-tag it per candidate.
     """
-    tags = tag_temporal(text)
+    tags = _tag_temporal(text)
     if not tags:
         return None
     for kind in ("span", "since", "until", "point"):
@@ -219,7 +238,7 @@ def extract_year_attributes(
     """
     from ..kb import year_literal
 
-    tags = tag_temporal(sentence)
+    tags = _tag_temporal(sentence)
     points = [t for t in tags if t.kind == "point"]
     if not points:
         return []

@@ -34,26 +34,40 @@ class CandidateDictionary:
         self.smoothing = smoothing
         self._popularity: dict[Entity, float] = defaultdict(float)
         self._names: dict[str, set[Entity]] = defaultdict(set)
+        # Ranked-candidate memo: dictionaries are built once and then
+        # queried with the same surfaces once per mention — the mass
+        # normalization and sort in :meth:`candidates` used to rerun on
+        # every call.  Mutations invalidate (per-name for add_name; fully
+        # for set_popularity, whose entity may sit under many names).
+        self._ranked: dict[str, list[EntityCandidate]] = {}
 
     def add_name(self, name: str, entity: Entity) -> None:
         """Register a surface form for an entity."""
         self._names[name].add(entity)
+        self._ranked.pop(name, None)
 
     def set_popularity(self, entity: Entity, value: float) -> None:
         """Set the global popularity mass of an entity."""
         self._popularity[entity] = max(value, 0.0)
+        self._ranked.clear()
 
     def candidates(self, name: str) -> list[EntityCandidate]:
-        """Candidates for a surface form, highest prior first."""
+        """Candidates for a surface form, highest prior first (memoized)."""
+        ranked = self._ranked.get(name)
+        if ranked is not None:
+            return ranked
         entities = self._names.get(name)
         if not entities:
-            return []
+            self._ranked[name] = []
+            return self._ranked[name]
         masses = {
             e: self._popularity.get(e, 0.0) + self.smoothing for e in entities
         }
         total = sum(masses.values())
-        ranked = sorted(entities, key=lambda e: (-masses[e], e.id))
-        return [EntityCandidate(e, masses[e] / total) for e in ranked]
+        order = sorted(entities, key=lambda e: (-masses[e], e.id))
+        ranked = [EntityCandidate(e, masses[e] / total) for e in order]
+        self._ranked[name] = ranked
+        return ranked
 
     def best(self, name: str) -> Optional[Entity]:
         """The highest-prior candidate (the prior-only baseline)."""

@@ -60,8 +60,20 @@ class NEDSystem:
     # ------------------------------------------------------------- scoring
 
     def _scored_candidates(
-        self, surface: str, context_words: list[str], method: str
+        self,
+        surface: str,
+        context_words: list[str],
+        method: str,
+        memo: Optional[dict[str, list[tuple[Entity, float]]]] = None,
     ) -> list[tuple[Entity, float]]:
+        # ``memo`` batches scoring across one document's mentions: the
+        # score depends only on (surface, method, context), and context is
+        # fixed per document — repeated surfaces (a page mentions its
+        # subject many times) score once instead of once per mention.
+        if memo is not None and surface in memo:
+            if _obs.ENABLED:
+                _obs.count("ned.surface_cache_hits")
+            return memo[surface]
         candidates = self.dictionary.candidates(surface)[: self.config.max_candidates]
         scored = []
         for candidate in candidates:
@@ -74,6 +86,8 @@ class NEDSystem:
             scored.append((candidate.entity, score))
         if _obs.ENABLED:
             _obs.count("ned.candidates_scored", len(scored))
+        if memo is not None:
+            memo[surface] = scored
         return scored
 
     # --------------------------------------------------------------- solve
@@ -93,12 +107,13 @@ class NEDSystem:
                 _obs.count("ned.mentions", len(tasks))
                 _obs.count(f"ned.mentions.{method}", len(tasks))
             context_words = self.context_index.context_of(context_text)
+            memo: dict[str, list[tuple[Entity, float]]] = {}
 
             if method in ("prior", "local"):
                 result: dict[object, Optional[Entity]] = {}
                 for task in tasks:
                     scored = self._scored_candidates(
-                        task.surface, context_words, method
+                        task.surface, context_words, method, memo
                     )
                     result[task.mention_id] = (
                         max(scored, key=lambda pair: (pair[1], pair[0].id))[0]
@@ -115,7 +130,7 @@ class NEDSystem:
             all_candidates: set[Entity] = set()
             for task in tasks:
                 scored = self._scored_candidates(
-                    task.surface, context_words, "local"
+                    task.surface, context_words, "local", memo
                 )
                 graph.add_mention(task.mention_id, task.surface, scored)
                 all_candidates |= {entity for entity, __ in scored}

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _IRREGULAR = {
     "was": "be", "were": "be", "is": "be", "are": "be", "been": "be",
     "being": "be", "am": "be",
@@ -31,8 +33,15 @@ _NO_STRIP = frozenset(
 _DOUBLED = frozenset("bdgklmnprt")
 
 
+@lru_cache(maxsize=65536)
 def lemma(word: str) -> str:
-    """The lemma of a word (lowercased; names pass through unchanged)."""
+    """The lemma of a word (lowercased; names pass through unchanged).
+
+    Memoized: a corpus's vocabulary is tiny next to its token stream, and
+    the per-sentence pipeline calls this once per token — the cache turns
+    repeat lookups into a single dict probe (pure function, so caching
+    cannot change results).
+    """
     lower = word.lower()
     if lower in _IRREGULAR:
         return _IRREGULAR[lower]

@@ -8,6 +8,7 @@ source — a hard requirement for provenance in knowledge harvesting.
 from __future__ import annotations
 
 import re
+import sys
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -51,9 +52,17 @@ class Token:
 
 
 def tokenize(text: str) -> list[Token]:
-    """Split text into offset-annotated tokens."""
+    """Split text into offset-annotated tokens.
+
+    Token texts are interned: a corpus repeats its vocabulary millions of
+    times, and interning makes every downstream dict lookup (lemma
+    tables, gazetteer tries, stopword sets) a pointer comparison while
+    collapsing duplicate strings to one allocation.
+    """
+    intern = sys.intern
     return [
-        Token(m.group(), m.start(), m.end()) for m in _TOKEN_RE.finditer(text)
+        Token(intern(m.group()), m.start(), m.end())
+        for m in _TOKEN_RE.finditer(text)
     ]
 
 

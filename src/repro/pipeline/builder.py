@@ -21,13 +21,22 @@ byte-identical at every worker count.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 from dataclasses import dataclass
 from typing import Optional
 
 from ..kb import Entity, Taxonomy, Triple, TripleStore, ns
+from ..corpus.corpusfile import CorpusReader, open_corpus, write_corpus
 from ..corpus.wiki import Wiki, WikiPage
 from ..bigdata.backends import ExecutionBackend, chunked, get_backend
+from ..bigdata.costs import (
+    CostModel,
+    batch_key,
+    make_batch_estimator,
+    split_dominant,
+)
 from ..bigdata.mapreduce import JobStats, MapReduce
 from ..extraction.base import Candidate, candidates_to_store
 from ..extraction.consistency import ConsistencyReasoner, ConsistencyReport
@@ -60,6 +69,11 @@ class BuildConfig:
     reasoner_workers: int = 0               # <= 1 = in-process MaxSat solving
     reasoner_backend: str = "auto"          # backend for consistency reasoning
     schedule: str = "static"                # static | steal (worker dispatch)
+    # Zero-copy corpus transport (execution policy — never byte-affecting):
+    # "auto" ships process workers a corpus-file path instead of a pickled
+    # Wiki; "file"/"memory" force the choice for any multi-worker backend.
+    corpus_transport: str = "auto"          # auto | memory | file
+    corpus_file: Optional[str] = None       # write/reuse the corpus file here
 
 
 @dataclass(slots=True)
@@ -174,27 +188,56 @@ def _extraction_worker_init(
 ) -> None:
     """Build one worker's resolver/gazetteer/extractors (runs once per
     worker, before any page batch)."""
-    _WORKER.wiki = wiki
+    _WORKER.load_page = wiki.pages.__getitem__
     _WORKER.extractor = PageExtractor(_build_resolver(wiki, aliases), config)
+
+
+def _corpus_resolver(reader: CorpusReader) -> NameResolver:
+    """:func:`_build_resolver` reconstructed from a corpus file's catalog:
+    same registrations, same order, no in-memory wiki required."""
+    titles, by_entity, aliases = reader.catalog()
+    resolver = NameResolver()
+    for title, entity in titles.items():
+        resolver.add(title, entity, count=5)
+    for entity, forms in aliases:
+        title = by_entity.get(entity)
+        if title is None:
+            continue
+        for form in forms:
+            if form != title:
+                resolver.add(form, entity)
+    return resolver
+
+
+def _extraction_worker_init_corpus(corpus_path: str, config: BuildConfig) -> None:
+    """The zero-copy variant of :func:`_extraction_worker_init`.
+
+    The worker receives a *path* instead of a pickled wiki, mmaps the
+    shared read-only corpus file (process-cached across map calls), and
+    loads pages by title on demand — the OS page cache shares the bytes
+    between every worker on the host.
+    """
+    reader = open_corpus(corpus_path)
+    _WORKER.load_page = reader.page
+    _WORKER.extractor = PageExtractor(_corpus_resolver(reader), config)
 
 
 def _extract_batch(titles: list[str]) -> list[Candidate]:
     """Extract one batch of pages inside a worker (titles in input order)."""
     extractor: PageExtractor = _WORKER.extractor
-    wiki: Wiki = _WORKER.wiki
+    load_page = _WORKER.load_page
     candidates: list[Candidate] = []
     for title in titles:
-        candidates.extend(extractor.extract(wiki.pages[title]))
+        candidates.extend(extractor.extract(load_page(title)))
     return candidates
 
 
 def _mapreduce_map_page(title: str) -> list[tuple[str, Candidate]]:
     """Map one page title to keyed candidates (runs inside a worker)."""
     extractor: PageExtractor = _WORKER.extractor
-    wiki: Wiki = _WORKER.wiki
     return [
         (repr(candidate.key()), candidate)
-        for candidate in extractor.extract(wiki.pages[title])
+        for candidate in extractor.extract(_WORKER.load_page(title))
     ]
 
 
@@ -212,6 +255,7 @@ class KnowledgeBaseBuilder:
         aliases: Optional[dict[Entity, list[str]]] = None,
         config: Optional[BuildConfig] = None,
         component_cache=None,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         self.wiki = wiki
         self.aliases = aliases
@@ -222,9 +266,17 @@ class KnowledgeBaseBuilder:
         # component-scoped re-reasoning).  Stays in the parent process —
         # never shipped to extraction workers.
         self.component_cache = component_cache
+        # Measured-cost model for steal scheduling: per-batch wall seconds
+        # recorded by the backends replace the static sentence-count proxy
+        # on later map calls (and feed adaptive batch splitting).  Shared
+        # across builds when the caller passes one in (the incremental
+        # builder does); execution policy only — never byte-affecting.
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         self.resolver = _build_resolver(wiki, aliases)
         self._extractor = PageExtractor(self.resolver, self.config)
         self._gazetteer = self._extractor.gazetteer
+        self._sentence_counts: Optional[dict[str, int]] = None
+        self._corpus_path: Optional[str] = None
 
     # -------------------------------------------------------------- stages
 
@@ -265,6 +317,7 @@ class KnowledgeBaseBuilder:
         report.backend = backend.name
         report.workers = backend.workers
         report.schedule = self.config.schedule
+        corpus_tmp = self._prepare_corpus(backend, skip=candidates is not None)
         try:
             return self._build_with(
                 backend, reasoner_backend, report, candidates
@@ -273,6 +326,72 @@ class KnowledgeBaseBuilder:
             backend.close()
             if reasoner_backend is not backend:
                 reasoner_backend.close()
+            self._corpus_path = None
+            if corpus_tmp is not None:
+                import shutil
+
+                shutil.rmtree(corpus_tmp, ignore_errors=True)
+
+    def _prepare_corpus(
+        self, backend: ExecutionBackend, skip: bool = False
+    ) -> Optional[str]:
+        """Write (or reuse) the corpus file this build's workers will mmap.
+
+        Returns the temp directory to clean up afterwards, if one was
+        created.  No file is produced when the transport resolves to
+        in-memory — serial builds, thread builds under "auto", injected
+        candidates (``skip``) — unless the caller pinned ``corpus_file``,
+        which always materializes the artifact for reuse.
+        """
+        transport = self.config.corpus_transport
+        if transport not in ("auto", "memory", "file"):
+            raise ValueError(
+                f"unknown corpus transport {transport!r} "
+                "(expected auto, memory, or file)"
+            )
+        wants_file = transport == "file" or (
+            transport == "auto" and backend.name == "process"
+        )
+        uses_file = wants_file and backend.workers > 1 and not skip
+        if not uses_file and self.config.corpus_file is None:
+            return None
+        tmp_dir: Optional[str] = None
+        if self.config.corpus_file is not None:
+            path = self.config.corpus_file
+        else:
+            tmp_dir = tempfile.mkdtemp(prefix="repro-corpus-")
+            path = os.path.join(tmp_dir, "corpus.rprocrp")
+        with _obs.span("pipeline.corpus") as tracing:
+            manifest = self._ensure_corpus_file(path)
+            tracing.add("pages", manifest["pages"])
+            tracing.add("bytes", manifest["bytes"])
+            tracing.add("reused", manifest.get("reused", False))
+        if uses_file:
+            self._corpus_path = path
+        return tmp_dir
+
+    def _ensure_corpus_file(self, path: str) -> dict:
+        """Write the corpus file, or validate and reuse an existing one.
+
+        Reuse checks identity cheaply via the file's resolver catalog
+        (see :meth:`CorpusReader.matches`); a mismatched or unreadable
+        file is rewritten in place (atomic replace; open mmaps keep the
+        old inode).
+        """
+        if os.path.exists(path):
+            try:
+                reader = CorpusReader(path)
+            except (ValueError, OSError):
+                reader = None
+            if reader is not None:
+                with reader:
+                    if reader.matches(self.wiki, self.aliases):
+                        manifest = reader.manifest()
+                        manifest["reused"] = True
+                        if _obs.ENABLED:
+                            _obs.count("corpus.file.reuses")
+                        return manifest
+        return write_corpus(self.wiki, path, aliases=self.aliases)
 
     def _build_with(
         self,
@@ -376,18 +495,41 @@ class KnowledgeBaseBuilder:
 
         The work-stealing schedule dispatches the heaviest batch first so
         a batch of long pages doesn't serialize behind a worker's lighter
-        ones.  Runs in the parent only — never shipped to workers.
+        ones.  Per-page sentence counts are computed once per build and
+        cached — a dispatch used to re-walk every page's sentence list per
+        batch per ``map`` call.  Runs in the parent only — never shipped
+        to workers.
         """
-        return sum(
-            len(self.wiki.pages[title].document.sentences) for title in titles
-        )
+        if self._sentence_counts is None:
+            self._sentence_counts = {
+                title: len(page.document.sentences)
+                for title, page in self.wiki.pages.items()
+            }
+        counts = self._sentence_counts
+        return sum(counts[title] for title in titles)
+
+    def _worker_setup(self, backend: ExecutionBackend) -> tuple:
+        """The (initializer, initargs) pair for this build's transport.
+
+        Corpus-file transport ships workers a path; in-memory transport
+        ships the wiki itself (free for threads, a full pickle for
+        processes — the cost E21 measures).
+        """
+        if self._corpus_path is not None:
+            return _extraction_worker_init_corpus, (
+                self._corpus_path,
+                self.config,
+            )
+        return _extraction_worker_init, (self.wiki, self.aliases, self.config)
 
     def _extract_pages(self, backend: ExecutionBackend) -> list[Candidate]:
         """Per-page extraction over the backend, in page-title order.
 
         Batches are contiguous title ranges and results concatenate in
         batch order, so every backend — and every dispatch schedule —
-        yields the same candidate list.
+        yields the same candidate list.  Adaptive splitting halves a
+        batch whose estimated cost dominates the rest (contiguously, in
+        place), which tightens the makespan without touching that order.
         """
         titles = sorted(self.wiki.pages)
         if backend.workers <= 1:
@@ -395,13 +537,23 @@ class KnowledgeBaseBuilder:
             for title in titles:
                 candidates.extend(self._page_candidates(self.wiki.pages[title]))
             return candidates
+        chunks = chunked(titles, backend.workers * 4)
+        chunks = split_dominant(
+            chunks,
+            make_batch_estimator(
+                self.cost_model, chunks, static_cost=self._batch_cost
+            ),
+        )
+        initializer, initargs = self._worker_setup(backend)
         batches = backend.map(
             _extract_batch,
-            chunked(titles, backend.workers * 4),
-            initializer=_extraction_worker_init,
-            initargs=(self.wiki, self.aliases, self.config),
+            chunks,
+            initializer=initializer,
+            initargs=initargs,
             schedule=self.config.schedule,
             cost_key=self._batch_cost,
+            cost_model=self.cost_model,
+            task_key=batch_key,
         )
         return [candidate for batch in batches for candidate in batch]
 
@@ -413,13 +565,15 @@ class KnowledgeBaseBuilder:
             shards=self.config.mapreduce_shards,
             backend=backend,
             schedule=self.config.schedule,
+            cost_model=self.cost_model,
         )
+        initializer, initargs = self._worker_setup(backend)
         candidates, stats = engine.run(
             sorted(self.wiki.pages),
             _mapreduce_map_page,
             _identity_reduce,
-            initializer=_extraction_worker_init,
-            initargs=(self.wiki, self.aliases, self.config),
+            initializer=initializer,
+            initargs=initargs,
         )
         return candidates, stats
 

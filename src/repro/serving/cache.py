@@ -35,18 +35,30 @@ MISS = object()
 
 
 class VersionedLRUCache:
-    """An LRU map from request keys to (epoch, version, payload) entries."""
+    """An LRU map from request keys to (epoch, version, payload) entries.
+
+    Entries additionally carry a **negative** flag: an empty answer
+    ("no such triple") is every bit as cacheable as a full one, and in a
+    serving layer fronting an incomplete KB the miss-shaped questions
+    repeat at least as often as the hit-shaped ones.  Negative entries
+    share the LRU with positive ones but are accounted separately
+    (``negative_hits``, ``negative_entries``), so operators can see how
+    much of the cache is absorbing known-empty lookups.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, tuple[str, int, Any]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, tuple[str, int, Any, bool]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stale_drops = 0
         self.evictions = 0
+        self.negative_hits = 0
 
     def get(self, key: Hashable, epoch: str, version: int) -> Any:
         """The payload cached for ``key`` at (``epoch``, ``version``), or
@@ -61,7 +73,7 @@ class VersionedLRUCache:
             if entry is None:
                 self.misses += 1
                 return MISS
-            cached_epoch, cached_version, payload = entry
+            cached_epoch, cached_version, payload, negative = entry
             if cached_epoch != epoch or cached_version != version:
                 del self._entries[key]
                 self.stale_drops += 1
@@ -69,14 +81,26 @@ class VersionedLRUCache:
                 return MISS
             self._entries.move_to_end(key)
             self.hits += 1
+            if negative:
+                self.negative_hits += 1
             return payload
 
-    def put(self, key: Hashable, epoch: str, version: int, payload: Any) -> None:
-        """Cache ``payload`` for ``key`` as computed at (epoch, version)."""
+    def put(
+        self,
+        key: Hashable,
+        epoch: str,
+        version: int,
+        payload: Any,
+        negative: bool = False,
+    ) -> None:
+        """Cache ``payload`` for ``key`` as computed at (epoch, version).
+
+        ``negative`` marks an empty answer, tracked separately in stats.
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = (epoch, version, payload)
+            self._entries[key] = (epoch, version, payload, negative)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -103,6 +127,10 @@ class VersionedLRUCache:
                 "stale_drops": self.stale_drops,
                 "evictions": self.evictions,
                 "hit_rate": (hits / total) if total else 0.0,
+                "negative_hits": self.negative_hits,
+                "negative_entries": sum(
+                    1 for entry in self._entries.values() if entry[3]
+                ),
             }
 
     def __repr__(self) -> str:

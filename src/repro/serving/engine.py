@@ -455,7 +455,12 @@ class QueryEngine:
                 # captured ``store`` (not ``self._store``) is what gets
                 # read, so a concurrent rebind cannot poison the entry.
                 payload = compute(store, epoch, version)
-            self._cache.put(key, epoch, version, payload)
+            # Empty answers are cached too (negative caching): repeated
+            # questions about absent facts are served from memory just
+            # like present ones, and accounted separately in stats.
+            self._cache.put(
+                key, epoch, version, payload, negative=payload.get("count") == 0
+            )
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         with self._stats_lock:
             histogram = self._latency.get(endpoint)
@@ -467,6 +472,8 @@ class QueryEngine:
             _obs.count("serve.request")
             _obs.count(f"serve.request.{endpoint}")
             _obs.count("serve.cache.hit" if hit else "serve.cache.miss")
+            if hit and payload.get("count") == 0:
+                _obs.count("serve.cache.negative_hit")
             _obs.observe("serve.request.latency", elapsed_ms)
             _obs.observe(f"serve.request.latency.{endpoint}", elapsed_ms)
         return payload

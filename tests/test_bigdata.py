@@ -550,3 +550,185 @@ class TestMinHash:
     def test_shingles(self):
         assert shingles("ab", 3) == {"ab"}
         assert "abc" in shingles("abcd", 3)
+
+
+class TestChunkedEdgeCases:
+    def test_empty_input(self):
+        from repro.bigdata import chunked
+
+        assert chunked([], 1) == []
+        assert chunked([], 100) == []
+
+    def test_more_chunks_than_items(self):
+        from repro.bigdata import chunked
+
+        assert chunked([1, 2, 3], 10) == [[1], [2], [3]]
+
+    def test_single_item(self):
+        from repro.bigdata import chunked
+
+        assert chunked(["only"], 1) == [["only"]]
+        assert chunked(["only"], 8) == [["only"]]
+
+    def test_nonpositive_chunk_count_clamps_to_one(self):
+        from repro.bigdata import chunked
+
+        assert chunked([1, 2, 3], 0) == [[1, 2, 3]]
+        assert chunked([1, 2, 3], -5) == [[1, 2, 3]]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(), max_size=40),
+        st.integers(min_value=-3, max_value=50),
+    )
+    def test_partition_invariants(self, items, chunks):
+        from repro.bigdata import chunked
+
+        batches = chunked(items, chunks)
+        assert [x for batch in batches for x in batch] == items
+        assert all(batch for batch in batches)
+        if items:
+            assert len(batches) == max(1, min(chunks, len(items)))
+            sizes = [len(batch) for batch in batches]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestCostModel:
+    def test_first_record_is_estimate(self):
+        from repro.bigdata import CostModel
+
+        model = CostModel()
+        model.record("k", 2.0)
+        assert model.estimate("k") == 2.0
+
+    def test_ewma_folding(self):
+        from repro.bigdata import CostModel
+
+        model = CostModel(alpha=0.5)
+        model.record("k", 1.0)
+        model.record("k", 3.0)
+        assert model.estimate("k") == pytest.approx(2.0)
+
+    def test_estimates_for_is_all_or_nothing(self):
+        from repro.bigdata import CostModel
+
+        model = CostModel()
+        model.record("a", 1.0)
+        assert model.estimates_for(["a", "b"]) is None
+        model.record("b", 2.0)
+        estimates = model.estimates_for(["a", "b"])
+        assert estimates == {"a": 1.0, "b": 2.0}
+
+    def test_save_load_roundtrip_is_deterministic(self, tmp_path):
+        from repro.bigdata import CostModel
+
+        path = str(tmp_path / "costs.json")
+        model = CostModel(path=path, alpha=0.5)
+        model.record("x", 0.25)
+        model.record("y", 4.0)
+        model.save()
+        first = open(path, "rb").read()
+        reloaded = CostModel(path=path)
+        assert reloaded.estimate("x") == pytest.approx(0.25)
+        assert reloaded.estimate("y") == pytest.approx(4.0)
+        reloaded.save()
+        assert open(path, "rb").read() == first
+
+    def test_batch_key_shape(self):
+        from repro.bigdata import batch_key
+
+        assert batch_key([]) .endswith("#0")
+        key = batch_key(["Ada", "Zeno"])
+        assert "Ada" in key and "Zeno" in key and key.endswith("#2")
+        assert batch_key(["Ada", "Zeno"]) != batch_key(["Ada", "Zeno", "Bob"])
+
+    def test_replay_reorders_but_preserves_results(self):
+        from repro.bigdata import CostModel, batch_key
+        from repro.bigdata.backends import ThreadBackend
+
+        tasks = [["a"], ["b", "b"], ["c"] * 5, ["d"]]
+        expected = [len(t) for t in tasks]
+        model = CostModel()
+        with ThreadBackend(2) as backend:
+            first = backend.map(
+                _measured_len, tasks,
+                schedule="steal", cost_key=len,
+                cost_model=model, task_key=batch_key,
+            )
+            assert first == expected
+            assert model.recorded == len(tasks)
+            # Second call replays measured costs for the steal order.
+            second = backend.map(
+                _measured_len, tasks,
+                schedule="steal", cost_key=len,
+                cost_model=model, task_key=batch_key,
+            )
+            assert second == expected
+            assert model.replayed >= 1
+
+    def test_recording_is_deterministic_across_backends(self):
+        from repro.bigdata import CostModel, batch_key
+        from repro.bigdata.backends import SerialBackend, ThreadBackend
+
+        tasks = [["a"], ["b", "b"], ["c"] * 3]
+        keys = [batch_key(t) for t in tasks]
+        for backend in (SerialBackend(), ThreadBackend(2)):
+            model = CostModel()
+            with backend:
+                backend.map(
+                    _measured_len, tasks,
+                    cost_key=len, cost_model=model, task_key=batch_key,
+                )
+            assert model.stats()["keys"] == len(keys)
+            assert all(model.estimate(key) is not None for key in keys)
+
+
+class TestSplitDominant:
+    def test_splits_dominant_batch(self):
+        from repro.bigdata import split_dominant
+
+        batches = [list(range(8)), [100], [200]]
+        result = split_dominant(batches, estimate=len, factor=2.0)
+        assert [x for b in result for x in b] == list(range(8)) + [100, 200]
+        assert max(len(b) for b in result) < 8
+
+    def test_balanced_batches_untouched(self):
+        from repro.bigdata import split_dominant
+
+        batches = [[1, 2], [3, 4], [5, 6]]
+        assert split_dominant(batches, estimate=len) == batches
+
+    def test_singleton_batch_cannot_split(self):
+        from repro.bigdata import split_dominant
+
+        batches = [["huge"], ["a"], ["b"]]
+        estimate = lambda b: 100.0 if b == ["huge"] else 1.0
+        assert split_dominant(batches, estimate=estimate) == batches
+
+    def test_factor_validation(self):
+        from repro.bigdata import split_dominant
+
+        with pytest.raises(ValueError):
+            split_dominant([[1]], estimate=len, factor=1.0)
+
+    def test_make_batch_estimator_scales_static_costs(self):
+        from repro.bigdata import CostModel, batch_key
+        from repro.bigdata.costs import make_batch_estimator
+
+        batches = [["a", "a"], ["b"] * 4]
+        model = CostModel()
+        # 2 units measured at 1.0s => 0.5 s/unit.
+        model.record(batch_key(batches[0]), 1.0)
+        estimate = make_batch_estimator(model, batches, static_cost=len)
+        assert estimate(batches[0]) == pytest.approx(1.0)   # measured
+        assert estimate(batches[1]) == pytest.approx(2.0)   # 4 * 0.5 scaled
+
+    def test_make_batch_estimator_without_model_uses_static(self):
+        from repro.bigdata.costs import make_batch_estimator
+
+        estimate = make_batch_estimator(None, [["a"]], static_cost=len)
+        assert estimate(["x", "y"]) == 2.0
+
+
+def _measured_len(batch):
+    return len(batch)

@@ -323,6 +323,7 @@ class TestCrossModeReporting:
             "serial", "shards4", "thread2", "process2",
             "reasoner-thread2", "reasoner-process2",
             "steal-thread2", "steal-process2",
+            "corpus-thread2", "corpus-process2", "steal-corpus-process2",
         ]
         by_label = {mode.label: mode for mode in CROSS_MODES}
         assert by_label["shards4"].shards == 4
@@ -341,6 +342,17 @@ class TestCrossModeReporting:
             assert mode.backend == mode.reasoner_backend
         # Static modes leave the schedule at the CLI default.
         assert by_label["serial"].schedule is None
+        # The corpus modes push page payloads through the segment-backed
+        # file transport instead of the pickled broadcast.
+        for label in (
+            "corpus-thread2", "corpus-process2", "steal-corpus-process2"
+        ):
+            mode = by_label[label]
+            assert mode.corpus_transport == "file"
+            assert mode.workers == 2
+        assert by_label["steal-corpus-process2"].schedule == "steal"
+        # Everything else leaves the transport at the CLI default (auto).
+        assert by_label["serial"].corpus_transport is None
 
     def test_report_describe_ok_and_divergent(self):
         from repro.determinism import CrossModeReport, Divergence

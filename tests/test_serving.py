@@ -407,3 +407,63 @@ class TestConcurrencyStress:
             ]
         )
         assert final["count"] == self.WRITES - (self.WRITES + 9) // 10
+
+
+class TestNegativeCaching:
+    def test_empty_answer_is_cached_and_counted(self, engine):
+        nobody = Entity("world:Nobody")
+        first = engine.lookup(subject=nobody)
+        assert first["count"] == 0
+        stats = engine.cache.stats()
+        assert stats["negative_entries"] == 1
+        assert stats["negative_hits"] == 0
+        second = engine.lookup(subject=nobody)
+        assert second == first
+        stats = engine.cache.stats()
+        assert stats["negative_hits"] == 1
+        assert stats["hits"] == 1
+
+    def test_positive_entries_not_counted_negative(self, engine):
+        engine.lookup(predicate=BORN_IN)
+        engine.lookup(predicate=BORN_IN)
+        stats = engine.cache.stats()
+        assert stats["negative_entries"] == 0
+        assert stats["negative_hits"] == 0
+        assert stats["hits"] == 1
+
+    def test_negative_entry_invalidated_by_write(self, engine):
+        person = Entity("world:NewPerson")
+        assert engine.lookup(subject=person)["count"] == 0
+        engine.add(Triple(person, BORN_IN, Entity("world:C0"), confidence=0.7))
+        after = engine.lookup(subject=person)
+        assert after["count"] == 1
+        stats = engine.cache.stats()
+        # The stale negative entry was dropped, never served.
+        assert stats["negative_hits"] == 0
+        assert stats["stale_drops"] >= 1
+
+    def test_raw_cache_negative_flag(self):
+        cache = VersionedLRUCache(4)
+        cache.put("k", "e", 1, {"count": 0}, negative=True)
+        cache.put("p", "e", 1, {"count": 3})
+        assert cache.get("k", "e", 1) == {"count": 0}
+        assert cache.get("p", "e", 1) == {"count": 3}
+        stats = cache.stats()
+        assert stats["negative_entries"] == 1
+        assert stats["negative_hits"] == 1
+        assert stats["hits"] == 2
+
+    def test_negative_hits_mirrored_to_obs(self, engine):
+        obs.reset()
+        obs.enable()
+        try:
+            nobody = Entity("world:Nobody")
+            engine.lookup(subject=nobody)
+            engine.lookup(subject=nobody)
+            from repro.obs import core as obs_core
+
+            counters = obs_core.counters()
+            assert counters.get("serve.cache.negative_hit") == 1
+        finally:
+            obs.disable()
+            obs.reset()
