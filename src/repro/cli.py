@@ -1,10 +1,12 @@
-"""The command-line interface: build, ingest, inspect, query, ask, serve,
-verify.
+"""The command-line interface: build, ingest, scenario, inspect, query,
+ask, serve, verify.
 
-Seven subcommands expose the end-to-end system without writing Python::
+Eight subcommands expose the end-to-end system without writing Python::
 
     python -m repro build --seed 7 --people 120 --out kb.nt
     python -m repro ingest --segments segdir --seed 7 --people 120 --upto 100
+    python -m repro scenario list
+    python -m repro scenario evaluate --all --enforce-floors
     python -m repro stats --kb kb.nt
     python -m repro query --kb kb.nt --subject world:Viktor_Adler
     python -m repro ask --kb kb.nt "Where was Viktor Adler born?"
@@ -21,7 +23,11 @@ generation stack (``--compact``); ``stats``/``query``/``ask`` operate on
 any saved KB file; ``serve`` answers ``/lookup``, ``/query``, ``/topk``,
 ``/healthz``, and ``/metrics`` over HTTP with an identity-keyed result
 cache — from a ``.nt`` file (``--kb``) or lock-free from a segment
-snapshot (``--segments``); ``check-determinism`` rebuilds the KB in
+snapshot (``--segments``); ``scenario`` lists, builds, and quality-scores
+the named stress workloads of :mod:`repro.world.scenarios` (``evaluate``
+prints one greppable ``scenario:`` telemetry line per profile and
+``--enforce-floors`` fails the process when any pinned quality floor is
+violated — the CI-lite stress matrix); ``check-determinism`` rebuilds the KB in
 fresh subprocesses under distinct ``PYTHONHASHSEED`` values and verifies
 the canonical serializations are byte-identical (``--segments`` also
 diffs emitted segment directories file for file, ``--incremental``
@@ -175,6 +181,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument(
         "--schedule", choices=SCHEDULE_NAMES, default="static",
+    )
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="list, build, or quality-score the named stress workloads",
+    )
+    scenario_actions = scenario.add_subparsers(dest="action", required=True)
+    scenario_actions.add_parser(
+        "list", help="show every shipped scenario profile"
+    )
+    scenario_build = scenario_actions.add_parser(
+        "build", help="build one scenario's KB through the real pipeline"
+    )
+    scenario_build.add_argument(
+        "--name", required=True, help="scenario profile, e.g. burst_social"
+    )
+    scenario_build.add_argument(
+        "--out", default=None, help="write the built KB to this .nt file"
+    )
+    scenario_build.add_argument(
+        "--segments", default=None, metavar="DIR",
+        help="also emit the KB as a byte-pinned segment directory",
+    )
+    scenario_build.add_argument("--workers", type=int, default=0)
+    scenario_build.add_argument(
+        "--backend", choices=("auto",) + BACKEND_NAMES, default="auto"
+    )
+    scenario_eval = scenario_actions.add_parser(
+        "evaluate",
+        help="build scenario(s) and score extraction + KB quality "
+        "against gold (one greppable 'scenario:' line each)",
+    )
+    scenario_eval.add_argument(
+        "--name", action="append", default=None,
+        help="profile to evaluate (repeatable; default with --all: all)",
+    )
+    scenario_eval.add_argument(
+        "--all", action="store_true", help="evaluate every shipped profile"
+    )
+    scenario_eval.add_argument(
+        "--enforce-floors", action="store_true",
+        help="exit 1 if any scenario scores below its pinned quality floor",
+    )
+    scenario_eval.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the scores as a JSON document",
+    )
+    scenario_eval.add_argument(
+        "--no-burst-leg", action="store_true",
+        help="skip the incremental-ingest leg of burst scenarios",
+    )
+    scenario_eval.add_argument("--workers", type=int, default=0)
+    scenario_eval.add_argument(
+        "--backend", choices=("auto",) + BACKEND_NAMES, default="auto"
     )
 
     stats = commands.add_parser("stats", help="summarize a saved knowledge base")
@@ -422,6 +482,128 @@ def _command_ingest(args, out) -> int:
     return 0
 
 
+def _command_scenario(args, out) -> int:
+    from .world.scenarios import SCENARIOS, build_scenario
+
+    if args.action == "list":
+        print(f"{len(SCENARIOS)} scenario profiles:", file=out)
+        for name, spec in SCENARIOS.items():
+            print(f"  {name:<18} [{spec.stresses}]", file=out)
+            print(f"      {spec.description}", file=out)
+            print(
+                f"      seeds: world={spec.world.seed} wiki={spec.wiki.seed} "
+                f"corpus={spec.corpus.seed}"
+                + (f" social={spec.social.seed}" if spec.social else ""),
+                file=out,
+            )
+        return 0
+
+    if args.action == "build":
+        if args.workers < 0:
+            print("error: --workers must be non-negative", file=out)
+            return 2
+        try:
+            bundle = build_scenario(args.name)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=out)
+            return 2
+        print(
+            f"Building scenario {args.name} "
+            f"({len(bundle.wiki.pages)} pages) ...",
+            file=out,
+        )
+        config = BuildConfig(workers=args.workers, backend=args.backend)
+        kb, report = KnowledgeBaseBuilder(
+            bundle.wiki, aliases=bundle.world.aliases, config=config
+        ).build()
+        print(
+            f"scenario: name={args.name} pages={report.pages} "
+            f"sentences={report.sentences} triples={len(kb)} "
+            f"accepted={report.accepted_facts} "
+            f"fingerprint={bundle.fingerprint()}",
+            file=out,
+        )
+        if args.out is not None:
+            count = save(kb, args.out)
+            print(f"wrote {count} triples to {args.out}", file=out)
+        if args.segments is not None:
+            from .pipeline import emit_segments
+
+            manifest = emit_segments(kb, args.segments)
+            print(
+                f"emitted {len(manifest['segments'])} segment(s) "
+                f"({manifest['triples']} triples) to {args.segments}",
+                file=out,
+            )
+        return 0
+
+    # evaluate
+    from .eval.scenarios import check_floors, evaluate_matrix
+
+    if args.workers < 0:
+        print("error: --workers must be non-negative", file=out)
+        return 2
+    if args.name and args.all:
+        print("error: pass --name or --all, not both", file=out)
+        return 2
+    names = None if args.all or not args.name else list(args.name)
+    unknown = [n for n in names or [] if n not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        print(f"error: unknown scenario(s) {unknown} (known: {known})", file=out)
+        return 2
+    scores = evaluate_matrix(
+        names,
+        workers=args.workers,
+        backend=args.backend,
+        burst_leg=not args.no_burst_leg,
+    )
+    for score in scores:
+        print(score.telemetry(), file=out)
+    violations = check_floors(scores)
+    if args.json is not None:
+        import json
+
+        payload = [
+            {
+                "name": score.name,
+                "pages": score.pages,
+                "sentences": score.sentences,
+                "triples": score.triples,
+                "build_seconds": score.build_seconds,
+                "backend": score.backend,
+                "workers": score.workers,
+                "extraction": {
+                    "precision": score.extraction.precision,
+                    "recall": score.extraction.recall,
+                    "f1": score.extraction.f1,
+                },
+                "kb": {
+                    "precision": score.kb.precision,
+                    "recall": score.kb.recall,
+                    "f1": score.kb.f1,
+                },
+                "knobs": score.knobs,
+                "fingerprint": score.fingerprint,
+                "incremental_identical": score.incremental_identical,
+            }
+            for score in scores
+        ]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"scores": payload, "violations": violations}, handle, indent=2
+            )
+        print(f"wrote scores to {args.json}", file=out)
+    if violations:
+        for violation in violations:
+            print(f"floor violation: {violation}", file=out)
+        if args.enforce_floors:
+            return 1
+    elif args.enforce_floors:
+        print(f"floors: all {len(scores)} scenario(s) above their floors", file=out)
+    return 0
+
+
 def _command_stats(args, out) -> int:
     kb = load(args.kb)
     predicates: Counter = Counter()
@@ -624,6 +806,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     handlers = {
         "build": _command_build,
         "ingest": _command_ingest,
+        "scenario": _command_scenario,
         "stats": _command_stats,
         "query": _command_query,
         "ask": _command_ask,

@@ -128,7 +128,14 @@ def render_fact_sentence(
     else:
         raise TypeError(f"cannot render object {obj!r}")
     if template.needs_year:
-        year = fact.scope.begin if fact.scope and fact.scope.begin else rng.randint(1950, 2014)
+        # ``is not None``, not truthiness: a present-but-zero ``begin`` is a
+        # real gold year, and substituting a random one would silently
+        # corrupt the temporal label the sentence carries.
+        year = (
+            fact.scope.begin
+            if fact.scope and fact.scope.begin is not None
+            else rng.randint(1950, 2014)
+        )
         slots["y"] = (None, str(year))
     if template.needs_span:
         if fact.scope and fact.scope.begin is not None and fact.scope.end is not None:
@@ -180,8 +187,14 @@ def corrupt_fact(
 
 
 def distractor_sentence(world: World, rng: random.Random, p_short_alias: float) -> Sentence:
-    """A two-entity sentence that expresses no KB relation."""
+    """A two-entity sentence that expresses no KB relation.
+
+    Raises :class:`ValueError` on a world with fewer than two entities —
+    the resampling loop below could never terminate there.
+    """
     entities = world.all_entities()
+    if len(entities) < 2:
+        raise ValueError("distractor sentences need at least two entities")
     a = rng.choice(entities)
     b = rng.choice(entities)
     while b == a:
@@ -267,6 +280,8 @@ def synthesize(
 
     total_fact_sentences = sum(len(v) for v in sentences_by_subject.values())
     n_distractors = int(total_fact_sentences * config.distractor_fraction)
+    if len(world.all_entities()) < 2:
+        n_distractors = 0  # no valid entity pair; skip rather than hang
     loose_sentences = [
         distractor_sentence(world, rng, config.p_short_alias)
         for __ in range(n_distractors)

@@ -78,10 +78,20 @@ class WikiConfig:
     interlanguage_dropout: float = 0.2
     sentences_per_page: int = 6
     p_short_alias: float = 0.15
+    #: Per-language dropout overrides, e.g. ``(("es", 0.9),)`` — languages
+    #: not listed keep ``interlanguage_dropout``.  A tuple of pairs (not a
+    #: dict) so the config stays hashable; the multilingual_skew scenario
+    #: uses this to starve one language edition of labels.
+    interlanguage_dropout_by_lang: Optional[tuple[tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.interlanguage_dropout <= 1.0:
             raise ValueError("interlanguage_dropout must be in [0, 1]")
+        for lang, dropout in self.interlanguage_dropout_by_lang or ():
+            if not 0.0 <= dropout <= 1.0:
+                raise ValueError(
+                    f"interlanguage dropout for {lang!r} must be in [0, 1]"
+                )
 
 
 #: Infobox attribute name per relation, by subject class.
@@ -302,8 +312,11 @@ def _add_categories(world: World, page: WikiPage, rng: random.Random) -> None:
 
 
 def _add_interlanguage(world, page, config, rng) -> None:
+    overrides = dict(config.interlanguage_dropout_by_lang or ())
     for lang in ("de", "fr", "es"):
-        if rng.random() < config.interlanguage_dropout:
+        # One rng draw per language regardless of overrides, so wikis built
+        # without overrides keep their exact pre-override bytes.
+        if rng.random() < overrides.get(lang, config.interlanguage_dropout):
             continue
         label = world.label_in(page.entity, lang)
         if label is not None:

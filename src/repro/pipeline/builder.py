@@ -74,6 +74,11 @@ class BuildConfig:
     # Wiki; "file"/"memory" force the choice for any multi-worker backend.
     corpus_transport: str = "auto"          # auto | memory | file
     corpus_file: Optional[str] = None       # write/reuse the corpus file here
+    # Keep a copy of the merged pre-consistency fact store on the report
+    # (``BuildReport.merged_store``) so quality harnesses can score the
+    # extraction stage separately from the reasoned KB.  Observation only —
+    # never byte-affecting.
+    keep_merged_store: bool = False
 
 
 @dataclass(slots=True)
@@ -94,6 +99,9 @@ class BuildReport:
     backend: str = "serial"
     workers: int = 1
     schedule: str = "static"
+    #: The merged pre-consistency fact store (only when
+    #: ``BuildConfig.keep_merged_store`` is set).
+    merged_store: Optional[TripleStore] = None
 
 
 def _build_resolver(
@@ -457,6 +465,8 @@ class KnowledgeBaseBuilder:
                     candidates, self.config.min_confidence
                 )
                 report.merged_facts = len(fact_store)
+                if self.config.keep_merged_store:
+                    report.merged_store = fact_store.copy()
 
             # 4. Consistency reasoning against the harvested + schema
             #    taxonomy.

@@ -55,12 +55,31 @@ class WorldConfig:
     def __post_init__(self) -> None:
         if self.n_countries < 1 or self.n_countries > 12:
             raise ValueError("n_countries must be between 1 and 12")
+        for name in (
+            "n_cities",
+            "n_universities",
+            "n_companies",
+            "n_people",
+            "n_product_families",
+            "n_products_per_family",
+            "n_books",
+            "n_albums",
+            "n_prizes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.ambiguity <= 1.0:
+            raise ValueError("ambiguity must be in [0, 1]")
         if self.n_prizes > 6:
             raise ValueError("n_prizes must be at most 6")
         if self.n_product_families > len(PRODUCT_FAMILIES):
             raise ValueError(f"at most {len(PRODUCT_FAMILIES)} product families")
         if self.n_cities < self.n_countries:
             raise ValueError("need at least one city per country")
+        if self.n_companies < self.n_product_families:
+            # Each family needs a distinct maker; a short company list would
+            # otherwise silently truncate the family zip in _generate_products.
+            raise ValueError("need at least one company per product family")
 
 
 @dataclass
@@ -107,7 +126,15 @@ class World:
         )
 
     def entities_of_class(self, cls: Entity) -> list[Entity]:
-        """All entities whose primary class is (a subclass of) ``cls``."""
+        """All entities whose primary class is (a subclass of) ``cls``.
+
+        Subclass semantics follow the schema taxonomy: asking for
+        ``ORGANIZATION`` yields companies and universities, ``PERSON`` yields
+        every person regardless of occupation.  The curated per-class lists
+        come first (in their generation order), so leaf-class queries return
+        exactly what they always did.
+        """
+        closure = ws.subclasses_of(cls)
         taxonomy = {
             ws.PERSON: self.people,
             ws.CITY: self.cities,
@@ -119,9 +146,19 @@ class World:
             ws.ALBUM: self.albums,
             ws.PRIZE: self.prizes,
         }
-        if cls in taxonomy:
-            return list(taxonomy[cls])
-        return [e for e, c in self.primary_class.items() if c == cls]
+        result: list[Entity] = []
+        seen: set[Entity] = set()
+        for tax_cls, members in taxonomy.items():
+            if tax_cls in closure:
+                for entity in members:
+                    if entity not in seen:
+                        seen.add(entity)
+                        result.append(entity)
+        for entity, primary in self.primary_class.items():
+            if primary in closure and entity not in seen:
+                seen.add(entity)
+                result.append(entity)
+        return result
 
     def fact_exists(self, subject: Entity, relation: Relation, obj) -> bool:
         """True if the (s, r, o) fact is part of the ground truth."""

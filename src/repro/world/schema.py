@@ -76,6 +76,35 @@ CLASS_TREE: dict[Entity, Entity] = {
     PRIZE: ns.THING,
 }
 
+def subclasses_of(cls: Entity) -> frozenset[Entity]:
+    """The subclass closure of ``cls``: itself plus every class below it.
+
+    Computed over :data:`CLASS_TREE`; classes outside the tree close over
+    just themselves.
+    """
+    return _subclass_closure().get(cls, frozenset((cls,)))
+
+
+_CLOSURE_CACHE: dict[Entity, frozenset[Entity]] = {}
+
+
+def _subclass_closure() -> dict[Entity, frozenset[Entity]]:
+    if not _CLOSURE_CACHE:
+        descendants: dict[Entity, set[Entity]] = {}
+        for child in CLASS_TREE:
+            descendants.setdefault(child, set()).add(child)
+            node = child
+            while node in CLASS_TREE:
+                node = CLASS_TREE[node]
+                descendants.setdefault(node, set()).add(child)
+        for anc, members in descendants.items():
+            members.add(anc)
+        _CLOSURE_CACHE.update(
+            {anc: frozenset(members) for anc, members in descendants.items()}
+        )
+    return _CLOSURE_CACHE
+
+
 #: Occupation classes a generated person may carry (besides PERSON).
 OCCUPATIONS: tuple[Entity, ...] = (
     SCIENTIST,

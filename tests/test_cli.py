@@ -127,3 +127,63 @@ class TestAsk:
         code = main(["ask", "--kb", str(path), "Why is the sky blue?"], out=out)
         assert code == 1
         assert "no answer" in out.getvalue()
+
+
+class TestScenario:
+    def test_list_names_every_profile(self):
+        from repro.world.scenarios import SCENARIOS
+
+        out = io.StringIO()
+        assert main(["scenario", "list"], out=out) == 0
+        output = out.getvalue()
+        for name in SCENARIOS:
+            assert name in output
+        assert "seeds:" in output
+
+    def test_build_writes_kb_and_telemetry(self, tmp_path):
+        path = tmp_path / "kb-baseline.nt"
+        out = io.StringIO()
+        code = main(
+            ["scenario", "build", "--name", "baseline", "--out", str(path)],
+            out=out,
+        )
+        assert code == 0
+        assert path.exists()
+        output = out.getvalue()
+        assert "scenario: name=baseline pages=" in output
+        assert "fingerprint=" in output
+
+    def test_build_unknown_profile_rejected(self):
+        out = io.StringIO()
+        code = main(["scenario", "build", "--name", "nope"], out=out)
+        assert code == 2
+        assert "unknown scenario" in out.getvalue()
+        assert "baseline" in out.getvalue()
+
+    def test_evaluate_prints_greppable_telemetry(self, tmp_path):
+        import json
+
+        report = tmp_path / "scores.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "scenario", "evaluate", "--name", "baseline",
+                "--enforce-floors", "--json", str(report),
+            ],
+            out=out,
+        )
+        assert code == 0
+        lines = out.getvalue().splitlines()
+        telemetry = [l for l in lines if l.startswith("scenario: name=")]
+        assert len(telemetry) == 1
+        assert "kb_f1=" in telemetry[0]
+        data = json.loads(report.read_text())
+        assert data["violations"] == []
+        assert data["scores"][0]["name"] == "baseline"
+        assert data["scores"][0]["kb"]["f1"] > 0.8
+
+    def test_evaluate_unknown_profile_rejected(self):
+        out = io.StringIO()
+        code = main(["scenario", "evaluate", "--name", "nope"], out=out)
+        assert code == 2
+        assert "unknown scenario" in out.getvalue()

@@ -1,6 +1,7 @@
 """Tests for repro.corpus (documents, templates, synthesis)."""
 
 import random
+import re
 
 import pytest
 
@@ -18,6 +19,7 @@ from repro.corpus import (
 )
 from repro.corpus.document import Document, GoldFact, GoldMention, Sentence
 from repro.kb import Entity
+from repro.world import WorldConfig
 from repro.world import schema as ws
 
 
@@ -90,6 +92,22 @@ class TestRendering:
         )
         sentence = render_fact_sentence(world, scoped, template, rng)
         assert str(scoped.scope.begin) in sentence.text
+
+    def test_year_zero_scope_not_replaced_by_random_year(self, world):
+        # Regression: the year slot used truthiness, so a gold ``begin`` of
+        # 0 was silently swapped for a random 1950-2014 year.
+        from repro.kb import TimeSpan
+
+        rng = random.Random(0)
+        scoped = next(
+            t for t in world.facts.match(predicate=ws.WON_PRIZE) if t.scope
+        )
+        year_zero = scoped.with_scope(TimeSpan(0, 3))
+        template = next(
+            t for t in TEMPLATES[ws.WON_PRIZE] if t.needs_year
+        )
+        sentence = render_fact_sentence(world, year_zero, template, rng)
+        assert re.search(r"\b0\b", sentence.text), sentence.text
 
 
 class TestCorruption:
@@ -176,6 +194,46 @@ class TestSynthesis:
             CorpusConfig(document_size=0)
         with pytest.raises(ValueError):
             CorpusConfig(mentions_per_fact=-1)
+
+    def test_distractor_rejects_single_entity_world(self):
+        # Regression: with fewer than two entities the sampling loop
+        # (``while b == a``) could never terminate; it now raises instead.
+        tiny = self._single_entity_world()
+        with pytest.raises(ValueError, match="at least two entities"):
+            distractor_sentence(tiny, random.Random(0), 0.0)
+
+    def test_synthesize_skips_distractors_on_tiny_world(self):
+        # Regression companion: the synthesizer itself must not hang when
+        # the world is too small for entity-pair distractors but still has
+        # renderable facts (so the distractor quota would be non-zero).
+        tiny = self._single_entity_world()
+        docs = synthesize(
+            tiny, CorpusConfig(seed=4, distractor_fraction=1.0)
+        )
+        sentences = [s for d in docs for s in d.sentences]
+        assert sentences
+        assert all(s.facts for s in sentences)
+
+    @staticmethod
+    def _single_entity_world():
+        """A world whose distractor pool has one entity but still renders.
+
+        The prize is named (so WON_PRIZE sentences render) yet kept out of
+        the class lists, so ``all_entities()`` — the distractor sampling
+        pool — holds only the person.
+        """
+        from repro.world.generator import World, _add_fact
+
+        lone = Entity("ex:lone")
+        prize = Entity("ex:prize")
+        tiny = World(config=WorldConfig(), people=[lone])
+        tiny.name[lone] = "Lone Soul"
+        tiny.aliases[lone] = ["Lone Soul"]
+        tiny.primary_class[lone] = ws.PERSON
+        tiny.name[prize] = "Hermit Medal"
+        tiny.aliases[prize] = ["Hermit Medal"]
+        _add_fact(tiny, lone, ws.WON_PRIZE, prize)
+        return tiny
 
     def test_entity_centric_documents_have_topic(self, documents):
         topical = [d for d in documents if d.topic is not None]

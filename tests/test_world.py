@@ -158,3 +158,55 @@ class TestGenerator:
             WorldConfig(n_cities=2, n_countries=5)
         with pytest.raises(ValueError):
             WorldConfig(n_prizes=10)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["n_cities", "n_people", "n_companies", "n_books", "n_albums"],
+    )
+    def test_config_rejects_negative_counts(self, field):
+        # Regression: negative counts used to slip through and blow up (or
+        # silently truncate) deep inside generation.
+        with pytest.raises(ValueError, match="non-negative"):
+            WorldConfig(**{field: -1})
+
+    def test_config_rejects_out_of_range_ambiguity(self):
+        with pytest.raises(ValueError, match="ambiguity"):
+            WorldConfig(ambiguity=1.2)
+        with pytest.raises(ValueError, match="ambiguity"):
+            WorldConfig(ambiguity=-0.1)
+
+    def test_config_rejects_more_families_than_companies(self):
+        # Regression: zip() silently dropped the extra families, producing
+        # fewer product families than configured.
+        with pytest.raises(ValueError, match="company per product family"):
+            WorldConfig(n_companies=2, n_product_families=3)
+
+    def test_entities_of_class_subclass_closure(self, world):
+        # Regression: superclass queries used to return only entities whose
+        # *primary* class matched, so ORGANIZATION came back empty.
+        organizations = world.entities_of_class(ws.ORGANIZATION)
+        assert set(organizations) == set(world.companies) | set(
+            world.universities
+        )
+        locations = world.entities_of_class(ws.LOCATION)
+        assert set(locations) == set(world.cities) | set(world.countries)
+        people = world.entities_of_class(ws.PERSON)
+        assert set(people) == set(world.people)
+
+    def test_entities_of_class_leaf_order_preserved(self, world):
+        # The closure rewrite must not disturb leaf-class ordering (seeded
+        # rng.choice over this list pins corpus corruption bytes).
+        scientists = world.entities_of_class(ws.SCIENTIST)
+        assert scientists == [
+            e
+            for e in world.people
+            if world.primary_class[e] == ws.SCIENTIST
+        ]
+
+    def test_subclasses_of_closure(self):
+        closure = ws.subclasses_of(ws.ORGANIZATION)
+        assert ws.ORGANIZATION in closure
+        assert ws.COMPANY in closure and ws.UNIVERSITY in closure
+        assert ws.CITY not in closure
+        # Leaves close over themselves only.
+        assert ws.subclasses_of(ws.CITY) == frozenset((ws.CITY,))
